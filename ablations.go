@@ -1,0 +1,130 @@
+package esp
+
+import (
+	"fmt"
+
+	"espsim/internal/stats"
+	"espsim/internal/workload"
+)
+
+// Ablation sweeps one ESP design parameter at a time on one application,
+// quantifying the design choices DESIGN.md calls out: the prefetch
+// lookahead (§3.6's 190 instructions), the pre-event window (§3.6's ~70
+// looper instructions), the jump-ahead depth (§3.1's choice of two), the
+// list capacities (Figure 8's byte budgets), and the minimum stall
+// window worth entering.
+type Ablation struct {
+	Parameter string
+	Rows      []AblationRow
+	Table     *stats.Table
+}
+
+// AblationRow is one setting of the swept parameter.
+type AblationRow struct {
+	Setting string
+	// ImprovementPct is speedup over the NL+S baseline.
+	ImprovementPct float64
+}
+
+// ablate evaluates variants of ESPNLConfig against the NL+S baseline.
+func (h *Harness) ablate(prof workload.Profile, parameter string, settings []string,
+	mod func(cfg *Config, i int)) Ablation {
+	base := h.Run(prof, NLSConfig())
+	a := Ablation{Parameter: parameter}
+	t := stats.NewTable(fmt.Sprintf("Ablation: %s (%s)", parameter, prof.Name),
+		parameter, "improvement % over NL+S")
+	for i, s := range settings {
+		cfg := ESPNLConfig()
+		cfg.Name = fmt.Sprintf("abl-%s-%d", parameter, i)
+		mod(&cfg, i)
+		r := h.Run(prof, cfg)
+		row := AblationRow{Setting: s, ImprovementPct: stats.Improvement(r.Speedup(base))}
+		a.Rows = append(a.Rows, row)
+		t.Add(s, fmt.Sprintf("%.1f", row.ImprovementPct))
+	}
+	a.Table = t
+	return a
+}
+
+// AblatePrefetchLead sweeps the list-prefetch lookahead around the
+// paper's 190 instructions.
+func (h *Harness) AblatePrefetchLead(prof workload.Profile) Ablation {
+	leads := []int{30, 100, 190, 400, 1200}
+	return h.ablate(prof, "prefetch lead (insts)",
+		[]string{"30", "100", "190 (paper)", "400", "1200"},
+		func(cfg *Config, i int) { cfg.ESP.PrefetchLead = leads[i] })
+}
+
+// AblatePreEventWindow sweeps the looper-overhead head start around the
+// paper's ~70 instructions.
+func (h *Harness) AblatePreEventWindow(prof workload.Profile) Ablation {
+	windows := []int{0, 35, 70, 140}
+	return h.ablate(prof, "pre-event window (insts)",
+		[]string{"0", "35", "70 (paper)", "140"},
+		func(cfg *Config, i int) { cfg.ESP.PreEventWindow = windows[i] })
+}
+
+// AblateJumpDepth sweeps the number of events ESP may jump ahead.
+func (h *Harness) AblateJumpDepth(prof workload.Profile) Ablation {
+	depths := []int{1, 2, 3, 4}
+	return h.ablate(prof, "jump-ahead depth",
+		[]string{"1", "2 (paper)", "3", "4"},
+		func(cfg *Config, i int) {
+			cfg.ESP.JumpDepth = depths[i]
+			cfg.MaxPending = depths[i]
+		})
+}
+
+// AblateListBudget scales every prediction-list byte budget relative to
+// Figure 8.
+func (h *Harness) AblateListBudget(prof workload.Profile) Ablation {
+	factors := []float64{0.25, 0.5, 1, 2, 4}
+	return h.ablate(prof, "list budget (x Figure 8)",
+		[]string{"0.25x", "0.5x", "1x (paper)", "2x", "4x"},
+		func(cfg *Config, i int) {
+			f := factors[i]
+			sz := &cfg.ESP.Sizes
+			for m := 0; m < 2; m++ {
+				sz.IListBytes[m] = scaleBytes(sz.IListBytes[m], f)
+				sz.DListBytes[m] = scaleBytes(sz.DListBytes[m], f)
+				sz.BListDirBytes[m] = scaleBytes(sz.BListDirBytes[m], f)
+				sz.BListTgtBytes[m] = scaleBytes(sz.BListTgtBytes[m], f)
+			}
+		})
+}
+
+// AblateMinWindow sweeps the smallest stall window worth jumping into.
+func (h *Harness) AblateMinWindow(prof workload.Profile) Ablation {
+	windows := []int{0, 28, 60, 100}
+	return h.ablate(prof, "minimum stall window (cycles)",
+		[]string{"0", "28 (default)", "60", "100"},
+		func(cfg *Config, i int) { cfg.ESP.MinWindow = windows[i] })
+}
+
+// AblateDirtyHazard sweeps the dirty-eviction poisoning period (§4.4).
+func (h *Harness) AblateDirtyHazard(prof workload.Profile) Ablation {
+	periods := []int{0, 1, 4, 16}
+	return h.ablate(prof, "dirty-hazard period",
+		[]string{"off", "every eviction", "every 4th (default)", "every 16th"},
+		func(cfg *Config, i int) { cfg.ESP.DirtyHazardPeriod = periods[i] })
+}
+
+func scaleBytes(b int, f float64) int {
+	n := int(float64(b) * f)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// AllAblations runs every sweep on one application.
+func (h *Harness) AllAblations(prof workload.Profile) []Ablation {
+	return []Ablation{
+		h.AblatePrefetchLead(prof),
+		h.AblatePreEventWindow(prof),
+		h.AblateJumpDepth(prof),
+		h.AblateListBudget(prof),
+		h.AblateMinWindow(prof),
+		h.AblateDirtyHazard(prof),
+	}
+}

@@ -1,0 +1,48 @@
+// Command calib is the workload-calibration probe used to fit the
+// synthetic profiles against the paper's anchors (DESIGN.md §6). It
+// sweeps event-length multiples of one application and reports how ESP's
+// pre-execution coverage, list occupancy and benefit respond — the
+// quantities that drove the generator's constants.
+//
+// Usage:
+//
+//	calib [-app amazon]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	esp "espsim"
+	"espsim/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "amazon", "application to probe")
+	flag.Parse()
+
+	prof, err := workload.ByName(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calib:", err)
+		os.Exit(2)
+	}
+	for _, mult := range []int{1, 2, 4, 8} {
+		p := prof
+		p.MeanEventLen *= mult
+		p.Events /= mult
+		if p.Events < 4 {
+			p.Events = 4
+		}
+		base := esp.MustRun(p, esp.NLSConfig())
+		e := esp.MustRun(p, esp.ESPNLConfig())
+		cov := float64(e.ESPStats.PreExecInsts) / float64(e.Insts)
+		fmt.Printf("len x%d: NL+S cyc=%d ESP+NL cyc=%d gain=%.1f%% coverage=%.0f%% IMPKI %.1f->%.1f BP %.1f->%.1f\n",
+			mult, base.Cycles, e.Cycles, (e.Speedup(base)-1)*100, cov*100,
+			base.IMPKI, e.IMPKI, base.MispredictRate*100, e.MispredictRate*100)
+		st := e.ESPStats
+		fmt.Printf("        recI=%d recD=%d recB=%d full=%d prefI=%d prefD=%d corr=%d stallcyc=%d used=%d/%d\n",
+			st.RecI, st.RecD, st.RecB, st.ListFull, st.PrefetchI, st.PrefetchD, st.Corrections,
+			e.CPU.StallCycles, e.CPU.StallsUsed, e.CPU.StallsOffered)
+	}
+}

@@ -1,0 +1,88 @@
+// Command espbench regenerates the paper's evaluation: every figure's
+// table plus the headline (abstract) metrics. Its output is the payload
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	espbench [-fig all|3|6|8|9|10|11a|11b|12|13|14|headline] [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"espsim"
+	"espsim/internal/workload"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which figure to regenerate (all, headline, ablations, seeds, related, 3, 6, 8, 9, 10, 11a, 11b, 12, 13, 14)")
+		scale = flag.Float64("scale", 1, "event-count scale factor")
+		app   = flag.String("app", "amazon", "application for -fig ablations")
+		csv   = flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+	)
+	flag.Parse()
+
+	csvOut = *csv
+	h := esp.NewHarness()
+	h.Scale = *scale
+
+	figures := map[string]func() esp.Figure{
+		"3": h.Fig3, "6": h.Fig6, "8": h.Fig8, "9": h.Fig9, "10": h.Fig10,
+		"11a": h.Fig11a, "11b": h.Fig11b, "12": h.Fig12, "13": h.Fig13, "14": h.Fig14,
+		"related": h.FigRelated,
+	}
+	order := []string{"3", "6", "8", "9", "10", "11a", "11b", "12", "13", "14", "related"}
+
+	switch *fig {
+	case "all":
+		for _, id := range order {
+			printFigure(figures[id]())
+		}
+		fmt.Println(h.Headline())
+	case "headline":
+		fmt.Println(h.Headline())
+	case "seeds":
+		prof, err := workload.ByName(*app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "espbench:", err)
+			os.Exit(2)
+		}
+		fmt.Println(h.SeedStudy(prof, 5))
+	case "ablations":
+		prof, err := workload.ByName(*app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "espbench:", err)
+			os.Exit(2)
+		}
+		for _, a := range h.AllAblations(prof) {
+			fmt.Println(a.Table)
+			fmt.Println()
+		}
+	default:
+		f, ok := figures[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "espbench: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		printFigure(f())
+	}
+}
+
+func printFigure(f esp.Figure) {
+	if csvOut {
+		fmt.Print(f.Table.CSV())
+		fmt.Println()
+		return
+	}
+	fmt.Println(f.Table)
+	if f.PaperNote != "" {
+		fmt.Printf("  %s\n", f.PaperNote)
+	}
+	fmt.Println()
+}
+
+// csvOut switches printFigure to CSV rendering.
+var csvOut bool

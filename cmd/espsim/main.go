@@ -1,0 +1,135 @@
+// Command espsim simulates one application workload under one machine
+// configuration and prints detailed statistics.
+//
+// Usage:
+//
+//	espsim -app amazon -config ESP+NL [-scale 1] [-events 0] [-v]
+//
+// Valid -config names: base, NL, NL+S, NL-I, NL-D, Runahead, Runahead+NL,
+// Runahead-D, Runahead-D+NL-D, ESP, ESP+NL, NaiveESP, NaiveESP+NL,
+// ESP-I+NL, ESP-I,B+NL, perfectL1I, perfectL1D, perfectBP, perfectAll.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"espsim"
+	"espsim/internal/eventq"
+	"espsim/internal/trace"
+	"espsim/internal/workload"
+)
+
+// replayTrace runs a recorded ESPT trace through the simulator.
+func replayTrace(path string, cfg esp.Config) (esp.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return esp.Result{}, err
+	}
+	defer f.Close()
+	events, err := trace.ReadFile(f)
+	if err != nil {
+		return esp.Result{}, err
+	}
+	return esp.RunSource(path, eventq.TraceSource{Events: events}, cfg)
+}
+
+func configs() map[string]esp.Config {
+	list := []esp.Config{
+		esp.BaselineConfig(), esp.NLConfig(), esp.NLSConfig(),
+		esp.NLIOnlyConfig(), esp.NLDOnlyConfig(),
+		esp.EFetchConfig(), esp.PIFConfig(),
+		esp.RunaheadConfig(), esp.RunaheadNLConfig(),
+		esp.RunaheadDConfig(), esp.RunaheadDNLDConfig(),
+		esp.ESPConfig(), esp.ESPNLConfig(),
+		esp.NaiveESPConfig(), esp.NaiveESPNLConfig(),
+		esp.ESPIOnlyNLConfig(), esp.ESPIBNLConfig(),
+		esp.PerfectL1IConfig(), esp.PerfectL1DConfig(),
+		esp.PerfectBPConfig(), esp.PerfectAllConfig(),
+	}
+	m := make(map[string]esp.Config, len(list))
+	for _, c := range list {
+		m[c.Name] = c
+	}
+	return m
+}
+
+func main() {
+	var (
+		app       = flag.String("app", "amazon", "application workload (amazon, bing, cnn, facebook, gmaps, gdocs, pixlr)")
+		cfgName   = flag.String("config", "ESP+NL", "machine configuration name")
+		scale     = flag.Float64("scale", 1, "event-count scale factor")
+		events    = flag.Int("events", 0, "max events to simulate (0 = all)")
+		tracePath = flag.String("trace", "", "replay an ESPT trace file (from cmd/tracegen) instead of a synthetic session")
+		verbose   = flag.Bool("v", false, "print component-level statistics")
+	)
+	flag.Parse()
+
+	cfg, ok := configs()[*cfgName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "espsim: unknown config %q; see -h for the list\n", *cfgName)
+		os.Exit(2)
+	}
+	cfg.MaxEvents = *events
+
+	var r esp.Result
+	var err error
+	if *tracePath != "" {
+		r, err = replayTrace(*tracePath, cfg)
+	} else {
+		var prof workload.Profile
+		prof, err = workload.ByName(*app)
+		if err == nil {
+			prof = prof.Scale(*scale)
+			r, err = esp.Run(prof, cfg)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("app=%s config=%s\n", r.App, r.Config)
+	fmt.Printf("  insts            %12d\n", r.Insts)
+	fmt.Printf("  cycles           %12d\n", r.Cycles)
+	fmt.Printf("  IPC              %12.3f\n", r.IPC)
+	fmt.Printf("  L1-I MPKI        %12.2f\n", r.IMPKI)
+	fmt.Printf("  L1-D miss rate   %11.2f%%\n", r.DMissRate*100)
+	fmt.Printf("  mispredict rate  %11.2f%%\n", r.MispredictRate*100)
+	fmt.Printf("  extra insts      %11.2f%%\n", r.ExtraInstPct)
+	if *verbose {
+		fmt.Printf("\ncycle breakdown:\n")
+		fmt.Printf("  base     %12d\n", r.CPU.BaseCycles)
+		fmt.Printf("  I-miss   %12d\n", r.CPU.IMissCycles)
+		fmt.Printf("  D-miss   %12d\n", r.CPU.DMissCycles)
+		fmt.Printf("  branch   %12d\n", r.CPU.BranchCycles)
+		fmt.Printf("  assist   %12d\n", r.CPU.AssistPenalty)
+		fmt.Printf("stalls: offered=%d used=%d cycles=%d  LLC I=%d D=%d\n",
+			r.CPU.StallsOffered, r.CPU.StallsUsed, r.CPU.StallCycles,
+			r.CPU.LLCMissI, r.CPU.LLCMissD)
+		fmt.Printf("caches: L1I %d/%d  L1D %d/%d  L2 %d/%d (miss/acc)\n",
+			r.L1I.Misses, r.L1I.Accesses, r.L1D.Misses, r.L1D.Accesses,
+			r.L2.Misses, r.L2.Accesses)
+		fmt.Printf("prefetch usefulness: L1I %d/%d  L1D %d/%d  L2 %d/%d (useful/installed)\n",
+			r.L1I.PrefetchUseful, r.L1I.PrefetchInstalls,
+			r.L1D.PrefetchUseful, r.L1D.PrefetchInstalls,
+			r.L2.PrefetchUseful, r.L2.PrefetchInstalls)
+		if r.ESPStats != nil {
+			s := r.ESPStats
+			fmt.Printf("esp: preexec=%d fills=%d llcFills=%d modes=%v\n",
+				s.PreExecInsts, s.CacheletFills, s.LLCFills, s.ModeEntries)
+			fmt.Printf("     prefI=%d prefD=%d corrections=%d listFull=%d late=%d\n",
+				s.PrefetchI, s.PrefetchD, s.Corrections, s.ListFull, s.SkippedLate)
+			fmt.Printf("     events pre-executed=%d consumed=%d mismatches=%d hazards=%d poisonings=%d\n",
+				s.EventsPreExecuted, s.EventsConsumed, s.SlotMismatches, s.DirtyHazards, s.Poisonings)
+		}
+		if r.RAStats != nil {
+			s := r.RAStats
+			fmt.Printf("runahead: episodes=%d preexec=%d stoppedOnIMiss=%d\n",
+				s.Episodes, s.PreExecInsts, s.StoppedOnIMiss)
+		}
+		fmt.Printf("energy: mispredict=%.3g static=%.3g dynamic=%.3g total=%.3g\n",
+			r.Energy.Mispredict, r.Energy.Static, r.Energy.Dynamic, r.Energy.Total())
+	}
+}

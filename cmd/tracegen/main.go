@@ -1,0 +1,121 @@
+// Command tracegen materializes a synthetic session into an ESPT binary
+// trace file, or inspects an existing one. Traces produced here can be
+// replayed through the simulator with eventq.TraceSource, decoupling
+// workload generation from simulation (the role SniperSim's trace
+// recorder plays in the paper's methodology, §5).
+//
+// Usage:
+//
+//	tracegen -app bing -o bing.espt [-events 50] [-scale 1]
+//	tracegen -info bing.espt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"espsim/internal/trace"
+	"espsim/internal/workload"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "amazon", "application workload to trace")
+		out    = flag.String("o", "", "output trace file")
+		events = flag.Int("events", 0, "number of events to trace (0 = whole session)")
+		scale  = flag.Float64("scale", 1, "event-count scale factor")
+		info   = flag.String("info", "", "inspect an existing trace file instead of generating")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		if err := inspect(*info); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o output file required (or -info to inspect)")
+		os.Exit(2)
+	}
+	if err := generate(*app, *out, *events, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(app, out string, events int, scale float64) error {
+	prof, err := workload.ByName(app)
+	if err != nil {
+		return err
+	}
+	prof = prof.Scale(scale)
+	sess, err := workload.NewSession(prof)
+	if err != nil {
+		return err
+	}
+	n := len(sess.Events)
+	if events > 0 && events < n {
+		n = events
+	}
+	traces := make([]trace.EventTrace, 0, n)
+	var insts int64
+	for _, ev := range sess.Events[:n] {
+		et := trace.EventTrace{
+			Event: ev,
+			Insts: trace.Record(sess.Gen.Stream(ev, false), ev.Len),
+		}
+		insts += int64(len(et.Insts))
+		traces = append(traces, et)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteFile(f, traces); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d events, %d instructions, %d bytes (%.2f B/inst)\n",
+		out, n, insts, st.Size(), float64(st.Size())/float64(insts))
+	return nil
+}
+
+func inspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadFile(f)
+	if err != nil {
+		return err
+	}
+	var insts, branches, mem int64
+	handlers := map[int]bool{}
+	for _, et := range events {
+		insts += int64(len(et.Insts))
+		handlers[et.Event.Handler] = true
+		for _, in := range et.Insts {
+			switch in.Kind {
+			case trace.Branch:
+				branches++
+			case trace.Load, trace.Store:
+				mem++
+			}
+		}
+	}
+	fmt.Printf("%s: %d events, %d handler types, %d instructions\n",
+		path, len(events), len(handlers), insts)
+	if insts > 0 {
+		fmt.Printf("  branches: %.1f%%   memory ops: %.1f%%\n",
+			float64(branches)/float64(insts)*100, float64(mem)/float64(insts)*100)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+// Package esp is the public facade of the Event Sneak Peek (ESP)
+// reproduction: a trace-driven microarchitectural simulator for
+// asynchronous programs, implementing the architecture of
+//
+//	Chadha, Mahlke, Narayanasamy — "Accelerating Asynchronous Programs
+//	through Event Sneak Peek", ISCA 2015.
+//
+// A simulation runs one application workload (the seven Web 2.0 sessions
+// of Figure 6, or a custom workload.Profile) through a configured core:
+//
+//	res, err := esp.Run(workload.Amazon(), esp.ESPNLConfig())
+//
+// Config presets correspond to the machine configurations in the paper's
+// figures; the Harness in experiments.go regenerates every figure.
+package esp
+
+import (
+	"fmt"
+
+	"espsim/internal/branch"
+	"espsim/internal/core"
+	"espsim/internal/cpu"
+	"espsim/internal/energy"
+	"espsim/internal/eventq"
+	"espsim/internal/mem"
+	"espsim/internal/prefetch"
+	"espsim/internal/runahead"
+	"espsim/internal/trace"
+	"espsim/internal/workload"
+)
+
+// AssistKind selects the stall-window consumer.
+type AssistKind uint8
+
+const (
+	// AssistNone: the core idles through LLC-miss stalls (baseline).
+	AssistNone AssistKind = iota
+	// AssistRunahead: runahead execution pre-executes the same event.
+	AssistRunahead
+	// AssistESP: Event Sneak Peek pre-executes queued future events.
+	AssistESP
+)
+
+// Config is a complete machine configuration.
+type Config struct {
+	// Name labels the configuration in tables and memoization keys.
+	Name string
+
+	// CPU is the timing-model configuration (zero value: DefaultConfig).
+	CPU cpu.Config
+
+	// NLI enables the next-line instruction prefetcher; NLD the
+	// DCU-style next-line data prefetcher; StridePF the stride
+	// prefetcher.
+	NLI      bool
+	NLD      bool
+	StridePF bool
+
+	// EFetch and PIF enable the §7 comparison instruction prefetchers
+	// (mutually exclusive).
+	EFetch bool
+	PIF    bool
+
+	// Assist selects none / runahead / ESP; RA and ESP configure them.
+	Assist AssistKind
+	RA     runahead.Config
+	ESP    core.Options
+
+	// PerfectL1I, PerfectL1D, PerfectBP idealize structures (Figure 3).
+	PerfectL1I bool
+	PerfectL1D bool
+	PerfectBP  bool
+
+	// MaxEvents truncates the session (0: run everything); MaxPending
+	// widens the queue view past 2 for the Figure 13 study.
+	MaxEvents  int
+	MaxPending int
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	App    string
+	Config string
+
+	Insts  int64
+	Cycles int64
+	IPC    float64
+
+	// IMPKI is L1-I misses per kilo-instruction (Figure 11a); DMissRate
+	// the L1-D miss rate (Figure 11b); MispredictRate the branch
+	// misprediction rate (Figure 12).
+	IMPKI          float64
+	DMissRate      float64
+	MispredictRate float64
+
+	// ExtraInstPct is the percentage of additional (pre-executed)
+	// instructions over the committed ones (Figure 14 annotations).
+	ExtraInstPct float64
+
+	CPU cpu.Stats
+	L1I mem.CacheStats
+	L1D mem.CacheStats
+	L2  mem.CacheStats
+
+	// ESPStats / RAStats are present when the corresponding assist ran.
+	ESPStats *core.Stats
+	RAStats  *runahead.Stats
+
+	// Energy is the absolute Figure 14 breakdown (relative plots divide
+	// by a baseline's Total).
+	Energy energy.Breakdown
+
+	// Study holds Figure 13 working-set samples when
+	// ESP.MeasureWorkingSets was set.
+	Study *core.WorkingSetStudy
+}
+
+// Speedup returns how much faster r is than base (base.Cycles/r.Cycles).
+func (r Result) Speedup(base Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// specSource adapts an eventq.Source to ESP's StreamSource: pre-execution
+// uses the speculative stream variant (the paper's forked-off renderer
+// processes, §5).
+type specSource struct{ src eventq.Source }
+
+// SpecInsts implements core.StreamSource.
+func (s specSource) SpecInsts(ev trace.Event) []trace.Inst {
+	return s.src.Insts(ev.ID, true)
+}
+
+// Run simulates one application profile under one configuration.
+func Run(prof workload.Profile, cfg Config) (Result, error) {
+	sess, err := workload.NewSession(prof)
+	if err != nil {
+		return Result{}, fmt.Errorf("esp: building session: %w", err)
+	}
+	src := eventq.SessionSource{S: sess, MaxPending: cfg.MaxPending}
+	return RunSource(prof.Name, src, cfg)
+}
+
+// RunSource simulates any event source (synthetic session or recorded
+// trace) under one configuration.
+func RunSource(app string, src eventq.Source, cfg Config) (Result, error) {
+	ccfg := cfg.CPU
+	if ccfg.Width == 0 {
+		ccfg = cpu.DefaultConfig()
+	}
+	ccfg.PerfectBP = cfg.PerfectBP
+
+	hier := mem.DefaultHierarchy()
+	hier.PerfectL1I = cfg.PerfectL1I
+	hier.PerfectL1D = cfg.PerfectL1D
+	bp := branch.New()
+	c := cpu.New(ccfg, hier, bp)
+
+	if cfg.NLI {
+		c.NLI = prefetch.NewNextLineI(hier)
+	}
+	if cfg.NLD {
+		c.DCU = prefetch.NewDCU(hier)
+	}
+	if cfg.StridePF {
+		c.Stride = prefetch.NewStride(hier)
+	}
+	switch {
+	case cfg.EFetch && cfg.PIF:
+		return Result{}, fmt.Errorf("esp: EFetch and PIF are mutually exclusive")
+	case cfg.EFetch:
+		c.FetchObs = prefetch.NewEFetch(hier)
+	case cfg.PIF:
+		c.FetchObs = prefetch.NewPIF(hier)
+	}
+
+	var raEng *runahead.Engine
+	switch cfg.Assist {
+	case AssistRunahead:
+		ra := cfg.RA
+		if ra.BaseCPI == 0 {
+			ra = runahead.DefaultConfig()
+		}
+		raEng = runahead.New(ra, hier, bp)
+		c.Assist = raEng
+	case AssistESP:
+		opt := cfg.ESP
+		if opt.BaseCPI == 0 {
+			opt = core.DefaultOptions()
+		}
+		espEng, err := core.New(opt, hier, bp, specSource{src})
+		if err != nil {
+			return Result{}, fmt.Errorf("esp: %w", err)
+		}
+		c.Assist = espEng
+	}
+
+	loop := eventq.Looper{Src: src, Core: c, MaxEvents: cfg.MaxEvents}
+	loop.Run()
+
+	res := Result{
+		App:    app,
+		Config: cfg.Name,
+		Insts:  c.Stats.Insts,
+		Cycles: c.Stats.Cycles,
+		IPC:    c.Stats.IPC(),
+		CPU:    c.Stats,
+		L1I:    hier.L1I.Stats,
+		L1D:    hier.L1D.Stats,
+		L2:     hier.L2.Stats,
+	}
+	if c.Stats.Insts > 0 {
+		res.IMPKI = float64(hier.L1I.Stats.Misses) / float64(c.Stats.Insts) * 1000
+	}
+	res.DMissRate = hier.L1D.Stats.MissRate()
+	res.MispredictRate = c.Stats.MispredictRate()
+
+	var preExec int64
+	act := energy.Activity{
+		Cycles:      c.Stats.Cycles,
+		Insts:       c.Stats.Insts,
+		Branches:    c.Stats.Branches,
+		Mispredicts: c.Stats.Mispredicts,
+		L1IAccesses: hier.L1I.Stats.Accesses,
+		L1DAccesses: hier.L1D.Stats.Accesses,
+		L2Accesses:  hier.L2.Stats.Accesses,
+		MemAccesses: hier.L2.Stats.Misses,
+		Prefetches:  hier.L1I.Stats.PrefetchInstalls + hier.L1D.Stats.PrefetchInstalls,
+	}
+	if esp := getESP(c.Assist); esp != nil {
+		st := esp.Stats
+		res.ESPStats = &st
+		res.Study = esp.Study
+		preExec = st.PreExecInsts
+		act.L2Accesses += st.CacheletFills
+		act.MemAccesses += st.LLCFills
+		act.CacheletOps = st.PreExecInsts
+		act.ListOps = st.PrefetchI + st.PrefetchD + st.Corrections + st.CacheletFills
+	}
+	if raEng != nil {
+		st := raEng.Stats
+		res.RAStats = &st
+		preExec = st.PreExecInsts
+	}
+	act.PreExecInsts = preExec
+	if c.Stats.Insts > 0 {
+		res.ExtraInstPct = float64(preExec) / float64(c.Stats.Insts) * 100
+	}
+	res.Energy = energy.Compute(act, energy.DefaultModel())
+	return res, nil
+}
+
+func getESP(a cpu.Assist) *core.ESP {
+	e, _ := a.(*core.ESP)
+	return e
+}
+
+// MustRun is Run that panics on error, for examples and benchmarks over
+// the known-good built-in profiles.
+func MustRun(prof workload.Profile, cfg Config) Result {
+	r, err := Run(prof, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

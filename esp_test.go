@@ -1,0 +1,266 @@
+package esp
+
+import (
+	"testing"
+
+	"espsim/internal/eventq"
+	"espsim/internal/workload"
+)
+
+// fastProfile returns a reduced session for quick integration tests.
+func fastProfile() workload.Profile {
+	p := workload.Amazon()
+	p.Events = 80
+	return p
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	r, err := Run(fastProfile(), ESPNLConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts <= 0 || r.Cycles <= 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if r.IPC <= 0 || r.IPC > 4 {
+		t.Fatalf("IPC %v outside (0, width]", r.IPC)
+	}
+	if r.IMPKI <= 0 || r.DMissRate <= 0 || r.MispredictRate <= 0 {
+		t.Fatalf("metrics missing: %+v", r)
+	}
+	if r.ESPStats == nil || r.ESPStats.PreExecInsts == 0 {
+		t.Fatal("ESP stats missing")
+	}
+	if r.ExtraInstPct <= 0 {
+		t.Fatal("ESP should execute extra instructions")
+	}
+	if r.Energy.Total() <= 0 {
+		t.Fatal("no energy computed")
+	}
+}
+
+func TestRunRejectsInvalidProfile(t *testing.T) {
+	p := fastProfile()
+	p.Events = 0
+	if _, err := Run(p, BaselineConfig()); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := MustRun(fastProfile(), ESPNLConfig())
+	b := MustRun(fastProfile(), ESPNLConfig())
+	if a.Cycles != b.Cycles || a.Insts != b.Insts || a.CPU != b.CPU {
+		t.Fatalf("simulation not deterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestConfigNamesUnique(t *testing.T) {
+	cfgs := []Config{
+		BaselineConfig(), NLConfig(), NLSConfig(), NLIOnlyConfig(), NLDOnlyConfig(),
+		RunaheadConfig(), RunaheadNLConfig(), RunaheadDConfig(), RunaheadDNLDConfig(),
+		ESPConfig(), ESPNLConfig(), NaiveESPConfig(), NaiveESPNLConfig(),
+		ESPIOnlyNLConfig(), ESPIBNLConfig(), ESPIBDNLConfig(), ESPIOnlyConfig(),
+		ESPIOnlyNLIConfig(), IdealESPINLIConfig(), ESPDOnlyConfig(), ESPDOnlyNLDConfig(),
+		IdealESPDNLDConfig(), ESPBPNoExtraHWConfig(), ESPBPSeparateContextConfig(),
+		ESPBPReplicatedConfig(), ESPBPFullConfig(), PerfectL1DConfig(), PerfectBPConfig(),
+		PerfectL1IConfig(), PerfectAllConfig(), WorkingSetStudyConfig(),
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if c.Name == "" {
+			t.Fatal("config with empty name")
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate config name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestPerfectStructuresAlwaysFaster(t *testing.T) {
+	p := fastProfile()
+	base := MustRun(p, NLSConfig())
+	for _, cfg := range []Config{PerfectL1DConfig(), PerfectBPConfig(), PerfectL1IConfig(), PerfectAllConfig()} {
+		r := MustRun(p, cfg)
+		if r.Cycles >= base.Cycles {
+			t.Errorf("%s (%d cycles) not faster than NL+S (%d)", cfg.Name, r.Cycles, base.Cycles)
+		}
+	}
+	all := MustRun(p, PerfectAllConfig())
+	one := MustRun(p, PerfectL1IConfig())
+	if all.Cycles >= one.Cycles {
+		t.Fatal("perfect-all should beat perfect-L1I alone")
+	}
+}
+
+func TestPerfectBPZeroMispredicts(t *testing.T) {
+	r := MustRun(fastProfile(), PerfectBPConfig())
+	if r.CPU.Mispredicts != 0 {
+		t.Fatalf("perfect BP mispredicted %d times", r.CPU.Mispredicts)
+	}
+}
+
+func TestESPImprovesOnEveryApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite comparison")
+	}
+	for _, p := range workload.Suite() {
+		p := p.Scale(0.4)
+		base := MustRun(p, NLSConfig())
+		e := MustRun(p, ESPNLConfig())
+		if e.Cycles >= base.Cycles {
+			t.Errorf("%s: ESP+NL (%d cycles) not faster than NL+S (%d)", p.Name, e.Cycles, base.Cycles)
+		}
+	}
+}
+
+func TestESPReducesFrontEndMetrics(t *testing.T) {
+	p := fastProfile()
+	base := MustRun(p, NLSConfig())
+	e := MustRun(p, ESPNLConfig())
+	if e.IMPKI >= base.IMPKI {
+		t.Errorf("ESP did not reduce I-MPKI: %.2f vs %.2f", e.IMPKI, base.IMPKI)
+	}
+	if e.MispredictRate >= base.MispredictRate {
+		t.Errorf("ESP did not reduce mispredicts: %.3f vs %.3f", e.MispredictRate, base.MispredictRate)
+	}
+	if e.DMissRate >= base.DMissRate {
+		t.Errorf("ESP did not reduce D misses: %.4f vs %.4f", e.DMissRate, base.DMissRate)
+	}
+}
+
+func TestIdealESPBeatsRealESP(t *testing.T) {
+	p := fastProfile()
+	real := MustRun(p, ESPIOnlyNLIConfig())
+	ideal := MustRun(p, IdealESPINLIConfig())
+	if ideal.IMPKI > real.IMPKI {
+		t.Fatalf("ideal ESP-I MPKI %.2f worse than real %.2f", ideal.IMPKI, real.IMPKI)
+	}
+}
+
+func TestRunaheadBetweenBaselineAndESP(t *testing.T) {
+	p := fastProfile()
+	base := MustRun(p, BaselineConfig())
+	ra := MustRun(p, RunaheadConfig())
+	if ra.Cycles >= base.Cycles {
+		t.Fatal("runahead slower than doing nothing")
+	}
+	if ra.RAStats == nil || ra.RAStats.Episodes == 0 {
+		t.Fatal("runahead never ran")
+	}
+}
+
+func TestEnergyESPCostsMore(t *testing.T) {
+	p := fastProfile()
+	nl := MustRun(p, NLConfig())
+	e := MustRun(p, ESPNLConfig())
+	rel := e.Energy.RelativeTo(nl.Energy).Total()
+	if rel <= 1.0 {
+		t.Fatalf("ESP relative energy %.3f; extra instructions must cost something", rel)
+	}
+	if rel > 1.35 {
+		t.Fatalf("ESP relative energy %.3f implausibly high (paper: ~1.08)", rel)
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	a := Result{Cycles: 100}
+	b := Result{Cycles: 200}
+	if a.Speedup(b) != 2 {
+		t.Fatalf("Speedup = %v", a.Speedup(b))
+	}
+	var zero Result
+	if zero.Speedup(b) != 0 {
+		t.Fatal("zero-cycle result should not divide by zero")
+	}
+}
+
+func TestWorkingSetStudyRun(t *testing.T) {
+	p := fastProfile()
+	p.Events = 60
+	r := MustRun(p, WorkingSetStudyConfig())
+	if r.Study == nil {
+		t.Fatal("study missing")
+	}
+	reports := r.Study.ReportI()
+	if len(reports) != 8 {
+		t.Fatalf("%d mode reports, want 8", len(reports))
+	}
+	if reports[0].Events == 0 {
+		t.Fatal("no ESP-1 samples")
+	}
+	// Deeper modes see monotonically fewer events (§6.6).
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Events > reports[i-1].Events {
+			t.Fatalf("mode %d saw more events than mode %d", i+1, i)
+		}
+	}
+}
+
+func TestEFetchAndPIFConfigsRun(t *testing.T) {
+	p := fastProfile()
+	base := MustRun(p, BaselineConfig())
+	for _, cfg := range []Config{EFetchConfig(), PIFConfig()} {
+		r := MustRun(p, cfg)
+		if r.Cycles >= base.Cycles {
+			t.Errorf("%s (%d cycles) not faster than bare baseline (%d)", cfg.Name, r.Cycles, base.Cycles)
+		}
+	}
+	bad := EFetchConfig()
+	bad.PIF = true
+	if _, err := Run(p, bad); err == nil {
+		t.Fatal("EFetch+PIF should be rejected")
+	}
+}
+
+func TestMultiQueueThroughFacade(t *testing.T) {
+	a := workload.Pixlr()
+	a.Events = 16
+	b := workload.Bing()
+	b.Events = 16
+	sa, err := workload.NewSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := workload.NewSession(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := eventq.NewMultiQueueSource([]*workload.Session{sa, sb}, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunSource("mq", src, ESPNLConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts == 0 || r.ESPStats == nil {
+		t.Fatal("multi-queue run empty")
+	}
+	if r.ESPStats.SlotMismatches == 0 {
+		t.Fatal("20% runtime mispredictions should surface as slot mismatches")
+	}
+}
+
+func TestIdleCoreDesignPoint(t *testing.T) {
+	p := fastProfile()
+	espOnly := MustRun(p, ESPConfig())
+	idle := MustRun(p, IdleCoreConfig())
+	// A dedicated helper core pre-executes continuously, so it covers
+	// more than stall-window-bound ESP — the §7 trade-off: better
+	// performance, at the cost of an entire core.
+	if idle.Cycles >= espOnly.Cycles {
+		t.Fatalf("idle-core (%d cycles) should beat stall-bound ESP (%d)", idle.Cycles, espOnly.Cycles)
+	}
+	if idle.ESPStats.PreExecInsts <= espOnly.ESPStats.PreExecInsts {
+		t.Fatal("idle core should pre-execute more deeply")
+	}
+	// The main pipeline is never disturbed: no exit-flush charges.
+	if idle.CPU.AssistPenalty != 0 {
+		t.Fatalf("idle core charged %d assist-penalty cycles to the main pipeline", idle.CPU.AssistPenalty)
+	}
+	if idle.CPU.StallsUsed != 0 {
+		t.Fatal("idle core must not consume main-core stall windows")
+	}
+}

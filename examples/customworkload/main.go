@@ -1,0 +1,86 @@
+// Customworkload shows how to build a synthetic asynchronous workload
+// from scratch with the workload API and study ESP's sensitivity to the
+// two properties it depends on: how long events sit in the queue before
+// executing, and how often events depend on one another (which makes
+// pre-execution diverge).
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+
+	esp "espsim"
+	"espsim/internal/stats"
+	"espsim/internal/workload"
+)
+
+// iotSensor models an Internet-of-Things sensor hub: a small firmware
+// (tight code), short periodic events, and heavy shared state — one of
+// the other asynchronous domains the paper calls out (§1).
+func iotSensor() workload.Profile {
+	return workload.Profile{
+		Name:             "iot-sensor",
+		Events:           300,
+		MeanEventLen:     3000,
+		EventLenSpread:   0.4,
+		Handlers:         12,
+		HandlerFootprint: 32 << 10,
+		RuntimeFootprint: 128 << 10,
+		RuntimeFrac:      0.3,
+		LoadFrac:         0.24,
+		StoreFrac:        0.12,
+		SharedData:       2 << 20,
+		EventHeap:        2 << 10,
+		SharedFrac:       0.5,
+		StrideFrac:       0.01,
+		HotFrac:          0.8,
+		ReuseFrac:        0.96,
+		HotCallFrac:      0.7,
+		CodeIntensity:    1.0,
+		DataDepBranch:    0.05,
+		DepProb:          0.02,
+		QueueNext:        0.95,
+		QueueSecond:      0.85,
+		Seed:             0x107,
+	}
+}
+
+func main() {
+	fmt.Println("ESP on a custom IoT-style asynchronous workload")
+	fmt.Println()
+
+	// Sensitivity to queue occupancy: ESP can only pre-execute events
+	// that are already enqueued.
+	t := stats.NewTable("Queue-occupancy sensitivity",
+		"P(next visible)", "P(second visible)", "ESP+NL speedup %")
+	for _, q := range []struct{ next, second float64 }{
+		{0.10, 0.02}, {0.50, 0.25}, {0.95, 0.85},
+	} {
+		p := iotSensor()
+		p.QueueNext, p.QueueSecond = q.next, q.second
+		base := esp.MustRun(p, esp.NLSConfig())
+		accel := esp.MustRun(p, esp.ESPNLConfig())
+		t.Add(fmt.Sprintf("%.2f", q.next), fmt.Sprintf("%.2f", q.second),
+			fmt.Sprintf("%.1f", (accel.Speedup(base)-1)*100))
+	}
+	fmt.Println(t)
+
+	// Sensitivity to inter-event dependence: a dependent event's
+	// pre-execution diverges and its gathered hints stop matching.
+	t2 := stats.NewTable("Event-dependence sensitivity",
+		"P(event depends on predecessor)", "ESP+NL speedup %", "JIT corrections")
+	for _, dep := range []float64{0.0, 0.05, 0.25, 0.75} {
+		p := iotSensor()
+		p.DepProb = dep
+		base := esp.MustRun(p, esp.NLSConfig())
+		accel := esp.MustRun(p, esp.ESPNLConfig())
+		t2.Add(fmt.Sprintf("%.2f", dep),
+			fmt.Sprintf("%.1f", (accel.Speedup(base)-1)*100),
+			fmt.Sprintf("%d", accel.ESPStats.Corrections))
+	}
+	fmt.Println(t2)
+	fmt.Println("The paper relies on both properties: events wait tens of microseconds")
+	fmt.Println("in the queue (§2.2) and >99% of pre-executions match the eventual")
+	fmt.Println("normal execution (§5).")
+}

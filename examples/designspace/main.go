@@ -1,0 +1,73 @@
+// Designspace explores ESP's hardware design space: how deep jumping
+// ahead pays off (the paper settles on two modes, §6.6 / Figure 13) and
+// what the cachelets' capacity must be to capture pre-execution reuse.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+
+	esp "espsim"
+	"espsim/internal/core"
+	"espsim/internal/stats"
+	"espsim/internal/workload"
+)
+
+func main() {
+	prof := workload.Amazon()
+	base := esp.MustRun(prof, esp.NLSConfig())
+
+	// Jump-ahead depth sweep: performance and mode usage.
+	t := stats.NewTable("Jump-ahead depth (amazon)",
+		"depth", "speedup % over NL+S", "mode entries")
+	for depth := 1; depth <= 4; depth++ {
+		cfg := esp.ESPNLConfig()
+		cfg.Name = fmt.Sprintf("ESP-depth%d", depth)
+		cfg.ESP.JumpDepth = depth
+		cfg.MaxPending = depth
+		r := esp.MustRun(prof, cfg)
+		entries := ""
+		for m := 0; m < depth; m++ {
+			if m > 0 {
+				entries += " / "
+			}
+			entries += fmt.Sprintf("%d", r.ESPStats.ModeEntries[m])
+		}
+		t.Add(fmt.Sprintf("%d", depth),
+			fmt.Sprintf("%.1f", (r.Speedup(base)-1)*100), entries)
+	}
+	fmt.Println(t)
+	fmt.Println("The paper provisions two modes: deeper modes see little use (§6.6).")
+	fmt.Println()
+
+	// Cachelet sizing sweep (the Figure 13 question).
+	t2 := stats.NewTable("I/D-cachelet capacity (amazon)",
+		"ESP-1 cachelet", "speedup % over NL+S", "cachelet fills")
+	// 11-way cachelets with power-of-two set counts; 5632 B is the
+	// paper's 5.5 KB design point.
+	for _, bytes := range []int{704, 1408, 2816, 5632, 11264, 22528} {
+		cfg := esp.ESPNLConfig()
+		cfg.Name = fmt.Sprintf("ESP-cl%d", bytes)
+		cfg.ESP.Sizes.ICacheletBytes[0] = bytes
+		cfg.ESP.Sizes.ICacheletWays[0] = 11
+		cfg.ESP.Sizes.DCacheletBytes[0] = bytes
+		cfg.ESP.Sizes.DCacheletWays[0] = 11
+		r := esp.MustRun(prof, cfg)
+		t2.Add(fmt.Sprintf("%.1f KB", float64(bytes)/1024),
+			fmt.Sprintf("%.1f", (r.Speedup(base)-1)*100),
+			fmt.Sprintf("%d", r.ESPStats.CacheletFills))
+	}
+	fmt.Println(t2)
+
+	// The Figure 8 hardware budget for the shipped configuration.
+	rows := core.HardwareBudget(core.DefaultSizes())
+	t3 := stats.NewTable("Hardware budget (Figure 8)", "structure", "ESP-1", "ESP-2")
+	for _, row := range rows {
+		t3.Add(row.Structure, fmt.Sprintf("%d B", row.ESP1Bytes), fmt.Sprintf("%d B", row.ESP2Bytes))
+	}
+	t3.Add("total",
+		fmt.Sprintf("%.1f KB", float64(core.BudgetTotal(rows, 0))/1024),
+		fmt.Sprintf("%.1f KB", float64(core.BudgetTotal(rows, 1))/1024))
+	fmt.Println(t3)
+}

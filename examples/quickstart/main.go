@@ -1,0 +1,41 @@
+// Quickstart: simulate one asynchronous web application on the baseline
+// machine and on ESP, and print the headline comparison.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	esp "espsim"
+	"espsim/internal/workload"
+)
+
+func main() {
+	// Pick a workload: the seven paper applications are built in
+	// (amazon, bing, cnn, facebook, gmaps, gdocs, pixlr).
+	app := workload.Amazon()
+
+	// Simulate the paper's baseline: next-line + stride prefetching.
+	base := esp.MustRun(app, esp.NLSConfig())
+
+	// Simulate the same session on an ESP core.
+	accel := esp.MustRun(app, esp.ESPNLConfig())
+
+	fmt.Printf("workload: %s (%d events, %d instructions)\n\n",
+		base.App, app.Events, base.Insts)
+	fmt.Printf("%-22s %14s %14s\n", "", "NL+S baseline", "ESP+NL")
+	fmt.Printf("%-22s %14d %14d\n", "cycles", base.Cycles, accel.Cycles)
+	fmt.Printf("%-22s %14.3f %14.3f\n", "IPC", base.IPC, accel.IPC)
+	fmt.Printf("%-22s %14.2f %14.2f\n", "L1-I MPKI", base.IMPKI, accel.IMPKI)
+	fmt.Printf("%-22s %13.2f%% %13.2f%%\n", "L1-D miss rate", base.DMissRate*100, accel.DMissRate*100)
+	fmt.Printf("%-22s %13.2f%% %13.2f%%\n", "branch mispredicts", base.MispredictRate*100, accel.MispredictRate*100)
+	fmt.Printf("\nESP speedup: %.1f%%  (pre-executed %.1f%% extra instructions)\n",
+		(accel.Speedup(base)-1)*100, accel.ExtraInstPct)
+
+	s := accel.ESPStats
+	fmt.Printf("\nsneak peek activity: %d events pre-executed, %d consumed\n",
+		s.EventsPreExecuted, s.EventsConsumed)
+	fmt.Printf("  prefetches issued: %d instruction, %d data\n", s.PrefetchI, s.PrefetchD)
+	fmt.Printf("  branch mispredictions corrected just-in-time: %d\n", s.Corrections)
+}

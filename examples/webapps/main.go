@@ -1,0 +1,55 @@
+// Webapps sweeps the paper's seven Web 2.0 workloads across the main
+// machine configurations (the Figure 9 comparison): no prefetching,
+// next-line, next-line + stride, runahead execution, and ESP.
+//
+//	go run ./examples/webapps
+package main
+
+import (
+	"fmt"
+
+	esp "espsim"
+	"espsim/internal/stats"
+	"espsim/internal/workload"
+)
+
+func main() {
+	configs := []esp.Config{
+		esp.NLConfig(),
+		esp.NLSConfig(),
+		esp.RunaheadNLConfig(),
+		esp.ESPNLConfig(),
+	}
+
+	t := stats.NewTable(
+		"Performance improvement (%) over the no-prefetch baseline",
+		append([]string{"app"}, configNames(configs)...)...)
+
+	var speedups = make(map[string][]float64)
+	for _, prof := range workload.Suite() {
+		base := esp.MustRun(prof, esp.BaselineConfig())
+		row := []string{prof.Name}
+		for _, cfg := range configs {
+			r := esp.MustRun(prof, cfg)
+			sp := r.Speedup(base)
+			speedups[cfg.Name] = append(speedups[cfg.Name], sp)
+			row = append(row, fmt.Sprintf("%.1f", stats.Improvement(sp)))
+		}
+		t.Add(row...)
+	}
+	hmean := []string{"HMean"}
+	for _, cfg := range configs {
+		hmean = append(hmean, fmt.Sprintf("%.1f", stats.Improvement(stats.HarmonicMean(speedups[cfg.Name]))))
+	}
+	t.Add(hmean...)
+	fmt.Println(t)
+	fmt.Println("Paper (Figure 9 HMeans): NL 13.8, NL+S ~13.9, Runahead+NL 21, ESP+NL 32.")
+}
+
+func configNames(cfgs []esp.Config) []string {
+	names := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		names[i] = c.Name
+	}
+	return names
+}

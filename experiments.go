@@ -1,0 +1,467 @@
+package esp
+
+import (
+	"fmt"
+
+	"espsim/internal/core"
+	"espsim/internal/mem"
+	"espsim/internal/stats"
+	"espsim/internal/trace"
+	"espsim/internal/workload"
+)
+
+// Harness regenerates the paper's evaluation figures (DESIGN.md §4). Each
+// FigN method returns a Figure holding a rendered table plus the raw
+// series, and results are memoized across figures — Figure 9's ESP+NL run
+// is Figure 11's and Figure 14's too.
+type Harness struct {
+	// Scale multiplies every profile's event count (1 = default scaled
+	// sessions; cmd/espbench -scale exposes it).
+	Scale float64
+	// MaxEvents truncates sessions when positive (fast unit tests).
+	MaxEvents int
+
+	results map[string]Result
+}
+
+// NewHarness returns a harness at the default scale.
+func NewHarness() *Harness {
+	return &Harness{Scale: 1, results: make(map[string]Result)}
+}
+
+// Suite returns the benchmark profiles at the harness scale.
+func (h *Harness) Suite() []workload.Profile {
+	ps := workload.Suite()
+	if h.Scale != 1 {
+		for i := range ps {
+			ps[i] = ps[i].Scale(h.Scale)
+		}
+	}
+	return ps
+}
+
+// Run simulates (memoized) one profile under one configuration.
+func (h *Harness) Run(prof workload.Profile, cfg Config) Result {
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = h.MaxEvents
+	}
+	key := fmt.Sprintf("%s/%s/%g/%d", prof.Name, cfg.Name, h.Scale, cfg.MaxEvents)
+	if r, ok := h.results[key]; ok {
+		return r
+	}
+	r, err := Run(prof, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("esp: harness run %s: %v", key, err))
+	}
+	h.results[key] = r
+	return r
+}
+
+// Figure is one regenerated paper figure: a rendered table plus the raw
+// per-application series for programmatic checks.
+type Figure struct {
+	ID    string
+	Title string
+	// PaperNote states what the paper reports, for EXPERIMENTS.md.
+	PaperNote string
+	Apps      []string
+	// Series maps a configuration label to per-application values in
+	// Apps order; Summary holds the suite aggregate per label (the
+	// paper's HMean bars).
+	Series  map[string][]float64
+	Summary map[string]float64
+	// Order lists series labels in figure order.
+	Order []string
+	Table *stats.Table
+}
+
+func appNames(ps []workload.Profile) []string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// improvementFigure runs base and each config per app and tabulates
+// performance improvement (%) over base, with harmonic-mean summary.
+func (h *Harness) improvementFigure(id, title, note string, base Config, cfgs []Config) Figure {
+	ps := h.Suite()
+	fig := Figure{
+		ID: id, Title: title, PaperNote: note,
+		Apps:    appNames(ps),
+		Series:  make(map[string][]float64),
+		Summary: make(map[string]float64),
+	}
+	for _, cfg := range cfgs {
+		fig.Order = append(fig.Order, cfg.Name)
+		var speedups []float64
+		for _, p := range ps {
+			b := h.Run(p, base)
+			r := h.Run(p, cfg)
+			sp := r.Speedup(b)
+			speedups = append(speedups, sp)
+			fig.Series[cfg.Name] = append(fig.Series[cfg.Name], stats.Improvement(sp))
+		}
+		fig.Summary[cfg.Name] = stats.Improvement(stats.HarmonicMean(speedups))
+	}
+	fig.Table = seriesTable(title+" — performance improvement (%) over "+base.Name, &fig, "%.1f")
+	return fig
+}
+
+// metricFigure tabulates a per-result metric for each config and app.
+func (h *Harness) metricFigure(id, title, note string, cfgs []Config, metric func(Result) float64, format string) Figure {
+	ps := h.Suite()
+	fig := Figure{
+		ID: id, Title: title, PaperNote: note,
+		Apps:    appNames(ps),
+		Series:  make(map[string][]float64),
+		Summary: make(map[string]float64),
+	}
+	for _, cfg := range cfgs {
+		fig.Order = append(fig.Order, cfg.Name)
+		var vals []float64
+		for _, p := range ps {
+			v := metric(h.Run(p, cfg))
+			vals = append(vals, v)
+			fig.Series[cfg.Name] = append(fig.Series[cfg.Name], v)
+		}
+		fig.Summary[cfg.Name] = stats.HarmonicMean(vals)
+	}
+	fig.Table = seriesTable(title, &fig, format)
+	return fig
+}
+
+func seriesTable(title string, fig *Figure, format string) *stats.Table {
+	t := stats.NewTable(title, append([]string{"config"}, append(fig.Apps, "HMean")...)...)
+	for _, name := range fig.Order {
+		row := append(fig.Series[name], fig.Summary[name])
+		t.AddF(name, format, row...)
+	}
+	return t
+}
+
+// Fig3 regenerates Figure 3: performance potential with perfect
+// structures, over the NL+S baseline machine.
+func (h *Harness) Fig3() Figure {
+	return h.improvementFigure("fig3",
+		"Figure 3: performance potential in web applications",
+		"Paper: perfect-all nearly doubles performance; perfect L1-I is the largest single factor.",
+		NLSConfig(),
+		[]Config{PerfectL1DConfig(), PerfectBPConfig(), PerfectL1IConfig(), PerfectAllConfig()})
+}
+
+// Fig6 regenerates Figure 6: the benchmark table (paper sessions and the
+// scaled sessions simulated here).
+func (h *Harness) Fig6() Figure {
+	ps := h.Suite()
+	fig := Figure{
+		ID:        "fig6",
+		Title:     "Figure 6: benchmark web applications",
+		PaperNote: "Paper sessions: 465–13,409 events, 26M–2,722M instructions; simulated sessions preserve per-app ratios at reduced scale.",
+		Apps:      appNames(ps),
+	}
+	t := stats.NewTable(fig.Title,
+		"app", "actions performed", "paper events", "paper Minsts", "sim events", "sim insts", "insts/event")
+	for _, p := range ps {
+		sess, err := workload.NewSession(p)
+		if err != nil {
+			panic(err)
+		}
+		total := sess.TotalInsts()
+		actions := p.Actions
+		if len(actions) > 44 {
+			actions = actions[:41] + "..."
+		}
+		t.Add(p.Name,
+			actions,
+			fmt.Sprintf("%d", p.PaperEvents),
+			fmt.Sprintf("%.0f", float64(p.PaperInsts)/1e6),
+			fmt.Sprintf("%d", len(sess.Events)),
+			fmt.Sprintf("%d", total),
+			fmt.Sprintf("%d", total/int64(len(sess.Events))))
+	}
+	fig.Table = t
+	return fig
+}
+
+// Fig8 regenerates Figure 8: ESP's hardware budget.
+func (h *Harness) Fig8() Figure {
+	rows := core.HardwareBudget(core.DefaultSizes())
+	fig := Figure{
+		ID:        "fig8",
+		Title:     "Figure 8: ESP hardware configuration",
+		PaperNote: "Paper: 12.6 KB for ESP-1, 1.2 KB for ESP-2 (13.8 KB total).",
+	}
+	t := stats.NewTable(fig.Title, "structure", "description", "ESP-1", "ESP-2")
+	for _, r := range rows {
+		t.Add(r.Structure, r.Description,
+			fmt.Sprintf("%d B", r.ESP1Bytes), fmt.Sprintf("%d B", r.ESP2Bytes))
+	}
+	t.Add("All HW additions", "",
+		fmt.Sprintf("%.1f KB", float64(core.BudgetTotal(rows, 0))/1024),
+		fmt.Sprintf("%.1f KB", float64(core.BudgetTotal(rows, 1))/1024))
+	fig.Table = t
+	return fig
+}
+
+// Fig9 regenerates Figure 9: ESP vs next-line vs runahead, normalized to
+// the no-prefetching baseline.
+func (h *Harness) Fig9() Figure {
+	return h.improvementFigure("fig9",
+		"Figure 9: performance of ESP, next-line and runahead",
+		"Paper HMeans: NL 13.8%, NL+S ~13.9%, Runahead 12%, Runahead+NL 21%, ESP+NL 32% (16% over NL+S).",
+		BaselineConfig(),
+		[]Config{NLConfig(), NLSConfig(), RunaheadConfig(), RunaheadNLConfig(), ESPConfig(), ESPNLConfig()})
+}
+
+// Fig10 regenerates Figure 10: sources of performance in ESP.
+func (h *Harness) Fig10() Figure {
+	return h.improvementFigure("fig10",
+		"Figure 10: sources of performance in ESP",
+		"Paper: naive ESP gains almost nothing (hurts pixlr); I-lists add 9.1% over NL, B-lists 6%, D-lists 3.3%.",
+		BaselineConfig(),
+		[]Config{NaiveESPConfig(), NaiveESPNLConfig(), ESPIOnlyNLConfig(), ESPIBNLConfig(), ESPIBDNLConfig()})
+}
+
+// Fig11a regenerates Figure 11a: L1 I-cache MPKI.
+func (h *Harness) Fig11a() Figure {
+	return h.metricFigure("fig11a",
+		"Figure 11a: L1-I cache misses per kilo-instruction",
+		"Paper: base ~23.5, NL ~17.5, ESP-I+NL-I ~11.6, close to ideal.",
+		[]Config{BaselineConfig(), NLIOnlyConfig(), ESPIOnlyConfig(), ESPIOnlyNLIConfig(), IdealESPINLIConfig()},
+		func(r Result) float64 { return r.IMPKI }, "%.1f")
+}
+
+// Fig11b regenerates Figure 11b: L1 D-cache miss rate (%).
+func (h *Harness) Fig11b() Figure {
+	return h.metricFigure("fig11b",
+		"Figure 11b: L1-D cache miss rate (%)",
+		"Paper: base 4.4%, ESP-D+NL-D 1.8%, Runahead-D+NL-D 0.8%, ideal ESP-D comparable to runahead.",
+		[]Config{BaselineConfig(), NLDOnlyConfig(), RunaheadDConfig(), RunaheadDNLDConfig(),
+			ESPDOnlyConfig(), ESPDOnlyNLDConfig(), IdealESPDNLDConfig()},
+		func(r Result) float64 { return r.DMissRate * 100 }, "%.2f")
+}
+
+// Fig12 regenerates Figure 12: branch misprediction rate (%) across the
+// predictor design points.
+func (h *Harness) Fig12() Figure {
+	return h.metricFigure("fig12",
+		"Figure 12: branch misprediction rate (%)",
+		"Paper: base 9.9%, naive sharing ~base, replicated tables 7.4%, separate PIR + B-list (ESP) 6.1%.",
+		[]Config{NLSConfig(), ESPBPNoExtraHWConfig(), ESPBPSeparateContextConfig(),
+			ESPBPReplicatedConfig(), ESPBPFullConfig()},
+		func(r Result) float64 { return r.MispredictRate * 100 }, "%.2f")
+}
+
+// Fig13 regenerates Figure 13: pre-execution working-set sizes per ESP
+// mode, aggregated across the suite, plus the normal-mode working set.
+func (h *Harness) Fig13() Figure {
+	ps := h.Suite()
+	study := core.NewWorkingSetStudy(8)
+	for _, p := range ps {
+		r := h.Run(p, WorkingSetStudyConfig())
+		study.Merge(r.Study)
+	}
+	normalMax, normal95 := h.normalWorkingSet(ps)
+
+	fig := Figure{
+		ID:        "fig13",
+		Title:     "Figure 13: I-cachelet working sets (cache lines)",
+		PaperNote: "Paper: 95%-reuse sizing gives ~5.5 KB (88 lines) for ESP-1 and ~0.5 KB (8 lines) for ESP-2; modes beyond ESP-2 see almost no use; normal events are an order of magnitude larger.",
+		Series:    make(map[string][]float64),
+		Summary:   make(map[string]float64),
+	}
+	t := stats.NewTable(fig.Title, "mode", "events", "max lines", "95% reuse", "85% reuse", "75% reuse")
+	t.Add("Normal", "-", fmt.Sprintf("%d", normalMax), fmt.Sprintf("%d", normal95), "-", "-")
+	fig.Series["normal-max"] = []float64{float64(normalMax)}
+	for _, m := range study.ReportI() {
+		t.Add(fmt.Sprintf("ESP%d", m.Mode),
+			fmt.Sprintf("%d", m.Events),
+			fmt.Sprintf("%d", m.MaxLines),
+			fmt.Sprintf("%d", m.Lines95),
+			fmt.Sprintf("%d", m.Lines85),
+			fmt.Sprintf("%d", m.Lines75))
+		key := fmt.Sprintf("ESP%d", m.Mode)
+		fig.Order = append(fig.Order, key)
+		fig.Series[key] = []float64{float64(m.MaxLines), float64(m.Lines95), float64(m.Lines85), float64(m.Lines75)}
+		fig.Summary[key] = float64(m.Lines95)
+	}
+	fig.Table = t
+	return fig
+}
+
+// normalWorkingSet profiles the instruction working sets of events
+// executing normally (the "Normal" bar of Figure 13). It samples a bounded
+// number of events per application.
+func (h *Harness) normalWorkingSet(ps []workload.Profile) (maxLines, lines95 int) {
+	const perApp = 24
+	var all95 []float64
+	for _, p := range ps {
+		sess, err := workload.NewSession(p)
+		if err != nil {
+			panic(err)
+		}
+		n := len(sess.Events)
+		if n > perApp {
+			n = perApp
+		}
+		for i := 0; i < n; i++ {
+			ws := mem.NewWorkingSet()
+			s := sess.Gen.Stream(sess.Events[i], false)
+			last := uint64(0)
+			for {
+				in, ok := s.Next()
+				if !ok {
+					break
+				}
+				if l := trace.Line(in.PC); l != last {
+					ws.Touch(in.PC)
+					last = l
+				}
+			}
+			if u := ws.Unique(); u > maxLines {
+				maxLines = u
+			}
+			all95 = append(all95, float64(ws.LinesFor(0.95)))
+		}
+	}
+	return maxLines, int(stats.Percentile(all95, 0.95))
+}
+
+// Fig14 regenerates Figure 14: energy of ESP+NL relative to NL, with the
+// paper's three-part breakdown and extra-instruction annotations.
+func (h *Harness) Fig14() Figure {
+	ps := h.Suite()
+	fig := Figure{
+		ID:        "fig14",
+		Title:     "Figure 14: energy relative to NL",
+		PaperNote: "Paper: ESP costs ~8% more energy, executing 21.2% more instructions on average.",
+		Apps:      appNames(ps),
+		Series:    make(map[string][]float64),
+		Summary:   make(map[string]float64),
+		Order:     []string{"relative-energy", "extra-inst%"},
+	}
+	t := stats.NewTable(fig.Title,
+		"app", "NL", "ESP+NL", "mispredict", "static", "dynamic", "extra insts %")
+	var rels, extras []float64
+	for _, p := range ps {
+		nl := h.Run(p, NLConfig())
+		e := h.Run(p, ESPNLConfig())
+		rel := e.Energy.RelativeTo(nl.Energy)
+		rels = append(rels, rel.Total())
+		extras = append(extras, e.ExtraInstPct)
+		fig.Series["relative-energy"] = append(fig.Series["relative-energy"], rel.Total())
+		fig.Series["extra-inst%"] = append(fig.Series["extra-inst%"], e.ExtraInstPct)
+		t.Add(p.Name, "1.00",
+			fmt.Sprintf("%.2f", rel.Total()),
+			fmt.Sprintf("%.2f", rel.Mispredict),
+			fmt.Sprintf("%.2f", rel.Static),
+			fmt.Sprintf("%.2f", rel.Dynamic),
+			fmt.Sprintf("%.1f", e.ExtraInstPct))
+	}
+	fig.Summary["relative-energy"] = stats.Mean(rels)
+	fig.Summary["extra-inst%"] = stats.Mean(extras)
+	t.Add("Mean", "1.00",
+		fmt.Sprintf("%.2f", fig.Summary["relative-energy"]), "", "", "",
+		fmt.Sprintf("%.1f", fig.Summary["extra-inst%"]))
+	fig.Table = t
+	return fig
+}
+
+// FigRelated regenerates the §7 related-work comparison: ESP against the
+// event-aware instruction prefetchers EFetch and PIF, with their hardware
+// budgets. The paper reports ESP attaining 6% more performance than
+// EFetch at 3× less hardware and 10% more than PIF at 15× less.
+func (h *Harness) FigRelated() Figure {
+	fig := h.improvementFigure("related",
+		"Section 7: ESP vs event-aware instruction prefetchers",
+		"Paper: ESP beats EFetch by 6% with 3x less hardware, and PIF by 10% with 15x less; §7 also argues an idle helper core could do ESP's job but costs a core plus live-in/list transfer overheads.",
+		BaselineConfig(),
+		[]Config{NLIOnlyConfig(), EFetchConfig(), PIFConfig(), IdleCoreConfig(), ESPConfig(), ESPNLConfig()})
+	budgets := map[string]string{
+		"NL-I": "~0 KB", "EFetch": "~39 KB", "PIF": "~190 KB",
+		"IdleCore": "a full core", "ESP": "13.8 KB", "ESP+NL": "13.8 KB",
+	}
+	t := stats.NewTable(fig.Title, "config", "HW budget", "improvement % over base (HMean)")
+	for _, name := range fig.Order {
+		t.Add(name, budgets[name], fmt.Sprintf("%.1f", fig.Summary[name]))
+	}
+	fig.Table = t
+	return fig
+}
+
+// Headline computes the abstract's summary metrics: ESP+NL speedup over
+// the NL+S baseline (paper: 16%), I-MPKI (17.5 → 11.6), L1-D miss rate,
+// and misprediction rate (9.9% → 6.1%).
+func (h *Harness) Headline() *stats.Table {
+	ps := h.Suite()
+	var spESP, spRA []float64
+	var mpkiNL, mpkiESP, dNL, dESP, bNL, bESP []float64
+	for _, p := range ps {
+		base := h.Run(p, NLSConfig())
+		e := h.Run(p, ESPNLConfig())
+		ra := h.Run(p, RunaheadNLConfig())
+		spESP = append(spESP, e.Speedup(base))
+		spRA = append(spRA, ra.Speedup(base))
+		mpkiNL = append(mpkiNL, base.IMPKI)
+		mpkiESP = append(mpkiESP, e.IMPKI)
+		dNL = append(dNL, base.DMissRate*100)
+		dESP = append(dESP, e.DMissRate*100)
+		bNL = append(bNL, base.MispredictRate*100)
+		bESP = append(bESP, e.MispredictRate*100)
+	}
+	t := stats.NewTable("Headline (abstract) metrics", "metric", "paper", "measured")
+	t.Add("ESP+NL speedup over NL+S (HMean %)", "16",
+		fmt.Sprintf("%.1f", stats.Improvement(stats.HarmonicMean(spESP))))
+	t.Add("Runahead+NL speedup over NL+S (HMean %)", "6.4",
+		fmt.Sprintf("%.1f", stats.Improvement(stats.HarmonicMean(spRA))))
+	t.Add("L1-I MPKI: NL+S -> ESP+NL", "17.5 -> 11.6",
+		fmt.Sprintf("%.1f -> %.1f", stats.HarmonicMean(mpkiNL), stats.HarmonicMean(mpkiESP)))
+	t.Add("L1-D miss rate %: NL+S -> ESP+NL", "3.2 -> 1.8",
+		fmt.Sprintf("%.1f -> %.1f", stats.HarmonicMean(dNL), stats.HarmonicMean(dESP)))
+	t.Add("Branch mispredict %: NL+S -> ESP+NL", "9.9 -> 6.1",
+		fmt.Sprintf("%.1f -> %.1f", stats.HarmonicMean(bNL), stats.HarmonicMean(bESP)))
+	return t
+}
+
+// SeedStudy re-runs one application's headline comparison across
+// perturbed workload seeds: the sessions are deterministic, so this is
+// the robustness check that the measured speedups are properties of the
+// workload's statistics rather than of one lucky seed.
+func (h *Harness) SeedStudy(prof workload.Profile, n int) *stats.Table {
+	var imps []float64
+	for k := 0; k < n; k++ {
+		p := prof
+		p.Seed = workload.Hash2(prof.Seed, uint64(k))
+		p.Name = fmt.Sprintf("%s#%d", prof.Name, k)
+		base := h.Run(p, NLSConfig())
+		e := h.Run(p, ESPNLConfig())
+		imps = append(imps, stats.Improvement(e.Speedup(base)))
+	}
+	min, max := imps[0], imps[0]
+	for _, v := range imps {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Seed robustness: ESP+NL over NL+S on %s (%d seeds)", prof.Name, n),
+		"statistic", "improvement %")
+	t.AddF("min", "%.1f", min)
+	t.AddF("mean", "%.1f", stats.Mean(imps))
+	t.AddF("max", "%.1f", max)
+	return t
+}
+
+// AllFigures regenerates every figure, in paper order.
+func (h *Harness) AllFigures() []Figure {
+	return []Figure{
+		h.Fig3(), h.Fig6(), h.Fig8(), h.Fig9(), h.Fig10(),
+		h.Fig11a(), h.Fig11b(), h.Fig12(), h.Fig13(), h.Fig14(),
+		h.FigRelated(),
+	}
+}

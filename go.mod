@@ -1,0 +1,3 @@
+module espsim
+
+go 1.22

@@ -1,0 +1,331 @@
+// Package branch models the Pentium M-style branch predictor the paper's
+// baseline uses (Figure 7, [35]): a PIR-hashed tagged global predictor, a
+// bimodal local predictor, BTB and iBTB target tables, a loop predictor
+// and a return address stack.
+//
+// The Path Information Register (PIR) is the piece of state ESP
+// replicates per execution context (§3.4, §4.3): preserving it across the
+// control switches between the normal event and the pre-executed events
+// avoids cross-event pollution of the global predictor's index stream.
+package branch
+
+import "espsim/internal/trace"
+
+// Table sizes (Figure 7).
+const (
+	globalEntries = 2048
+	localEntries  = 4096
+	btbSets       = 512 // 2048 entries, 4-way
+	btbWays       = 4
+	ibtbEntries   = 256
+	loopEntries   = 256
+	rasEntries    = 16
+
+	pirBits = 15
+	pirMask = 1<<pirBits - 1
+)
+
+// Stats counts conditional-direction and target outcomes.
+type Stats struct {
+	// Branches counts every executed branch; Mispredicts counts those
+	// whose predicted direction or target was wrong.
+	Branches    int64
+	Mispredicts int64
+}
+
+// MispredictRate returns Mispredicts/Branches.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+type globalEntry struct {
+	tag     uint16
+	counter uint8 // 2-bit saturating
+	valid   bool
+}
+
+type targetEntry struct {
+	tag    uint32
+	target uint64
+	valid  bool
+}
+
+type loopEntry struct {
+	tag   uint32
+	trip  uint16 // learned iteration count
+	cur   uint16 // current iteration
+	conf  uint8  // confidence the trip count repeats
+	valid bool
+}
+
+// Prediction is the front end's guess for one branch.
+type Prediction struct {
+	// Taken is the predicted direction (always true for unconditional
+	// branches once their type is known to the front end).
+	Taken bool
+	// Target is the predicted target when Taken.
+	Target uint64
+}
+
+// Predictor is the complete predictor state. It is deliberately a plain
+// value-struct of arrays so the "separate context and tables" design
+// point of Figure 12 can replicate it wholesale.
+type Predictor struct {
+	pir uint64
+
+	global [globalEntries]globalEntry
+	local  [localEntries]uint8 // 2-bit saturating counters
+	btb    [btbSets][btbWays]targetEntry
+	ibtb   [ibtbEntries]targetEntry
+	loop   [loopEntries]loopEntry
+
+	ras    [rasEntries]uint64
+	rasTop int
+
+	// LoopReadOnly freezes the loop predictor's iteration counters:
+	// pre-executions predict with them but do not advance them, since an
+	// interleaved future event would desynchronize the counts the normal
+	// event is mid-way through.
+	LoopReadOnly bool
+
+	// Stats accumulates outcomes observed by Resolve.
+	Stats Stats
+}
+
+// New returns a predictor with weakly-not-taken counters and empty tables.
+func New() *Predictor {
+	p := &Predictor{}
+	for i := range p.local {
+		p.local[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+// PIR returns the current path information register, for per-context
+// save/restore (ESP replicates one PIR per execution context).
+func (p *Predictor) PIR() uint64 { return p.pir }
+
+// SetPIR installs a saved path information register.
+func (p *Predictor) SetPIR(v uint64) { p.pir = v & pirMask }
+
+// ClearRAS empties the return address stack; ESP does this when returning
+// from a pre-execution, since the stack may hold pre-executed frames
+// (§4.1).
+func (p *Predictor) ClearRAS() { p.rasTop = 0 }
+
+// RASState is a checkpoint of the return address stack. Runahead
+// execution checkpoints and restores it around a runahead episode.
+type RASState struct {
+	stack [rasEntries]uint64
+	top   int
+}
+
+// SnapshotRAS captures the return address stack.
+func (p *Predictor) SnapshotRAS() RASState { return RASState{stack: p.ras, top: p.rasTop} }
+
+// RestoreRAS reinstates a snapshot taken by SnapshotRAS.
+func (p *Predictor) RestoreRAS(s RASState) { p.ras, p.rasTop = s.stack, s.top }
+
+func (p *Predictor) globalIndex(pc uint64) (idx int, tag uint16) {
+	h := (pc >> 2) ^ (p.pir << 3) ^ (p.pir >> 7)
+	return int(h % globalEntries), uint16((pc>>13 ^ p.pir) & 0x3f)
+}
+
+// Predict returns the front end's guess for the branch in. The dynamic
+// fields of in that a real front end would not know (Taken, Target) are
+// not consulted; only PC and the statically-known type bits are.
+func (p *Predictor) Predict(in trace.Inst) Prediction {
+	var pred Prediction
+	// Direction.
+	switch {
+	case in.Indirect || in.Call || in.Ret:
+		pred.Taken = true
+	default:
+		pred.Taken = p.predictDirection(in.PC)
+	}
+	// Target.
+	switch {
+	case in.Ret:
+		if p.rasTop > 0 {
+			pred.Target = p.ras[p.rasTop-1]
+		}
+	case in.Indirect:
+		e := &p.ibtb[p.indirectIndex(in.PC)]
+		if e.valid && e.tag == uint32(in.PC>>2) {
+			pred.Target = e.target
+		}
+	default:
+		set := &p.btb[(in.PC>>2)%btbSets]
+		for i := range set {
+			if set[i].valid && set[i].tag == uint32(in.PC>>2) {
+				pred.Target = set[i].target
+				break
+			}
+		}
+	}
+	return pred
+}
+
+func (p *Predictor) indirectIndex(pc uint64) int {
+	return int(((pc >> 2) ^ (p.pir << 1)) % ibtbEntries)
+}
+
+func (p *Predictor) predictDirection(pc uint64) bool {
+	// Loop predictor has the highest priority when confident.
+	le := &p.loop[(pc>>2)%loopEntries]
+	if le.valid && le.tag == uint32(pc>>2) && le.conf >= 2 {
+		return le.cur+1 < le.trip
+	}
+	// Tagged global predictor next.
+	idx, tag := p.globalIndex(pc)
+	if g := &p.global[idx]; g.valid && g.tag == tag {
+		return g.counter >= 2
+	}
+	// Bimodal fallback.
+	return p.local[(pc>>2)%localEntries] >= 2
+}
+
+// Update trains the predictor with the architectural outcome of in and
+// advances the PIR and RAS. It must be called for every executed branch,
+// in order, after Predict.
+func (p *Predictor) Update(in trace.Inst) {
+	if !in.Indirect && !in.Call && !in.Ret {
+		p.updateDirection(in)
+	}
+	// Target structures.
+	switch {
+	case in.Ret:
+		if p.rasTop > 0 {
+			p.rasTop--
+		}
+	case in.Indirect:
+		e := &p.ibtb[p.indirectIndex(in.PC)]
+		*e = targetEntry{tag: uint32(in.PC >> 2), target: in.Target, valid: true}
+		if in.Call && p.rasTop < rasEntries {
+			p.ras[p.rasTop] = in.PC + trace.InstBytes
+			p.rasTop++
+		}
+	default:
+		if in.Taken {
+			p.btbInsert(in.PC, in.Target)
+		}
+		if in.Call && p.rasTop < rasEntries {
+			p.ras[p.rasTop] = in.PC + trace.InstBytes
+			p.rasTop++
+		}
+	}
+	// Path history: mix the branch PC (and target when taken).
+	upd := in.PC >> 2
+	if in.Taken {
+		upd ^= in.Target >> 3
+	}
+	p.pir = ((p.pir << 2) ^ upd) & pirMask
+}
+
+// btbInsert installs pc's target in its 4-way BTB set with LRU order
+// (index 0 is MRU).
+func (p *Predictor) btbInsert(pc, target uint64) {
+	set := &p.btb[(pc>>2)%btbSets]
+	tag := uint32(pc >> 2)
+	hit := btbWays - 1
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			hit = i
+			break
+		}
+	}
+	copy(set[1:hit+1], set[:hit])
+	set[0] = targetEntry{tag: tag, target: target, valid: true}
+}
+
+func (p *Predictor) updateDirection(in trace.Inst) {
+	// Loop predictor: learn trip counts of backward branches.
+	if !p.LoopReadOnly {
+		le := &p.loop[(in.PC>>2)%loopEntries]
+		if !le.valid || le.tag != uint32(in.PC>>2) {
+			*le = loopEntry{tag: uint32(in.PC >> 2), valid: true}
+		}
+		if in.Taken {
+			if le.cur < ^uint16(0) {
+				le.cur++
+			}
+		} else {
+			observed := le.cur + 1
+			if observed == le.trip {
+				if le.conf < 3 {
+					le.conf++
+				}
+			} else {
+				le.trip = observed
+				le.conf = 0
+			}
+			le.cur = 0
+		}
+	}
+
+	// Global predictor: allocate on tag miss, train counter.
+	idx, tag := p.globalIndex(in.PC)
+	g := &p.global[idx]
+	if !g.valid || g.tag != tag {
+		c := uint8(1)
+		if in.Taken {
+			c = 2
+		}
+		*g = globalEntry{tag: tag, counter: c, valid: true}
+	} else {
+		g.counter = saturate(g.counter, in.Taken)
+	}
+
+	// Bimodal.
+	li := (in.PC >> 2) % localEntries
+	p.local[li] = saturate(p.local[li], in.Taken)
+}
+
+func saturate(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	return c
+}
+
+// Resolve predicts, trains, and accounts for the branch in a single step.
+// It returns true when the branch was mispredicted (wrong direction, or
+// right direction with wrong target).
+func (p *Predictor) Resolve(in trace.Inst) bool {
+	pred := p.Predict(in)
+	miss := Mispredicted(pred, in)
+	p.Update(in)
+	p.Stats.Branches++
+	if miss {
+		p.Stats.Mispredicts++
+	}
+	return miss
+}
+
+// Mispredicted reports whether prediction pred was wrong for the
+// architectural outcome in: a wrong direction, or a wrong target for a
+// branch whose target only the execution stage can compute (indirect
+// branches and returns).
+func Mispredicted(pred Prediction, in trace.Inst) bool {
+	if pred.Taken != in.Taken {
+		return true
+	}
+	return in.Taken && (in.Indirect || in.Ret) && pred.Target != in.Target
+}
+
+// Misfetched reports whether a correctly-predicted direct branch lacked
+// its target in the BTB: the decoder re-steers fetch with a short bubble
+// (a misfetch), much cheaper than a full misprediction flush.
+func Misfetched(pred Prediction, in trace.Inst) bool {
+	if Mispredicted(pred, in) || !in.Taken || in.Indirect || in.Ret {
+		return false
+	}
+	return pred.Target != in.Target
+}

@@ -1,0 +1,724 @@
+package core
+
+import (
+	"fmt"
+
+	"espsim/internal/branch"
+	"espsim/internal/cpu"
+	"espsim/internal/mem"
+	"espsim/internal/trace"
+)
+
+// StreamSource materializes the speculative pre-execution stream of a
+// queued event (the paper's forked-off renderer executions, §5).
+type StreamSource interface {
+	SpecInsts(ev trace.Event) []trace.Inst
+}
+
+// Stats counts ESP activity.
+type Stats struct {
+	// PreExecInsts is the extra instructions executed in ESP modes — the
+	// paper reports +21.2% on average (Figure 14).
+	PreExecInsts int64
+	// CacheletFills counts cachelet misses filled from L2/memory;
+	// LLCFills those that had to go to memory (mode-escalation points).
+	CacheletFills int64
+	LLCFills      int64
+	// ModeEntries[i] counts entries into ESP-(i+1).
+	ModeEntries [8]int64
+	// PrefetchI/PrefetchD count list prefetches issued in normal mode;
+	// SkippedLate those suppressed for arriving hopelessly late.
+	PrefetchI   int64
+	PrefetchD   int64
+	SkippedLate int64
+	// Corrections counts branches fixed by just-in-time B-list training.
+	Corrections int64
+	// ListFull counts records dropped because a list filled up; RecI,
+	// RecD and RecB count records accepted into each list kind.
+	ListFull int64
+	RecI     int64
+	RecD     int64
+	RecB     int64
+	// DirtyHazards counts dirty D-cachelet evictions; Poisonings the
+	// pre-executions degraded by one (§4.4).
+	DirtyHazards int64
+	Poisonings   int64
+	// EventsPreExecuted counts events that got any pre-execution;
+	// EventsConsumed those whose records were used in normal mode;
+	// SlotMismatches queue-prediction misses that discarded records.
+	EventsPreExecuted int64
+	EventsConsumed    int64
+	SlotMismatches    int64
+}
+
+// slot is one hardware event-queue entry plus the per-mode execution
+// context of the event it tracks: its speculative stream position (the
+// re-entrancy state of §3.4), PIR, cachelets and prediction lists.
+type slot struct {
+	ev    trace.Event
+	valid bool
+
+	// started is the EU ("execution underway") bit of §4.1.
+	started bool
+	insts   []trace.Inst
+	pos     int
+
+	fetchLine uint64
+	haveLine  bool
+
+	pir     uint64
+	ras     branch.RASState
+	replica *branch.Predictor
+
+	icl *mem.Cache
+	dcl *mem.Cache
+
+	ilist accessList
+	dlist accessList
+	blist branchList
+
+	hazards  int
+	poisoned bool
+
+	// delay is the remaining live-in transfer time before an idle-core
+	// helper may start pre-executing this event (§7 alternative).
+	delay float64
+
+	preExecuted bool
+
+	// ws holds per-mode reuse profilers for the Figure 13 study.
+	ws map[int]*wsPair
+}
+
+type wsPair struct {
+	i *mem.WorkingSet
+	d *mem.WorkingSet
+}
+
+// listsFull reports whether none of the three prediction lists can hold
+// even a minimal further record: pre-executing this event gathers
+// nothing. Space can reappear as the normal event drains the shared
+// circular queue, so this is re-evaluated per stall.
+func (s *slot) listsFull() bool {
+	return s.ilist.full() && s.dlist.full() && s.blist.fullDir()
+}
+
+// ESP is the Event Sneak Peek engine; it implements cpu.Assist.
+type ESP struct {
+	Opt  Options
+	Hier *mem.Hierarchy
+	BP   *branch.Predictor
+	Src  StreamSource
+
+	// Stats accumulates across the run.
+	Stats Stats
+
+	slots []*slot
+
+	// Consumption state for the current normal event.
+	cons                *slot
+	consI, consD, consB int
+	curIdx              int
+
+	// idleBudget accumulates helper-core cycles in the IdleCore design.
+	idleBudget float64
+
+	// Study collects Figure 13 working-set samples when enabled.
+	Study *WorkingSetStudy
+}
+
+// New returns an ESP engine sharing the core's hierarchy and predictor.
+func New(opt Options, h *mem.Hierarchy, bp *branch.Predictor, src StreamSource) (*ESP, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	e := &ESP{Opt: opt, Hier: h, BP: bp, Src: src}
+	e.slots = make([]*slot, opt.JumpDepth)
+	for i := range e.slots {
+		e.slots[i] = &slot{}
+	}
+	if opt.MeasureWorkingSets {
+		e.Study = NewWorkingSetStudy(opt.JumpDepth)
+	}
+	return e, nil
+}
+
+// MustNew is New that panics on invalid options.
+func MustNew(opt Options, h *mem.Hierarchy, bp *branch.Predictor, src StreamSource) *ESP {
+	e, err := New(opt, h, bp, src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// resetSlot points a slot at a (new) future event, discarding any state
+// from a previous occupant.
+func (e *ESP) resetSlot(s *slot, depth int, ev trace.Event, valid bool) {
+	m := e.Opt.Sizes.mode(depth)
+	sz := e.Opt.Sizes
+	*s = slot{
+		ev:    ev,
+		valid: valid,
+		icl:   e.cachelet("I-cachelet", sz.ICacheletBytes[m], sz.ICacheletWays[m]),
+		dcl:   e.cachelet("D-cachelet", sz.DCacheletBytes[m], sz.DCacheletWays[m]),
+		ilist: newAccessList(sz.IListBytes[m]),
+		dlist: newAccessList(sz.DListBytes[m]),
+		blist: newBranchList(sz.BListDirBytes[m], sz.BListTgtBytes[m]),
+	}
+	if e.Opt.Ideal {
+		s.icl = e.cachelet("I-cachelet", 4<<20, 16)
+		s.dcl = e.cachelet("D-cachelet", 4<<20, 16)
+		s.ilist.unbounded()
+		s.dlist.unbounded()
+		s.blist.unbounded()
+	}
+	if valid {
+		s.pir = e.BP.PIR()
+	}
+	if valid && e.Opt.IdleCore {
+		s.delay = float64(e.Opt.IdleTransfer)
+	}
+}
+
+func (e *ESP) cachelet(name string, bytes, ways int) *mem.Cache {
+	c, err := mem.NewCache(name, bytes, ways)
+	if err != nil {
+		panic(fmt.Sprintf("core: bad cachelet geometry: %v", err))
+	}
+	return c
+}
+
+// promote upgrades a slot that moved one step closer to execution: its
+// cachelet contents migrate into the larger ESP-1 cachelets (the event
+// keeps its reserved way and gains ten more, §4.2) and its lists move to
+// the larger circular queues.
+func (e *ESP) promote(s *slot, newDepth int) {
+	if !s.valid || e.Opt.Ideal {
+		return
+	}
+	m := e.Opt.Sizes.mode(newDepth)
+	om := e.Opt.Sizes.mode(newDepth + 1)
+	if m == om {
+		return
+	}
+	sz := e.Opt.Sizes
+	icl := e.cachelet("I-cachelet", sz.ICacheletBytes[m], sz.ICacheletWays[m])
+	for _, l := range s.icl.Lines() {
+		icl.Install(l, false)
+	}
+	dcl := e.cachelet("D-cachelet", sz.DCacheletBytes[m], sz.DCacheletWays[m])
+	for _, l := range s.dcl.Lines() {
+		dcl.Install(l, false)
+	}
+	s.icl, s.dcl = icl, dcl
+	s.ilist.setCapacity(sz.IListBytes[m])
+	s.dlist.setCapacity(sz.DListBytes[m])
+	s.blist.setCapacity(sz.BListDirBytes[m], sz.BListTgtBytes[m])
+}
+
+// EventStart implements cpu.Assist: rotate the hardware event queue,
+// activate the departing slot's records for consumption, and resync the
+// queue with the software queue's pending events.
+func (e *ESP) EventStart(ev trace.Event, _ []trace.Inst, pending []trace.Event) {
+	// The slot that tracked this event supplies the prediction records.
+	e.cons = nil
+	if s := e.slots[0]; s.valid && s.ev.ID == ev.ID {
+		e.finishStudy(s)
+		if s.preExecuted {
+			e.cons = s
+			e.Stats.EventsConsumed++
+			if e.Opt.BPMode == BPReplicate && s.replica != nil {
+				e.installReplica(s.replica)
+			}
+		}
+	} else if e.slots[0].valid {
+		// The software runtime predicted the wrong next event (§4.5):
+		// the "incorrect prediction" bit discards the gathered records.
+		e.Stats.SlotMismatches++
+		e.finishStudy(e.slots[0])
+	}
+	e.consI, e.consD, e.consB = 0, 0, 0
+	e.curIdx = -e.Opt.PreEventWindow
+	if e.Opt.IdleCore {
+		// The gathered lists are shipped back from the helper core: the
+		// pre-event head start is spent on the transfer.
+		e.curIdx = 0
+	}
+
+	// Rotate: every remaining slot moves one position forward. The
+	// departing slot may live on as e.cons until this event ends.
+	copy(e.slots, e.slots[1:])
+	e.slots[len(e.slots)-1] = &slot{}
+
+	// Resync slots with the pending events now visible in the queue.
+	for i := range e.slots {
+		s := e.slots[i]
+		if i < len(pending) {
+			if s.valid && s.ev.ID == pending[i].ID {
+				e.promote(s, i)
+				continue
+			}
+			if s.valid {
+				e.Stats.SlotMismatches++
+				e.finishStudy(s)
+			}
+			e.resetSlot(s, i, pending[i], true)
+		} else if s.valid {
+			// No longer visible in the software queue: drop it.
+			e.finishStudy(s)
+			e.resetSlot(s, i, trace.Event{}, false)
+		}
+	}
+
+	// The new ESP-1 entry records into the same physical circular queues
+	// the departing event is still consuming from (§4.2): its capacity
+	// grows as consumption drains them.
+	e.updateReservations()
+
+	// Pre-event window: the looper's queue-management instructions give
+	// list prefetches a head start (§3.6).
+	e.advanceConsumption()
+}
+
+// updateReservations charges the unconsumed tail of the current event's
+// records against the ESP-1 slot's list capacity.
+func (e *ESP) updateReservations() {
+	s := e.slots[0]
+	if s == e.cons {
+		return // defensive: never self-reserve
+	}
+	if e.cons == nil {
+		s.ilist.setReserved(0)
+		s.dlist.setReserved(0)
+		s.blist.setReserved(0)
+		return
+	}
+	s.ilist.setReserved(e.cons.ilist.remainingBits(e.consI))
+	s.dlist.setReserved(e.cons.dlist.remainingBits(e.consD))
+	s.blist.setReserved(e.cons.blist.remainingBits(e.consB))
+}
+
+// EventEnd implements cpu.Assist.
+func (e *ESP) EventEnd(trace.Event) {
+	e.cons = nil
+	e.updateReservations()
+}
+
+// OnInst implements cpu.Assist: track progress and issue timely list
+// prefetches PrefetchLead instructions ahead of their recorded use.
+func (e *ESP) OnInst(idx int) {
+	e.curIdx = idx
+	if e.cons != nil {
+		e.advanceConsumption()
+		e.updateReservations()
+	}
+	if e.Opt.IdleCore {
+		// The helper core runs continuously alongside the main core.
+		e.idleBudget += idleCycleRate
+		if e.idleBudget >= idleQuantum {
+			b := e.idleBudget
+			e.idleBudget = 0
+			e.runWindow(b)
+		}
+	}
+}
+
+// idleCycleRate approximates the helper-core cycles that pass per
+// main-core instruction (the main core's CPI); idleQuantum batches the
+// helper's simulation for efficiency.
+const (
+	idleCycleRate = 1.8
+	idleQuantum   = 256
+)
+
+func (e *ESP) advanceConsumption() {
+	c := e.cons
+	if c == nil {
+		return
+	}
+	horizon := int32(e.curIdx + e.Opt.PrefetchLead)
+	minLead := int32(e.Opt.MinLead)
+	if e.Opt.Ideal {
+		minLead = 0
+	}
+	if e.Opt.UseI {
+		for e.consI < len(c.ilist.recs) && c.ilist.recs[e.consI].Count <= horizon {
+			r := c.ilist.recs[e.consI]
+			e.consI++
+			if r.Count-int32(e.curIdx) < minLead {
+				e.Stats.SkippedLate++
+				continue
+			}
+			e.Hier.PrefetchI(r.Line)
+			e.Stats.PrefetchI++
+		}
+	}
+	if e.Opt.UseD {
+		for e.consD < len(c.dlist.recs) && c.dlist.recs[e.consD].Count <= horizon {
+			r := c.dlist.recs[e.consD]
+			e.consD++
+			if r.Count-int32(e.curIdx) < minLead {
+				e.Stats.SkippedLate++
+				continue
+			}
+			e.Hier.PrefetchD(r.Line)
+			e.Stats.PrefetchD++
+		}
+	}
+	if e.Opt.UseB {
+		// Drop stale records (divergence leaves unmatched entries behind).
+		for e.consB < len(c.blist.recs) && c.blist.recs[e.consB].Count < int32(e.curIdx) {
+			e.consB++
+		}
+	}
+}
+
+// CorrectBranch implements cpu.Assist: just-in-time training from the
+// B-lists guarantees a correct prediction for branches the pre-execution
+// saw mispredicted (§3.6, §4.3).
+func (e *ESP) CorrectBranch(idx int, in trace.Inst) bool {
+	c := e.cons
+	if c == nil || !e.Opt.UseB {
+		return false
+	}
+	for e.consB < len(c.blist.recs) && c.blist.recs[e.consB].Count < int32(idx) {
+		e.consB++
+	}
+	if e.consB < len(c.blist.recs) {
+		r := c.blist.recs[e.consB]
+		if r.Count == int32(idx) && r.PC == in.PC {
+			e.consB++
+			e.Stats.Corrections++
+			return true
+		}
+	}
+	return false
+}
+
+// misfetchCost is the decoder re-steer bubble paid inside pre-execution
+// when a direct branch misses the BTB.
+const misfetchCost = 5
+
+// preExecResult describes why a pre-execution step stopped.
+type preExecResult uint8
+
+const (
+	preExecBudget preExecResult = iota // stall window exhausted
+	preExecEnd                         // event's stream ended
+	preExecLLC                         // cachelet fill missed the LLC
+)
+
+// OnStall implements cpu.Assist: jump ahead into pending events for the
+// duration of the stall window (§3.1, §3.2). Within the window the
+// controller switches between the pending-event contexts whenever the
+// active one blocks on an LLC fill: the fill proceeds in the background
+// while another queued event pre-executes, and the blocked context
+// resumes as soon as its line returns — the re-entrant execution contexts
+// of §3.4 make the switch a PIR/RRAT swap.
+func (e *ESP) OnStall(_ cpu.StallKind, _ int, budget int) bool {
+	if e.Opt.IdleCore {
+		// The idle-core design leaves the main core's stalls idle: all
+		// pre-execution happens on the helper (driven from OnInst).
+		return false
+	}
+	if budget < e.Opt.MinWindow {
+		return false
+	}
+	return e.runWindow(float64(budget))
+}
+
+// runWindow pre-executes pending events for a window of cycles — a stall
+// window in the ESP design, a helper-core quantum in the idle-core one.
+func (e *ESP) runWindow(window float64) bool {
+	before := e.Stats.PreExecInsts
+	t := 0.0
+	n := len(e.slots)
+	readyAt := make([]float64, n)
+	done := make([]bool, n)
+	for t < window {
+		// Pick the closest-to-execution runnable context.
+		run := -1
+		next := window
+		for i := 0; i < n; i++ {
+			s := e.slots[i]
+			if done[i] || !s.valid || (s.listsFull() && !e.Opt.Naive) {
+				continue
+			}
+			if readyAt[i] <= t {
+				run = i
+				break
+			}
+			if readyAt[i] < next {
+				next = readyAt[i]
+			}
+		}
+		if run < 0 {
+			if next >= window {
+				break // nothing can run again within this window
+			}
+			t = next // wait for the earliest background fill
+			continue
+		}
+		s := e.slots[run]
+		if s.delay > 0 {
+			// Live-in transfer to the helper core still in flight.
+			use := s.delay
+			if use > window-t {
+				use = window - t
+			}
+			s.delay -= use
+			t += use
+			continue
+		}
+		b := window - t - float64(e.Opt.SwitchPenalty)
+		if b <= 0 {
+			break
+		}
+		e.Stats.ModeEntries[run]++
+		res, llcLat := e.runSlot(s, run, &b)
+		t = window - b // runSlot consumed (budget - b) cycles
+		switch res {
+		case preExecBudget:
+			t = window
+		case preExecEnd:
+			done[run] = true // fully pre-executed; jump one deeper
+		case preExecLLC:
+			readyAt[run] = t + float64(llcLat)
+		}
+	}
+	used := e.Stats.PreExecInsts > before
+	if used && e.Opt.BPMode == BPShared {
+		// The no-extra-hardware design point shares one RAS; returning
+		// to the normal event must clear it, since it may hold
+		// pre-executed frames (§4.1).
+		e.BP.ClearRAS()
+	}
+	return used
+}
+
+// runSlot pre-executes slot s (in ESP mode depth+1) until the budget is
+// exhausted, the event ends, or a fill misses the LLC.
+func (e *ESP) runSlot(s *slot, depth int, b *float64) (preExecResult, int) {
+	if !s.started {
+		s.insts = e.Src.SpecInsts(s.ev)
+		s.started = true
+		if !s.preExecuted {
+			s.preExecuted = true
+			e.Stats.EventsPreExecuted++
+		}
+		if e.Opt.BPMode == BPReplicate {
+			r := new(branch.Predictor)
+			*r = *e.BP
+			s.replica = r
+		}
+	}
+	bp := e.BP
+	switch e.Opt.BPMode {
+	case BPSeparatePIR:
+		// The ESP design replicates the branch "context" per mode: the
+		// PIR (§4.3) and the small RAS; the prediction tables are shared,
+		// with the loop predictor's in-flight iteration counters frozen
+		// so the normal event's loops stay in sync.
+		savedPIR, savedRAS := bp.PIR(), bp.SnapshotRAS()
+		bp.SetPIR(s.pir)
+		bp.RestoreRAS(s.ras)
+		bp.LoopReadOnly = true
+		defer func() {
+			s.pir, s.ras = bp.PIR(), bp.SnapshotRAS()
+			bp.SetPIR(savedPIR)
+			bp.RestoreRAS(savedRAS)
+			bp.LoopReadOnly = false
+		}()
+	case BPReplicate:
+		bp = s.replica
+	}
+	ws := e.studyPair(s, depth)
+
+	for *b > 0 {
+		if s.pos >= len(s.insts) {
+			return preExecEnd, 0
+		}
+		in := &s.insts[s.pos]
+		*b -= e.Opt.BaseCPI
+
+		// Instruction fetch through the I-cachelet.
+		if l := trace.Line(in.PC); !s.haveLine || l != s.fetchLine {
+			s.haveLine, s.fetchLine = true, l
+			if ws != nil {
+				ws.i.Touch(in.PC)
+			}
+			if res, lat := e.fetchPre(s, in.PC, b); res == preExecLLC {
+				return preExecLLC, lat
+			}
+		}
+
+		switch in.Kind {
+		case trace.Branch:
+			pred := bp.Predict(*in)
+			miss := branch.Mispredicted(pred, *in)
+			if branch.Misfetched(pred, *in) {
+				*b -= misfetchCost
+			}
+			bp.Update(*in)
+			if miss {
+				*b -= float64(e.Opt.MispredictPenalty)
+				if !e.Opt.Naive && !s.poisoned {
+					if s.blist.add(BranchRec{
+						PC: in.PC, Target: in.Target, Count: int32(s.pos),
+						Taken: in.Taken, Indirect: in.Indirect,
+					}) {
+						e.Stats.RecB++
+					} else {
+						e.Stats.ListFull++
+					}
+				}
+			}
+			if in.Taken {
+				s.haveLine = false
+			}
+
+		case trace.Load, trace.Store:
+			if ws != nil {
+				ws.d.Touch(in.Addr)
+			}
+			if res, lat := e.accessPre(s, in, b); res == preExecLLC {
+				return preExecLLC, lat
+			}
+		}
+		s.pos++
+		e.Stats.PreExecInsts++
+	}
+	return preExecBudget, 0
+}
+
+// fetchPre services a pre-execution instruction fetch: through the
+// I-cachelet normally, or straight into the shared hierarchy in the naive
+// design. On an LLC miss the line is installed before returning, so the
+// re-entrant resume proceeds past it.
+func (e *ESP) fetchPre(s *slot, pc uint64, b *float64) (preExecResult, int) {
+	if e.Opt.Naive {
+		level, lat := e.Hier.FetchI(pc)
+		if level == mem.LevelMem {
+			return preExecLLC, lat
+		}
+		*b -= float64(lat)
+		return preExecBudget, 0
+	}
+	if s.icl.Access(pc, false) {
+		return preExecBudget, 0
+	}
+	lat, llc := e.Hier.FillLatency(pc)
+	e.Stats.CacheletFills++
+	e.record(s, &s.ilist, trace.Line(pc), int32(s.pos))
+	if llc {
+		e.Stats.LLCFills++
+		return preExecLLC, lat
+	}
+	*b -= float64(lat)
+	return preExecBudget, 0
+}
+
+// accessPre services a pre-execution data access through the D-cachelet
+// (stores stay local to it: no write-back, no coherence, §3.4, §4.4).
+func (e *ESP) accessPre(s *slot, in *trace.Inst, b *float64) (preExecResult, int) {
+	write := in.Kind == trace.Store
+	if e.Opt.Naive {
+		level, lat := e.Hier.AccessD(in.Addr, write)
+		if level == mem.LevelMem {
+			return preExecLLC, lat
+		}
+		if level == mem.LevelL2 {
+			*b -= float64(lat)
+		}
+		return preExecBudget, 0
+	}
+	dirtyBefore := s.dcl.Stats.DirtyEvictions
+	if s.dcl.Access(in.Addr, write) {
+		return preExecBudget, 0
+	}
+	if s.dcl.Stats.DirtyEvictions > dirtyBefore {
+		e.dirtyHazard(s)
+	}
+	lat, llc := e.Hier.FillLatency(in.Addr)
+	e.Stats.CacheletFills++
+	e.record(s, &s.dlist, trace.Line(in.Addr), int32(s.pos))
+	if llc {
+		e.Stats.LLCFills++
+		return preExecLLC, lat
+	}
+	*b -= float64(lat)
+	return preExecBudget, 0
+}
+
+// record appends an access to a prediction list unless the design has no
+// lists (naive) or the pre-execution has been poisoned by a lost dirty
+// line — poisoned records target perturbed addresses, modelling the
+// wrong-path hints of §4.4.
+func (e *ESP) record(s *slot, l *accessList, line uint64, count int32) {
+	if e.Opt.Naive {
+		return
+	}
+	if s.poisoned {
+		line ^= 1 << 18 // wrong-path hint: prefetches will be useless
+	}
+	if l.add(line, count) {
+		if l == &s.ilist {
+			e.Stats.RecI++
+		} else {
+			e.Stats.RecD++
+		}
+	} else {
+		e.Stats.ListFull++
+	}
+}
+
+// dirtyHazard accounts a dirty D-cachelet eviction: the lost store values
+// may steer the rest of this pre-execution down a wrong path (§4.4).
+func (e *ESP) dirtyHazard(s *slot) {
+	e.Stats.DirtyHazards++
+	s.hazards++
+	if p := e.Opt.DirtyHazardPeriod; p > 0 && s.hazards%p == 0 && !s.poisoned {
+		s.poisoned = true
+		e.Stats.Poisonings++
+	}
+}
+
+// installReplica copies a warmed replicated predictor into the live one,
+// preserving the live PIR and RAS (Figure 12's "separate context and
+// tables" design point).
+func (e *ESP) installReplica(r *branch.Predictor) {
+	pir := e.BP.PIR()
+	ras := e.BP.SnapshotRAS()
+	stats := e.BP.Stats
+	*e.BP = *r
+	e.BP.SetPIR(pir)
+	e.BP.RestoreRAS(ras)
+	e.BP.Stats = stats
+}
+
+func (e *ESP) studyPair(s *slot, depth int) *wsPair {
+	if e.Study == nil {
+		return nil
+	}
+	if s.ws == nil {
+		s.ws = make(map[int]*wsPair)
+	}
+	p := s.ws[depth]
+	if p == nil {
+		p = &wsPair{i: mem.NewWorkingSet(), d: mem.NewWorkingSet()}
+		s.ws[depth] = p
+	}
+	return p
+}
+
+// finishStudy folds a slot's per-mode reuse profiles into the study.
+func (e *ESP) finishStudy(s *slot) {
+	if e.Study == nil || s.ws == nil {
+		return
+	}
+	for depth, p := range s.ws {
+		e.Study.AddSample(depth, p.i, p.d)
+	}
+	s.ws = nil
+}

@@ -1,0 +1,234 @@
+package core
+
+import "espsim/internal/trace"
+
+// The prediction lists (§3.5, §4.2, §4.3): compressed circular queues that
+// record, during pre-execution, the cache blocks the cachelets had to
+// fill and the branches the predictor got wrong. Entries are stored
+// decoded; the bit-accounting below enforces the paper's byte budgets so
+// capacity effects (long events exhausting their lists) are faithful.
+
+// AccessRec is one I-list or D-list record: a cache line that a
+// pre-execution had to fill, and the instruction count (from the event's
+// start) at which it was needed — the timestamp that makes normal-mode
+// prefetches timely.
+type AccessRec struct {
+	Line  uint64
+	Count int32
+}
+
+// I/D-list entry encoding costs in bits (§4.2): 8-bit block offset,
+// 3-bit contiguous-block count, 7-bit instruction-count offset, 1 large
+// offset bit. A large offset spills the full 26-bit block address into
+// the next two entries.
+const (
+	accessEntryBits = 8 + 3 + 7 + 1
+	accessLargeBits = 2 * accessEntryBits
+	maxSmallOffset  = 127 // signed 8-bit block-address delta
+	maxContig       = 7   // 3-bit contiguous count
+	maxCountDelta   = 127 // 7-bit instruction-count delta
+)
+
+// accessList is an I-list or D-list with byte-budget accounting.
+type accessList struct {
+	recs    []AccessRec
+	bits    int
+	capBits int
+
+	// reserved is the space still occupied by another event's
+	// not-yet-consumed entries in the same physical circular queue
+	// (§4.2: the event in ESP-1 records after the entries the normal
+	// event is still reading; space frees as they are consumed).
+	reserved int
+
+	haveLast  bool
+	lastLine  uint64
+	lastCount int32
+	contig    int
+
+	// Full counts records rejected for lack of space.
+	Full int64
+}
+
+func newAccessList(capBytes int) accessList { return accessList{capBits: capBytes * 8} }
+
+// setCapacity grows (or shrinks) the byte budget; used when a slot is
+// promoted from ESP-2 to ESP-1 and its list moves to the larger queue.
+func (l *accessList) setCapacity(capBytes int) { l.capBits = capBytes * 8 }
+
+// unbounded removes the capacity limit (ideal ESP).
+func (l *accessList) unbounded() { l.capBits = 1 << 40 }
+
+// setReserved updates the space held by the co-resident consuming event.
+func (l *accessList) setReserved(bits int) { l.reserved = bits }
+
+// consumedBits estimates the queue space freed once the first n of the
+// list's records have been read by the normal execution.
+func (l *accessList) consumedBits(n int) int {
+	if len(l.recs) == 0 {
+		return l.bits
+	}
+	if n >= len(l.recs) {
+		return l.bits
+	}
+	return l.bits * n / len(l.recs)
+}
+
+// remainingBits is the space the list's unconsumed tail still occupies.
+func (l *accessList) remainingBits(consumed int) int {
+	return l.bits - l.consumedBits(consumed)
+}
+
+// add records a fill of line at instruction count. It returns false when
+// the list is full.
+func (l *accessList) add(line uint64, count int32) bool {
+	if l.haveLast && line == l.lastLine+trace.LineBytes && l.contig < maxContig &&
+		count-l.lastCount <= maxCountDelta {
+		// Extends the previous entry's contiguous run: free.
+		l.contig++
+		l.lastLine = line
+		l.recs = append(l.recs, AccessRec{Line: line, Count: count})
+		return true
+	}
+	cost := accessEntryBits
+	if l.haveLast {
+		delta := int64(line>>6) - int64(l.lastLine>>6)
+		if delta > maxSmallOffset || delta < -maxSmallOffset {
+			cost += accessLargeBits
+		}
+		// Instruction-count deltas beyond 7 bits need extension entries.
+		for d := count - l.lastCount; d > maxCountDelta; d -= maxCountDelta {
+			cost += accessEntryBits
+		}
+	}
+	if l.bits+l.reserved+cost > l.capBits {
+		l.Full++
+		return false
+	}
+	l.bits += cost
+	l.haveLast, l.lastLine, l.lastCount, l.contig = true, line, count, 0
+	l.recs = append(l.recs, AccessRec{Line: line, Count: count})
+	return true
+}
+
+// BranchRec is one B-list record: a branch the pre-execution mispredicted,
+// with its architectural outcome, so just-in-time training can correct it
+// during the normal execution.
+type BranchRec struct {
+	PC       uint64
+	Target   uint64
+	Count    int32
+	Taken    bool
+	Indirect bool
+}
+
+// B-List-Direction entry: 4-bit PC offset + direction bit + indirect bit;
+// the first two entries of every thirty carry the running instruction
+// count. B-List-Target entry: 16-bit target offset + 1 escape bit, with
+// far targets spilling into two more entries (§4.3).
+const (
+	branchDirBits   = 6
+	branchCountBits = 2 * branchDirBits
+	countPeriod     = 30
+	maxPCDelta      = 15 // 4-bit PC offset, in instructions
+	branchTgtBits   = 17
+	branchTgtFar    = 2 * branchTgtBits
+)
+
+// branchList combines B-List-Direction and B-List-Target accounting.
+type branchList struct {
+	recs []BranchRec
+
+	dirBits, dirCap int
+	tgtBits, tgtCap int
+
+	// reserved: space still held by the consuming event's unread
+	// entries in the shared circular queue (see accessList.reserved).
+	reserved int
+
+	haveLast bool
+	lastPC   uint64
+	n        int
+
+	// Full counts records rejected because B-List-Direction is out of
+	// space; TgtFull counts indirect records dropped because only
+	// B-List-Target is (the much smaller queue — its exhaustion must not
+	// suggest the whole list is done).
+	Full    int64
+	TgtFull int64
+}
+
+func newBranchList(dirBytes, tgtBytes int) branchList {
+	return branchList{dirCap: dirBytes * 8, tgtCap: tgtBytes * 8}
+}
+
+func (l *branchList) setCapacity(dirBytes, tgtBytes int) {
+	l.dirCap, l.tgtCap = dirBytes*8, tgtBytes*8
+}
+
+func (l *branchList) unbounded() { l.dirCap, l.tgtCap = 1<<40, 1<<40 }
+
+// setReserved updates the space held by the co-resident consuming event.
+func (l *branchList) setReserved(bits int) { l.reserved = bits }
+
+// consumedBits estimates the queue space freed once the first n records
+// have been read.
+func (l *branchList) consumedBits(n int) int {
+	if len(l.recs) == 0 || n >= len(l.recs) {
+		return l.dirBits
+	}
+	return l.dirBits * n / len(l.recs)
+}
+
+// remainingBits is the space the unconsumed tail still occupies.
+func (l *branchList) remainingBits(consumed int) int {
+	return l.dirBits - l.consumedBits(consumed)
+}
+
+// full reports whether even a minimal new record cannot fit.
+func (l *accessList) full() bool {
+	return l.bits+l.reserved+accessEntryBits > l.capBits
+}
+
+// fullDir reports whether even a minimal direction record cannot fit.
+func (l *branchList) fullDir() bool {
+	return l.dirBits+l.reserved+branchDirBits+branchCountBits > l.dirCap
+}
+
+// add records a mispredicted branch. It returns false when the relevant
+// queue is out of space.
+func (l *branchList) add(r BranchRec) bool {
+	cost := branchDirBits
+	if l.n%countPeriod == 0 {
+		cost += branchCountBits
+	}
+	if l.haveLast {
+		if d := int64(r.PC>>2) - int64(l.lastPC>>2); d > maxPCDelta || d < 0 {
+			cost += 2 * branchDirBits // escape: spill the PC offset
+		}
+	}
+	tgtCost := 0
+	if r.Indirect && r.Taken {
+		tgtCost = branchTgtBits
+		if d := int64(r.Target) - int64(r.PC); d > 1<<15 || d < -(1<<15) {
+			tgtCost += branchTgtFar
+		}
+	}
+	if l.dirBits+l.reserved+cost > l.dirCap {
+		l.Full++
+		return false
+	}
+	if l.tgtBits+tgtCost > l.tgtCap {
+		// A corrected direction without a corrected target cannot fix an
+		// indirect branch; drop the record, but only the target queue is
+		// full.
+		l.TgtFull++
+		return false
+	}
+	l.dirBits += cost
+	l.tgtBits += tgtCost
+	l.haveLast, l.lastPC = true, r.PC
+	l.n++
+	l.recs = append(l.recs, r)
+	return true
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"espsim/internal/trace"
+)
+
+func TestAccessListSequential(t *testing.T) {
+	l := newAccessList(499)
+	for i := 0; i < 8; i++ {
+		if !l.add(uint64(0x1000+i*trace.LineBytes), int32(i*10)) {
+			t.Fatalf("add %d rejected", i)
+		}
+	}
+	if len(l.recs) != 8 {
+		t.Fatalf("recs = %d", len(l.recs))
+	}
+	// One base entry + 7 contiguous extensions: only one entry's bits.
+	if l.bits != accessEntryBits {
+		t.Fatalf("contiguous run cost %d bits, want %d", l.bits, accessEntryBits)
+	}
+}
+
+func TestAccessListContigLimit(t *testing.T) {
+	l := newAccessList(499)
+	// 9 contiguous lines: the 3-bit contig field holds 7 extensions, so
+	// the 9th line starts a new entry.
+	for i := 0; i < 9; i++ {
+		l.add(uint64(i*trace.LineBytes), int32(i))
+	}
+	if l.bits != 2*accessEntryBits {
+		t.Fatalf("9 contiguous lines cost %d bits, want %d", l.bits, 2*accessEntryBits)
+	}
+}
+
+func TestAccessListLargeOffsetCost(t *testing.T) {
+	l := newAccessList(499)
+	l.add(0x10000, 0)
+	near := l.bits
+	l.add(0x10000+64*trace.LineBytes, 10) // 64 lines away: small offset
+	small := l.bits - near
+	l.add(0x900000, 20) // far away: large offset escape
+	large := l.bits - near - small
+	if small != accessEntryBits {
+		t.Fatalf("small-offset entry cost %d", small)
+	}
+	if large != accessEntryBits+accessLargeBits {
+		t.Fatalf("large-offset entry cost %d, want %d", large, accessEntryBits+accessLargeBits)
+	}
+}
+
+func TestAccessListCountExtension(t *testing.T) {
+	l := newAccessList(499)
+	l.add(0x1000, 0)
+	before := l.bits
+	l.add(0x1000+2*trace.LineBytes, 300) // count delta 300 needs 2 extension entries
+	cost := l.bits - before
+	if cost != accessEntryBits+2*accessEntryBits {
+		t.Fatalf("count-extension cost %d bits", cost)
+	}
+}
+
+func TestAccessListCapacity(t *testing.T) {
+	l := newAccessList(10) // 80 bits: 4 scattered entries max
+	added := 0
+	for i := 0; i < 100; i++ {
+		if l.add(uint64(i)*0x100000, int32(i)) {
+			added++
+		}
+	}
+	if added == 0 || added > 4 {
+		t.Fatalf("10-byte list accepted %d scattered entries", added)
+	}
+	if l.Full == 0 {
+		t.Fatal("Full counter not incremented")
+	}
+}
+
+func TestAccessListUnbounded(t *testing.T) {
+	l := newAccessList(1)
+	l.unbounded()
+	for i := 0; i < 1000; i++ {
+		if !l.add(uint64(i)*0x100000, int32(i)) {
+			t.Fatal("unbounded list rejected a record")
+		}
+	}
+}
+
+func TestAccessListGrowCapacityOnPromotion(t *testing.T) {
+	l := newAccessList(8)
+	for i := 0; i < 50; i++ {
+		l.add(uint64(i)*0x100000, int32(i))
+	}
+	if l.Full == 0 {
+		t.Fatal("expected a full ESP-2 list")
+	}
+	l.setCapacity(499)
+	if !l.add(0x9999999, 60) {
+		t.Fatal("promoted list rejected a record despite new capacity")
+	}
+}
+
+func TestAccessListBitsNeverExceedCap(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		l := newAccessList(68)
+		x := seed
+		for i := 0; i < int(n); i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			l.add(x%(1<<26)*64, int32(i*3))
+		}
+		return l.bits <= l.capBits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchListBasic(t *testing.T) {
+	l := newBranchList(566, 41)
+	if !l.add(BranchRec{PC: 0x1000, Count: 5, Taken: true}) {
+		t.Fatal("rejected first record")
+	}
+	if len(l.recs) != 1 {
+		t.Fatal("record missing")
+	}
+}
+
+func TestBranchListPCEscape(t *testing.T) {
+	l := newBranchList(566, 41)
+	l.add(BranchRec{PC: 0x1000, Count: 0})
+	near := l.dirBits
+	l.add(BranchRec{PC: 0x1000 + 10*trace.InstBytes, Count: 1})
+	small := l.dirBits - near
+	l.add(BranchRec{PC: 0x9000, Count: 2}) // far: escape
+	far := l.dirBits - near - small
+	if small != branchDirBits {
+		t.Fatalf("near record cost %d", small)
+	}
+	if far != 3*branchDirBits {
+		t.Fatalf("far record cost %d, want %d", far, 3*branchDirBits)
+	}
+}
+
+func TestBranchListCountPeriod(t *testing.T) {
+	l := newBranchList(566, 41)
+	l.add(BranchRec{PC: 0x1000, Count: 0})
+	if l.dirBits != branchDirBits+branchCountBits {
+		t.Fatalf("first record should carry the instruction count: %d bits", l.dirBits)
+	}
+}
+
+func TestBranchListTargetBudget(t *testing.T) {
+	l := newBranchList(10000, 6) // 48 bits of target budget: 2 indirect records
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if l.add(BranchRec{
+			PC: uint64(0x1000 + i*4), Count: int32(i),
+			Taken: true, Indirect: true, Target: uint64(0x1100 + i*4),
+		}) {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Fatalf("6-byte target list accepted %d indirect records, want 2", accepted)
+	}
+	if l.TgtFull == 0 || l.Full != 0 {
+		t.Fatalf("target exhaustion misaccounted: Full=%d TgtFull=%d", l.Full, l.TgtFull)
+	}
+	// Direction-only records must still be accepted.
+	if !l.add(BranchRec{PC: 0x5000, Count: 100, Taken: true}) {
+		t.Fatal("direction-only record rejected after target exhaustion")
+	}
+}
+
+func TestBranchListDirCapacity(t *testing.T) {
+	l := newBranchList(6, 41) // 48 bits: a handful of records
+	accepted := 0
+	for i := 0; i < 50; i++ {
+		if l.add(BranchRec{PC: uint64(0x1000 + i*4), Count: int32(i), Taken: i%2 == 0}) {
+			accepted++
+		}
+	}
+	if accepted == 0 || accepted >= 50 {
+		t.Fatalf("accepted %d", accepted)
+	}
+	if l.Full == 0 {
+		t.Fatal("Full not counted")
+	}
+}
+
+func TestBranchListFarTargetCost(t *testing.T) {
+	l := newBranchList(566, 41)
+	l.add(BranchRec{PC: 0x1000, Count: 0, Taken: true, Indirect: true, Target: 0x1200})
+	near := l.tgtBits
+	if near != branchTgtBits {
+		t.Fatalf("near target cost %d", near)
+	}
+	l.add(BranchRec{PC: 0x1004, Count: 1, Taken: true, Indirect: true, Target: 0x4000_0000})
+	if l.tgtBits-near != branchTgtBits+branchTgtFar {
+		t.Fatalf("far target cost %d", l.tgtBits-near)
+	}
+}

@@ -1,0 +1,364 @@
+// Package cpu is the trace-driven timing model of the simulated core
+// (Figure 7: 4-wide out-of-order, 96-entry ROB, Pentium M branch
+// predictor, 15-cycle misprediction penalty).
+//
+// The model is penalty-based: every retired instruction costs the
+// dependency-limited base CPI, and microarchitectural events add exposed
+// stall cycles on top — front-end instruction-miss stalls, branch
+// misprediction flushes, and last-level-cache data misses that reach the
+// head of the ROB. Exposed LLC-miss windows are offered to an Assist
+// (runahead execution or ESP), which is exactly the hook the paper's
+// technique lives behind: "Instead of stalling on long latency cache
+// misses, ESP jumps ahead to pre-execute future events" (§1).
+package cpu
+
+import (
+	"espsim/internal/branch"
+	"espsim/internal/mem"
+	"espsim/internal/prefetch"
+	"espsim/internal/trace"
+)
+
+// StallKind distinguishes the two LLC-miss stall sources.
+type StallKind uint8
+
+const (
+	// StallI is a front-end stall: an instruction fetch missed the LLC.
+	StallI StallKind = iota
+	// StallD is a back-end stall: a data access missed the LLC and
+	// reached the head of the ROB.
+	StallD
+)
+
+// String names the stall kind.
+func (k StallKind) String() string {
+	if k == StallI {
+		return "I"
+	}
+	return "D"
+}
+
+// Assist observes the normal execution and receives exposed stall windows.
+// Implementations: runahead.Engine and core.ESP (the paper's technique).
+// A nil Assist on the Core means a plain baseline.
+type Assist interface {
+	// EventStart announces that ev is about to execute normally. insts is
+	// its full dynamic instruction stream, and pending lists the future
+	// events currently visible in the software event queue (at most two).
+	EventStart(ev trace.Event, insts []trace.Inst, pending []trace.Event)
+	// EventEnd announces that ev has retired its last instruction.
+	EventEnd(ev trace.Event)
+	// OnInst is called before instruction idx of the current event
+	// retires; assists use it to issue timely prefetches.
+	OnInst(idx int)
+	// CorrectBranch reports whether the assist guarantees a correct
+	// prediction for the branch at idx (ESP's just-in-time B-list
+	// training, §3.6). The predictor is still trained on the outcome.
+	CorrectBranch(idx int, in trace.Inst) bool
+	// OnStall offers the assist an exposed stall window of budget cycles
+	// starting at instruction idx. It returns true if the assist used the
+	// window (the core then charges the pipeline-flush cost of returning
+	// from speculative execution, §4.1).
+	OnStall(kind StallKind, idx int, budget int) bool
+}
+
+// FetchObserver watches the demand instruction-fetch stream: event
+// boundaries and the resolved level of every fetched line. The
+// event-aware instruction prefetchers the paper compares against in §7
+// (EFetch, PIF) hook in here.
+type FetchObserver interface {
+	// BeginEvent announces the handler type of the event about to run.
+	BeginEvent(handler int)
+	// OnFetch observes one demand fetch of addr's line, satisfied at
+	// the given hierarchy level.
+	OnFetch(addr uint64, level mem.Level)
+}
+
+// Config parametrizes the timing model.
+type Config struct {
+	// Width is the issue width; ROB the reorder-buffer capacity.
+	Width int
+	ROB   int
+	// BaseCPI is the dependency-limited cycles per instruction with a
+	// perfect memory system and predictor.
+	BaseCPI float64
+	// MispredictPenalty is the branch misprediction flush cost.
+	MispredictPenalty int
+	// MisfetchPenalty is the decoder re-steer bubble when a correctly
+	// predicted direct branch missed the BTB.
+	MisfetchPenalty int
+	// L2IExposure and L2DExposure are the fractions of an L2-hit miss
+	// latency that the out-of-order window fails to hide (front-end
+	// misses are barely hidden; data misses mostly are).
+	L2IExposure float64
+	L2DExposure float64
+	// MemIExposed and MemDExposed are the exposed cycles of an LLC miss:
+	// the 101-cycle idle DRAM latency plus queueing and row-activation
+	// delays under load (data misses overlap slightly with ROB drain).
+	MemIExposed int
+	MemDExposed int
+	// MLPFactor scales the exposed cost of an LLC data miss that falls
+	// within ROB instructions of the previous one (memory-level
+	// parallelism: overlapped misses).
+	MLPFactor float64
+	// ExitFlushPenalty is charged to the normal execution each time an
+	// assist used a stall window: returning from speculative execution
+	// flushes the pipeline like a misprediction (§4.1).
+	ExitFlushPenalty int
+	// PerfectBP makes every branch predicted correctly (Figure 3).
+	PerfectBP bool
+}
+
+// DefaultConfig mirrors Figure 7 with calibrated exposure factors.
+func DefaultConfig() Config {
+	return Config{
+		Width:             4,
+		ROB:               96,
+		BaseCPI:           0.95,
+		MispredictPenalty: 15,
+		MisfetchPenalty:   5,
+		L2IExposure:       0.8,
+		L2DExposure:       0.3,
+		MemIExposed:       120,
+		MemDExposed:       115,
+		MLPFactor:         0.15,
+		ExitFlushPenalty:  8,
+	}
+}
+
+// Stats aggregates the timing outcome of a run.
+type Stats struct {
+	Insts  int64
+	Cycles int64
+
+	// Cycle breakdown (sums to ~Cycles).
+	BaseCycles    int64
+	IMissCycles   int64
+	DMissCycles   int64
+	BranchCycles  int64
+	AssistPenalty int64
+
+	// Event counts.
+	Branches    int64
+	Mispredicts int64
+	Misfetches  int64
+	LLCMissI    int64
+	LLCMissD    int64
+
+	// Stall windows offered to and used by the assist.
+	StallsOffered int64
+	StallsUsed    int64
+	StallCycles   int64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// MispredictRate returns the branch misprediction rate.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Insts += other.Insts
+	s.Cycles += other.Cycles
+	s.BaseCycles += other.BaseCycles
+	s.IMissCycles += other.IMissCycles
+	s.DMissCycles += other.DMissCycles
+	s.BranchCycles += other.BranchCycles
+	s.AssistPenalty += other.AssistPenalty
+	s.Branches += other.Branches
+	s.Mispredicts += other.Mispredicts
+	s.Misfetches += other.Misfetches
+	s.LLCMissI += other.LLCMissI
+	s.LLCMissD += other.LLCMissD
+	s.StallsOffered += other.StallsOffered
+	s.StallsUsed += other.StallsUsed
+	s.StallCycles += other.StallCycles
+}
+
+// Core executes event instruction streams against the memory hierarchy,
+// branch predictor and optional prefetchers, accumulating Stats.
+type Core struct {
+	Cfg  Config
+	Hier *mem.Hierarchy
+	BP   *branch.Predictor
+
+	// Optional baseline prefetchers (nil disables each).
+	NLI    *prefetch.NextLineI
+	DCU    *prefetch.DCU
+	Stride *prefetch.Stride
+
+	// FetchObs, when non-nil, watches every demand instruction fetch and
+	// event boundary: the hook the event-aware instruction prefetchers
+	// the paper compares against in §7 (EFetch, PIF) attach to.
+	FetchObs FetchObserver
+
+	// Assist receives stall windows and branch-correction queries
+	// (nil for the plain baseline).
+	Assist Assist
+
+	// Stats accumulates across RunEvent calls.
+	Stats Stats
+
+	fetchLine    uint64
+	fetchValid   bool
+	lastLLCDInst int64 // global instruction index of the previous LLC data miss
+	globalInst   int64
+}
+
+// New returns a core over the given hierarchy and predictor.
+func New(cfg Config, h *mem.Hierarchy, bp *branch.Predictor) *Core {
+	return &Core{Cfg: cfg, Hier: h, BP: bp, lastLLCDInst: -1 << 40}
+}
+
+// BeginEvent announces the next event's handler type to the fetch
+// observer (called by the looper before RunEvent).
+func (c *Core) BeginEvent(handler int) {
+	if c.FetchObs != nil {
+		c.FetchObs.BeginEvent(handler)
+	}
+}
+
+// RunEvent executes one event's instruction stream to completion and
+// returns the cycles it consumed. Assist hooks EventStart/EventEnd are the
+// caller's (looper's) responsibility; RunEvent only drives the
+// per-instruction hooks.
+func (c *Core) RunEvent(insts []trace.Inst) int64 {
+	cfg := &c.Cfg
+	var (
+		cycles  float64
+		st      Stats
+		assist  = c.Assist
+		perInst = cfg.BaseCPI
+	)
+	for idx := range insts {
+		in := &insts[idx]
+		if assist != nil {
+			assist.OnInst(idx)
+		}
+		cycles += perInst
+
+		// Instruction fetch: one hierarchy access per line transition.
+		line := trace.Line(in.PC)
+		if !c.fetchValid || line != c.fetchLine {
+			c.fetchValid, c.fetchLine = true, line
+			level, lat := c.Hier.FetchI(in.PC)
+			if c.NLI != nil {
+				c.NLI.OnFetch(in.PC)
+			}
+			if c.FetchObs != nil {
+				c.FetchObs.OnFetch(in.PC, level)
+			}
+			switch level {
+			case mem.LevelL2:
+				p := cfg.L2IExposure * float64(lat)
+				cycles += p
+				st.IMissCycles += int64(p)
+			case mem.LevelMem:
+				st.LLCMissI++
+				exposed := cfg.MemIExposed
+				cycles += float64(exposed)
+				st.IMissCycles += int64(exposed)
+				c.offerStall(StallI, idx, exposed, &cycles, &st)
+			}
+		}
+
+		switch in.Kind {
+		case trace.Branch:
+			st.Branches++
+			correct := cfg.PerfectBP
+			misfetch := false
+			if !correct && assist != nil && assist.CorrectBranch(idx, *in) {
+				correct = true
+			}
+			if !correct {
+				pred := c.BP.Predict(*in)
+				correct = !branch.Mispredicted(pred, *in)
+				misfetch = branch.Misfetched(pred, *in)
+			}
+			if !cfg.PerfectBP {
+				c.BP.Update(*in)
+			}
+			switch {
+			case !correct:
+				st.Mispredicts++
+				cycles += float64(cfg.MispredictPenalty)
+				st.BranchCycles += int64(cfg.MispredictPenalty)
+			case misfetch:
+				st.Misfetches++
+				cycles += float64(cfg.MisfetchPenalty)
+				st.BranchCycles += int64(cfg.MisfetchPenalty)
+			}
+			if in.Taken {
+				c.fetchValid = false // redirect: next fetch re-accesses I$
+			}
+
+		case trace.Load, trace.Store:
+			level, lat := c.Hier.AccessD(in.Addr, in.Kind == trace.Store)
+			if c.DCU != nil {
+				c.DCU.OnAccess(in.Addr)
+			}
+			if c.Stride != nil {
+				c.Stride.OnAccess(in.PC, in.Addr)
+			}
+			switch level {
+			case mem.LevelL2:
+				p := cfg.L2DExposure * float64(lat)
+				cycles += p
+				st.DMissCycles += int64(p)
+			case mem.LevelMem:
+				st.LLCMissD++
+				exposed := cfg.MemDExposed
+				if c.globalInst-c.lastLLCDInst < int64(cfg.ROB) {
+					// Overlapped with the previous miss: MLP.
+					exposed = int(float64(exposed) * cfg.MLPFactor)
+				}
+				c.lastLLCDInst = c.globalInst
+				cycles += float64(exposed)
+				st.DMissCycles += int64(exposed)
+				c.offerStall(StallD, idx, exposed, &cycles, &st)
+			}
+		}
+		c.globalInst++
+	}
+	st.Insts = int64(len(insts))
+	st.BaseCycles = int64(float64(st.Insts) * cfg.BaseCPI)
+	st.Cycles = int64(cycles)
+	c.Stats.Add(st)
+	return st.Cycles
+}
+
+// offerStall hands an exposed LLC-miss window to the assist and charges
+// the speculation-exit flush if it was used.
+func (c *Core) offerStall(kind StallKind, idx, exposed int, cycles *float64, st *Stats) {
+	st.StallsOffered++
+	st.StallCycles += int64(exposed)
+	if c.Assist == nil {
+		return
+	}
+	if c.Assist.OnStall(kind, idx, exposed) {
+		st.StallsUsed++
+		*cycles += float64(c.Cfg.ExitFlushPenalty)
+		st.AssistPenalty += int64(c.Cfg.ExitFlushPenalty)
+	}
+}
+
+// RunFiller charges n instructions of warm, stall-free execution (the
+// looper thread's queue-management instructions between events, §3.6).
+func (c *Core) RunFiller(n int) {
+	c.Stats.Insts += int64(n)
+	add := int64(float64(n) * c.Cfg.BaseCPI)
+	c.Stats.Cycles += add
+	c.Stats.BaseCycles += add
+	c.globalInst += int64(n)
+}

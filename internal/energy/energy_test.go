@@ -1,0 +1,78 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func act() Activity {
+	return Activity{
+		Cycles: 1_000_000, Insts: 500_000, Branches: 60_000, Mispredicts: 6_000,
+		L1IAccesses: 120_000, L1DAccesses: 160_000, L2Accesses: 9_000, MemAccesses: 2_500,
+		Prefetches: 4_000,
+	}
+}
+
+func TestComputePositiveComponents(t *testing.T) {
+	b := Compute(act(), DefaultModel())
+	if b.Static <= 0 || b.Dynamic <= 0 || b.Mispredict <= 0 {
+		t.Fatalf("non-positive components: %+v", b)
+	}
+	if b.Total() != b.Static+b.Dynamic+b.Mispredict {
+		t.Fatal("Total != sum of components")
+	}
+}
+
+func TestExtraInstructionsCostEnergy(t *testing.T) {
+	a := act()
+	base := Compute(a, DefaultModel())
+	a.PreExecInsts = 100_000
+	a.CacheletOps = 100_000
+	esp := Compute(a, DefaultModel())
+	if esp.Total() <= base.Total() {
+		t.Fatal("pre-executed instructions must cost energy")
+	}
+	if esp.Static != base.Static {
+		t.Fatal("static energy depends only on cycles")
+	}
+}
+
+func TestFewerCyclesLessStatic(t *testing.T) {
+	a := act()
+	b := a
+	b.Cycles /= 2
+	if Compute(b, DefaultModel()).Static >= Compute(a, DefaultModel()).Static {
+		t.Fatal("halving run time must halve static energy")
+	}
+}
+
+func TestRelativeTo(t *testing.T) {
+	base := Compute(act(), DefaultModel())
+	rel := base.RelativeTo(base)
+	if tot := rel.Total(); tot < 0.999 || tot > 1.001 {
+		t.Fatalf("self-relative total = %v, want 1", tot)
+	}
+	var zero Breakdown
+	if z := base.RelativeTo(zero); z.Total() != 0 {
+		t.Fatal("relative to zero should degrade to zero, not NaN")
+	}
+}
+
+func TestMemoryDominatesPerAccess(t *testing.T) {
+	m := DefaultModel()
+	if !(m.PerMem > m.PerL2 && m.PerL2 > m.PerL1 && m.PerL1 > 0) {
+		t.Fatalf("energy hierarchy inverted: %+v", m)
+	}
+}
+
+func TestComputeMonotone(t *testing.T) {
+	f := func(extra uint32) bool {
+		a := act()
+		b := a
+		b.MemAccesses += int64(extra % 1_000_000)
+		return Compute(b, DefaultModel()).Total() >= Compute(a, DefaultModel()).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

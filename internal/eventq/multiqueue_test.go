@@ -1,0 +1,121 @@
+package eventq
+
+import (
+	"testing"
+
+	"espsim/internal/workload"
+)
+
+func twoSessions(t *testing.T) []*workload.Session {
+	t.Helper()
+	a := workload.Amazon()
+	a.Events = 20
+	b := workload.Bing()
+	b.Events = 12
+	sa, err := workload.NewSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := workload.NewSession(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*workload.Session{sa, sb}
+}
+
+func TestMultiQueueMergesEverything(t *testing.T) {
+	src, err := NewMultiQueueSource(twoSessions(t), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", src.Len())
+	}
+	counts := map[int]int{}
+	for i := 0; i < src.Len(); i++ {
+		counts[src.Queue(i)]++
+		if src.Event(i).ID != i {
+			t.Fatalf("event %d has ID %d; IDs must be the merged order", i, src.Event(i).ID)
+		}
+	}
+	if counts[0] != 20 || counts[1] != 12 {
+		t.Fatalf("queue counts %v", counts)
+	}
+}
+
+func TestMultiQueueRejectsEmpty(t *testing.T) {
+	if _, err := NewMultiQueueSource(nil, 1, 0); err == nil {
+		t.Fatal("empty queue set accepted")
+	}
+}
+
+func TestMultiQueuePerfectPredictions(t *testing.T) {
+	src, err := NewMultiQueueSource(twoSessions(t), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < src.Len(); i++ {
+		for k, ev := range src.Pending(i) {
+			if ev.ID != i+1+k {
+				t.Fatalf("prediction at %d slot %d is event %d; with rate 0 it must be exact", i, k, ev.ID)
+			}
+		}
+	}
+}
+
+func TestMultiQueueMispredictions(t *testing.T) {
+	src, err := NewMultiQueueSource(twoSessions(t), 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i := 0; i < src.Len(); i++ {
+		p := src.Pending(i)
+		if len(p) > 0 && p[0].ID != i+1 {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("misprediction rate 1.0 produced no wrong predictions")
+	}
+}
+
+func TestMultiQueueStreamsDeterministic(t *testing.T) {
+	mk := func() *MultiQueueSource {
+		src, err := NewMultiQueueSource(twoSessions(t), 7, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	a, b := mk(), mk()
+	for i := 0; i < a.Len(); i++ {
+		ia, ib := a.Insts(i, false), b.Insts(i, false)
+		if len(ia) != len(ib) {
+			t.Fatalf("event %d stream lengths differ", i)
+		}
+		for j := range ia {
+			if ia[j] != ib[j] {
+				t.Fatalf("event %d inst %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestMultiQueueSpecMatchesNormal(t *testing.T) {
+	src, err := NewMultiQueueSource(twoSessions(t), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if src.Event(i).Diverge >= 0 {
+			continue
+		}
+		n, s := src.Insts(i, false), src.Insts(i, true)
+		for j := range n {
+			if n[j] != s[j] {
+				t.Fatalf("event %d: speculative stream diverged at %d without a divergence point", i, j)
+			}
+		}
+	}
+}

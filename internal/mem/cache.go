@@ -1,0 +1,215 @@
+// Package mem models the memory hierarchy of the simulated core: generic
+// set-associative LRU caches, the three-level hierarchy of Figure 7
+// (32 KB L1-I, 32 KB L1-D, 2 MB L2, DRAM), prefetch installation, and a
+// stack-distance working-set profiler used for the cachelet-sizing study
+// (Figure 13).
+package mem
+
+import (
+	"fmt"
+
+	"espsim/internal/trace"
+)
+
+// CacheStats counts the demand traffic a cache observed.
+type CacheStats struct {
+	// Accesses and Misses count demand lookups (not prefetch installs).
+	Accesses int64
+	Misses   int64
+	// PrefetchInstalls counts lines installed by a prefetcher;
+	// PrefetchUseful counts those that saw a demand hit before eviction.
+	PrefetchInstalls int64
+	PrefetchUseful   int64
+	// DirtyEvictions counts evicted lines with the dirty bit set.
+	DirtyEvictions int64
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool
+}
+
+// Cache is a set-associative, true-LRU cache. Within each set, ways are
+// kept in recency order (index 0 = MRU), which is exact LRU for the small
+// associativities modelled here.
+type Cache struct {
+	name     string
+	setShift uint
+	setMask  uint64
+	ways     int
+	sets     [][]line
+
+	// Stats accumulates demand traffic. Reset with ResetStats.
+	Stats CacheStats
+}
+
+// NewCache builds a cache of sizeBytes with the given associativity and
+// 64-byte lines. sizeBytes must be a positive multiple of ways*64 with a
+// power-of-two set count.
+func NewCache(name string, sizeBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || sizeBytes%(ways*trace.LineBytes) != 0 {
+		return nil, fmt.Errorf("mem: cache %q: size %d not divisible into %d ways of 64B lines", name, sizeBytes, ways)
+	}
+	nSets := sizeBytes / (ways * trace.LineBytes)
+	if nSets&(nSets-1) != 0 {
+		return nil, fmt.Errorf("mem: cache %q: set count %d not a power of two", name, nSets)
+	}
+	setShift := uint(0)
+	for 1<<setShift < nSets {
+		setShift++
+	}
+	c := &Cache{
+		name:     name,
+		setShift: setShift,
+		setMask:  uint64(nSets - 1),
+		ways:     ways,
+		sets:     make([][]line, nSets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, 0, ways)
+	}
+	return c, nil
+}
+
+// MustCache is NewCache that panics on configuration errors; for use with
+// the fixed, known-good configurations in this repository.
+func MustCache(name string, sizeBytes, ways int) *Cache {
+	c, err := NewCache(name, sizeBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// SizeBytes returns the capacity in bytes.
+func (c *Cache) SizeBytes() int { return len(c.sets) * c.ways * trace.LineBytes }
+
+func (c *Cache) index(lineAddr uint64) (set uint64, tag uint64) {
+	blk := lineAddr >> 6 // line number
+	return blk & c.setMask, blk >> c.setShift
+}
+
+// Access performs a demand access to the line containing addr, installing
+// it on a miss. It returns whether the access hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	set, tag := c.index(trace.Line(addr))
+	c.Stats.Accesses++
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			if ws[i].prefetched {
+				c.Stats.PrefetchUseful++
+				ws[i].prefetched = false
+			}
+			if write {
+				ws[i].dirty = true
+			}
+			c.touch(set, i)
+			return true
+		}
+	}
+	c.Stats.Misses++
+	c.install(set, tag, write, false)
+	return false
+}
+
+// Probe reports whether the line containing addr is resident, without
+// updating recency or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(trace.Line(addr))
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Install inserts the line containing addr (e.g. a fill from an inner
+// miss or a prefetch). prefetch marks the line for usefulness accounting.
+// It returns true if a dirty line was evicted to make room.
+func (c *Cache) Install(addr uint64, prefetch bool) (evictedDirty bool) {
+	set, tag := c.index(trace.Line(addr))
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			return false // already resident
+		}
+	}
+	if prefetch {
+		c.Stats.PrefetchInstalls++
+	}
+	return c.install(set, tag, false, prefetch)
+}
+
+func (c *Cache) install(set, tag uint64, dirty, prefetch bool) (evictedDirty bool) {
+	ws := c.sets[set]
+	if len(ws) < c.ways {
+		ws = append(ws, line{})
+		c.sets[set] = ws
+	} else if ws[len(ws)-1].dirty {
+		evictedDirty = true
+		c.Stats.DirtyEvictions++
+	}
+	copy(ws[1:], ws[:len(ws)-1])
+	ws[0] = line{tag: tag, valid: true, dirty: dirty, prefetched: prefetch}
+	return evictedDirty
+}
+
+// touch moves way i of set to MRU position.
+func (c *Cache) touch(set uint64, i int) {
+	ws := c.sets[set]
+	w := ws[i]
+	copy(ws[1:i+1], ws[:i])
+	ws[0] = w
+}
+
+// MarkDirty sets the dirty bit of addr's line if resident (used by
+// cachelets, where stores must not propagate outward).
+func (c *Cache) MarkDirty(addr uint64) {
+	set, tag := c.index(trace.Line(addr))
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			ws[i].dirty = true
+			return
+		}
+	}
+}
+
+// Lines returns the addresses of all resident lines (MRU first within
+// each set). Used when promoting an ESP-2 cachelet's contents to ESP-1.
+func (c *Cache) Lines() []uint64 {
+	var out []uint64
+	for s, ws := range c.sets {
+		for _, w := range ws {
+			if w.valid {
+				out = append(out, (w.tag<<c.setShift|uint64(s))<<6)
+			}
+		}
+	}
+	return out
+}
+
+// Clear invalidates every line (statistics are preserved).
+func (c *Cache) Clear() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}
+
+// ResetStats zeroes the statistics counters.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }

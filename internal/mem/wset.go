@@ -1,0 +1,98 @@
+package mem
+
+import (
+	"sort"
+
+	"espsim/internal/trace"
+)
+
+// WorkingSet measures the reuse behaviour of an access stream with exact
+// LRU stack distances, using a Fenwick tree over access timestamps. It
+// answers the Figure 13 question: how many cache lines must a (fully
+// associative) cachelet hold to capture a given fraction of reuse?
+type WorkingSet struct {
+	lastPos map[uint64]int
+	bit     []int64 // Fenwick tree over positions; 1 marks a line's last access
+	time    int
+	dists   []int // stack distance of every reuse (distinct lines in between)
+}
+
+// NewWorkingSet returns an empty profiler.
+func NewWorkingSet() *WorkingSet {
+	return &WorkingSet{lastPos: make(map[uint64]int), bit: make([]int64, 1)}
+}
+
+// Touch records an access to addr's line.
+func (w *WorkingSet) Touch(addr uint64) {
+	l := trace.Line(addr)
+	w.time++
+	w.grow(w.time)
+	if p, ok := w.lastPos[l]; ok {
+		// Distinct lines touched strictly between p and now.
+		d := int(w.sum(w.time-1) - w.sum(p))
+		w.dists = append(w.dists, d)
+		w.add(p, -1)
+	}
+	w.lastPos[l] = w.time
+	w.add(w.time, 1)
+}
+
+// Unique returns the number of distinct lines touched (the max working
+// set).
+func (w *WorkingSet) Unique() int { return len(w.lastPos) }
+
+// Reuses returns the number of accesses that were reuses.
+func (w *WorkingSet) Reuses() int { return len(w.dists) }
+
+// LinesFor returns the smallest fully-associative capacity, in lines,
+// that would have captured at least frac of all reuse (0 < frac <= 1).
+// With no reuse it returns 0.
+func (w *WorkingSet) LinesFor(frac float64) int {
+	if len(w.dists) == 0 {
+		return 0
+	}
+	ds := make([]int, len(w.dists))
+	copy(ds, w.dists)
+	sort.Ints(ds)
+	idx := int(frac*float64(len(ds))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	// A stack distance of d hits in a cache of d+1 lines.
+	return ds[idx] + 1
+}
+
+// grow resizes the Fenwick tree to cover position n. Entries added while
+// the tree was smaller would have stopped propagating at the old
+// boundary, so the tree is rebuilt from the live markers (one per line's
+// last access).
+func (w *WorkingSet) grow(n int) {
+	if n < len(w.bit) {
+		return
+	}
+	sz := len(w.bit)
+	for sz <= n {
+		sz *= 2
+	}
+	w.bit = make([]int64, sz)
+	for _, p := range w.lastPos {
+		w.add(p, 1)
+	}
+}
+
+func (w *WorkingSet) add(i int, v int64) {
+	for ; i < len(w.bit); i += i & -i {
+		w.bit[i] += v
+	}
+}
+
+func (w *WorkingSet) sum(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & -i {
+		s += w.bit[i]
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package prefetch
+
+import (
+	"espsim/internal/mem"
+	"espsim/internal/trace"
+)
+
+// EFetch is a simplified model of the event-signature instruction
+// prefetcher the paper compares against in §7 ("EFetch: optimizing
+// instruction fetch for event-driven web applications", Chadha et al.,
+// PACT 2014). EFetch exploits the same observation as ESP — event-driven
+// programs repeat handler types — but from the *past*: it records the
+// sequence of instruction cache lines each handler type touched on its
+// previous execution and replays it as prefetches on the next execution
+// of the same handler, advancing with the demand fetch stream.
+//
+// Against ESP's ~13 KB, EFetch's signature tables cost tens of kilobytes
+// (the paper quotes 3× ESP's budget), and its predictions come from a
+// *different dynamic instance* of the handler, so per-event variation
+// (this event's particular working set) degrades accuracy — the
+// structural weakness ESP's pre-execution of the *actual* pending event
+// avoids.
+type EFetch struct {
+	h *mem.Hierarchy
+
+	// Lookahead is how many predicted lines stay prefetched ahead of the
+	// demand stream; MaxLines bounds the total stored lines (hardware
+	// budget); MaxPerEvent bounds one handler's recorded sequence.
+	Lookahead   int
+	MaxLines    int
+	MaxPerEvent int
+
+	seqs  map[int][]uint64 // handler -> last execution's line sequence
+	lru   []int            // handlers in recency order (front = MRU)
+	total int
+
+	cur     int      // handler of the running event
+	rec     []uint64 // lines recorded for the running event
+	lastRec uint64
+
+	pred    []uint64 // predicted sequence being replayed
+	pos     int      // match position in pred
+	issued  int      // prefetch frontier in pred
+	matched bool
+
+	// Stats counts issued prefetches.
+	Stats Stats
+}
+
+// NewEFetch returns an EFetch with the paper-comparable default budget
+// (~12K stored lines ≈ 39 KB of 26-bit line addresses, 3× ESP).
+func NewEFetch(h *mem.Hierarchy) *EFetch {
+	return &EFetch{
+		h:           h,
+		Lookahead:   8,
+		MaxLines:    12 << 10,
+		MaxPerEvent: 768,
+		seqs:        make(map[int][]uint64),
+		cur:         -1,
+	}
+}
+
+// BeginEvent implements cpu.FetchObserver: store the finished event's
+// sequence, load the new handler's prediction, and prime the first
+// prefetches (EFetch, like ESP, can start before the handler's first
+// instruction).
+func (e *EFetch) BeginEvent(handler int) {
+	e.finish()
+	e.cur = handler
+	e.rec = e.rec[:0]
+	e.lastRec = 0
+	e.pred = e.seqs[handler]
+	e.pos, e.issued, e.matched = 0, 0, len(e.pred) > 0
+	e.touch(handler)
+	e.issueAhead()
+}
+
+// OnFetch implements cpu.FetchObserver: record the demand line and
+// advance the replay pointer when the demand stream matches the
+// prediction (with a small resync window for skipped lines).
+func (e *EFetch) OnFetch(addr uint64, _ mem.Level) {
+	l := trace.Line(addr)
+	if l != e.lastRec && len(e.rec) < e.MaxPerEvent {
+		e.rec = append(e.rec, l)
+		e.lastRec = l
+	}
+	if !e.matched {
+		return
+	}
+	const resync = 16
+	for k := 0; k < resync && e.pos+k < len(e.pred); k++ {
+		if e.pred[e.pos+k] == l {
+			e.pos += k + 1
+			e.issueAhead()
+			return
+		}
+	}
+	// No match near the pointer: this instance took a locally different
+	// path. Drift forward at the demand rate — handler instances share
+	// most of their code even when block order differs — and resume
+	// matching when the streams reconverge.
+	if e.pos < len(e.pred) {
+		e.pos++
+		e.issueAhead()
+	} else {
+		e.matched = false
+	}
+}
+
+// issueAhead keeps Lookahead predicted lines prefetched past the match
+// pointer.
+func (e *EFetch) issueAhead() {
+	for e.issued < e.pos+e.Lookahead && e.issued < len(e.pred) {
+		e.h.PrefetchI(e.pred[e.issued])
+		e.issued++
+		e.Stats.Issued++
+	}
+}
+
+// finish commits the recorded sequence as the handler's new signature,
+// evicting least-recently-used handlers past the line budget.
+func (e *EFetch) finish() {
+	if e.cur < 0 || len(e.rec) == 0 {
+		return
+	}
+	old := len(e.seqs[e.cur])
+	seq := make([]uint64, len(e.rec))
+	copy(seq, e.rec)
+	e.seqs[e.cur] = seq
+	e.total += len(seq) - old
+	for e.total > e.MaxLines && len(e.lru) > 0 {
+		victim := e.lru[len(e.lru)-1]
+		if victim == e.cur && len(e.lru) > 1 {
+			victim = e.lru[len(e.lru)-2]
+			e.lru = append(e.lru[:len(e.lru)-2], e.cur)
+		} else {
+			e.lru = e.lru[:len(e.lru)-1]
+		}
+		e.total -= len(e.seqs[victim])
+		delete(e.seqs, victim)
+		if victim == e.cur {
+			break
+		}
+	}
+}
+
+// touch moves handler to the front of the recency list.
+func (e *EFetch) touch(handler int) {
+	for i, h := range e.lru {
+		if h == handler {
+			copy(e.lru[1:i+1], e.lru[:i])
+			e.lru[0] = handler
+			return
+		}
+	}
+	e.lru = append([]int{handler}, e.lru...)
+}
+
+// StoredLines reports the table occupancy (for hardware-budget tables).
+func (e *EFetch) StoredLines() int { return e.total }

@@ -1,0 +1,167 @@
+package prefetch
+
+import (
+	"testing"
+
+	"espsim/internal/mem"
+	"espsim/internal/trace"
+)
+
+func lines(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)*trace.LineBytes
+	}
+	return out
+}
+
+func feed(e *EFetch, seq []uint64) {
+	for _, l := range seq {
+		e.OnFetch(l, mem.LevelMem)
+	}
+}
+
+func TestEFetchReplaysLearnedSequence(t *testing.T) {
+	h := mem.DefaultHierarchy()
+	e := NewEFetch(h)
+	seq := lines(0x10000, 20)
+
+	e.BeginEvent(7)
+	feed(e, seq)
+	if e.Stats.Issued != 0 {
+		t.Fatal("first execution has nothing to replay")
+	}
+	e.BeginEvent(7) // second instance of the same handler
+	if e.Stats.Issued == 0 {
+		t.Fatal("no prefetches primed at event start")
+	}
+	// The first lines must already be prefetched.
+	if !h.L1I.Probe(seq[0]) || !h.L1I.Probe(seq[1]) {
+		t.Fatal("primed prefetches missing from L1I")
+	}
+	feed(e, seq[:10])
+	if !h.L1I.Probe(seq[14]) {
+		t.Fatal("replay did not stay ahead of the demand stream")
+	}
+}
+
+func TestEFetchPerHandlerSequences(t *testing.T) {
+	h := mem.DefaultHierarchy()
+	e := NewEFetch(h)
+	a, b := lines(0x10000, 10), lines(0x90000, 10)
+	e.BeginEvent(1)
+	feed(e, a)
+	e.BeginEvent(2)
+	feed(e, b)
+	e.BeginEvent(1)
+	if h.L1I.Probe(b[0]) {
+		t.Fatal("handler 1's replay leaked handler 2's lines")
+	}
+	if !h.L1I.Probe(a[0]) {
+		t.Fatal("handler 1's own sequence not replayed")
+	}
+}
+
+func TestEFetchToleratesLocalDivergence(t *testing.T) {
+	h := mem.DefaultHierarchy()
+	e := NewEFetch(h)
+	seq := lines(0x10000, 30)
+	e.BeginEvent(3)
+	feed(e, seq)
+	e.BeginEvent(3)
+	// This instance skips a few lines in the middle.
+	variant := append(append([]uint64{}, seq[:5]...), seq[9:]...)
+	feed(e, variant)
+	if !h.L1I.Probe(seq[25]) {
+		t.Fatal("replay gave up after a local divergence")
+	}
+}
+
+func TestEFetchBudgetEviction(t *testing.T) {
+	h := mem.DefaultHierarchy()
+	e := NewEFetch(h)
+	e.MaxLines = 30
+	e.BeginEvent(1)
+	feed(e, lines(0x10000, 20))
+	e.BeginEvent(2)
+	feed(e, lines(0x90000, 20))
+	e.BeginEvent(3) // commits handler 2; must evict handler 1 (LRU)
+	if e.StoredLines() > e.MaxLines {
+		t.Fatalf("budget exceeded: %d lines stored", e.StoredLines())
+	}
+}
+
+func feedPIF(p *PIF, seq []uint64, levels []mem.Level) {
+	for i, l := range seq {
+		lvl := mem.LevelMem
+		if levels != nil {
+			lvl = levels[i]
+		}
+		p.OnFetch(l, lvl)
+	}
+}
+
+func TestPIFStreamsAfterRepeat(t *testing.T) {
+	h := mem.DefaultHierarchy()
+	p := NewPIF(h)
+	seq := lines(0x40000, 30)
+	feedPIF(p, seq, nil) // record the stream (all misses)
+	if p.Stats.Issued != 0 {
+		t.Fatal("nothing should replay on first sight")
+	}
+	// The same stream recurs: the first miss triggers a replay of its
+	// recorded successors.
+	p.OnFetch(seq[0], mem.LevelMem)
+	if p.Stats.Issued == 0 {
+		t.Fatal("repeat miss did not trigger a stream")
+	}
+	if !h.L1I.Probe(seq[1]) || !h.L1I.Probe(seq[3]) {
+		t.Fatal("stream successors not prefetched")
+	}
+}
+
+func TestPIFAdvancesOnHits(t *testing.T) {
+	h := mem.DefaultHierarchy()
+	p := NewPIF(h)
+	seq := lines(0x40000, 40)
+	feedPIF(p, seq, nil)
+	p.OnFetch(seq[0], mem.LevelMem) // trigger
+	issued := p.Stats.Issued
+	// Demand hits walking the stream keep the replay ahead.
+	for _, l := range seq[1:20] {
+		p.OnFetch(l, mem.LevelL1)
+	}
+	if p.Stats.Issued <= issued {
+		t.Fatal("stream did not advance with demand hits")
+	}
+	if !h.L1I.Probe(seq[22]) {
+		t.Fatal("deep stream line not prefetched")
+	}
+}
+
+func TestPIFHistoryWrapsSafely(t *testing.T) {
+	h := mem.DefaultHierarchy()
+	p := NewPIF(h)
+	p.HistorySize = 64
+	for rep := 0; rep < 4; rep++ {
+		feedPIF(p, lines(uint64(0x40000+rep*0x10000), 40), nil)
+	}
+	if len(p.hist) != 64 {
+		t.Fatalf("history grew past its bound: %d", len(p.hist))
+	}
+	// Index entries must stay within the live history.
+	for l, pos := range p.index {
+		if pos < 0 || pos >= len(p.hist) || p.hist[pos] != l {
+			t.Fatalf("stale index entry %#x -> %d", l, pos)
+		}
+	}
+}
+
+func TestPIFUnknownMissNoStream(t *testing.T) {
+	h := mem.DefaultHierarchy()
+	p := NewPIF(h)
+	p.OnFetch(0x40000, mem.LevelMem)
+	if p.Stats.Issued != 0 {
+		t.Fatal("cold miss with empty history must not prefetch")
+	}
+}

@@ -1,0 +1,127 @@
+package prefetch
+
+import (
+	"espsim/internal/mem"
+	"espsim/internal/trace"
+)
+
+// PIF is a simplified model of Proactive Instruction Fetch (Ferdman et
+// al., MICRO 2011), the temporal-streaming instruction prefetcher the
+// paper compares against in §7. PIF records the retire-order stream of
+// instruction cache lines in a large global history buffer; when a
+// demand fetch matches a line seen before, it replays the lines that
+// followed it last time as prefetches.
+//
+// PIF is powerful but pays for it in state — the paper quotes ~15× ESP's
+// hardware budget for its history and index — and, unlike ESP, its
+// history interleaves all events' streams, so the fine-grained event
+// interleaving of asynchronous programs dilutes its streams.
+type PIF struct {
+	h *mem.Hierarchy
+
+	// HistorySize bounds the circular history (in line records);
+	// StreamDegree is how many successor lines are replayed per trigger.
+	HistorySize  int
+	StreamDegree int
+
+	hist  []uint64
+	head  int
+	index map[uint64]int // line -> most recent history position
+	last  uint64
+
+	// stream replay state: position in history being followed.
+	streamPos int
+	streaming bool
+
+	// Stats counts issued prefetches.
+	Stats Stats
+}
+
+// NewPIF returns a PIF with the paper-comparable budget (~48K history
+// records ≈ 190 KB, 15× ESP).
+func NewPIF(h *mem.Hierarchy) *PIF {
+	return &PIF{
+		h:            h,
+		HistorySize:  48 << 10,
+		StreamDegree: 6,
+		index:        make(map[uint64]int),
+	}
+}
+
+// BeginEvent implements cpu.FetchObserver; PIF has no notion of events —
+// its history is one global stream.
+func (p *PIF) BeginEvent(int) {}
+
+// OnFetch implements cpu.FetchObserver: append to the history and, on an
+// L1 miss, look the line up in the history and stream its successors.
+func (p *PIF) OnFetch(addr uint64, level mem.Level) {
+	l := trace.Line(addr)
+	if l == p.last {
+		return
+	}
+	p.last = l
+
+	prev, seen := p.index[l]
+
+	// Record into the circular history.
+	if len(p.hist) < p.HistorySize {
+		p.hist = append(p.hist, l)
+		p.index[l] = len(p.hist) - 1
+	} else {
+		old := p.hist[p.head]
+		if p.index[old] == p.head {
+			delete(p.index, old)
+		}
+		p.hist[p.head] = l
+		p.index[l] = p.head
+		p.head = (p.head + 1) % p.HistorySize
+	}
+
+	if level == mem.LevelL1 {
+		// Hits keep an active stream advancing.
+		if p.streaming {
+			p.advance(prev, seen)
+		}
+		return
+	}
+	// A miss triggers a new stream from the line's previous occurrence.
+	if seen {
+		p.streamPos = prev
+		p.streaming = true
+		p.replay()
+	} else {
+		p.streaming = false
+	}
+}
+
+// advance follows the active stream while the demand stream stays within
+// a short window of it (temporal streams tolerate small reorderings).
+func (p *PIF) advance(prev int, seen bool) {
+	if !seen || len(p.hist) == 0 {
+		return
+	}
+	const window = 16
+	n := len(p.hist)
+	dist := (prev - p.streamPos + n) % n
+	if dist > 0 && dist <= window {
+		p.streamPos = prev
+		p.replay()
+	}
+}
+
+// replay prefetches the StreamDegree history successors of streamPos.
+func (p *PIF) replay() {
+	n := len(p.hist)
+	if n == 0 {
+		return
+	}
+	pos := p.streamPos
+	for k := 0; k < p.StreamDegree; k++ {
+		pos = (pos + 1) % n
+		if pos == p.head && n == p.HistorySize {
+			break // reached the write frontier
+		}
+		p.h.PrefetchI(p.hist[pos])
+		p.Stats.Issued++
+	}
+}

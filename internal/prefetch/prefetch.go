@@ -1,0 +1,121 @@
+// Package prefetch implements the baseline hardware prefetchers the paper
+// compares against and composes with (Figure 7, §5): a next-line
+// instruction prefetcher [5], an Intel DCU-style next-line data prefetcher
+// that waits for consecutive accesses to the same line before prefetching
+// [15], and a 256-entry PC-indexed stride prefetcher.
+package prefetch
+
+import (
+	"espsim/internal/mem"
+	"espsim/internal/trace"
+)
+
+// Stats counts prefetch decisions (installation usefulness is tracked by
+// the caches themselves).
+type Stats struct {
+	// Issued counts prefetch requests sent to the hierarchy.
+	Issued int64
+}
+
+// NextLineI is the next-line instruction prefetcher: every demand fetch of
+// line L triggers a prefetch of line L+1.
+type NextLineI struct {
+	h        *mem.Hierarchy
+	lastLine uint64
+	// Stats counts issued prefetches.
+	Stats Stats
+}
+
+// NewNextLineI returns a next-line instruction prefetcher that installs
+// into h.
+func NewNextLineI(h *mem.Hierarchy) *NextLineI { return &NextLineI{h: h} }
+
+// OnFetch observes a demand instruction fetch of addr.
+func (p *NextLineI) OnFetch(addr uint64) {
+	l := trace.Line(addr)
+	if l == p.lastLine {
+		return // still in the same line; already prefetched its successor
+	}
+	p.lastLine = l
+	p.h.PrefetchINear(l + trace.LineBytes)
+	p.Stats.Issued++
+}
+
+// DCU is Intel's next-line data prefetcher: it waits for streakLen
+// consecutive accesses to the same data line, then prefetches the next
+// line (§5).
+type DCU struct {
+	h      *mem.Hierarchy
+	line   uint64
+	streak int
+	// Stats counts issued prefetches.
+	Stats Stats
+}
+
+// streakLen is the number of consecutive same-line accesses DCU requires.
+const streakLen = 4
+
+// NewDCU returns a DCU prefetcher installing into h.
+func NewDCU(h *mem.Hierarchy) *DCU { return &DCU{h: h} }
+
+// OnAccess observes a demand data access.
+func (p *DCU) OnAccess(addr uint64) {
+	l := trace.Line(addr)
+	if l != p.line {
+		p.line = l
+		p.streak = 1
+		return
+	}
+	p.streak++
+	if p.streak == streakLen {
+		p.h.PrefetchDNear(l + trace.LineBytes)
+		p.Stats.Issued++
+	}
+}
+
+type strideEntry struct {
+	tag    uint32
+	last   uint64
+	stride int64
+	conf   uint8
+	valid  bool
+}
+
+// Stride is a 256-entry PC-indexed stride data prefetcher (Figure 7 lists
+// a 256-entry stride prefetcher alongside the next-line data prefetcher).
+type Stride struct {
+	h       *mem.Hierarchy
+	entries [256]strideEntry
+	// Stats counts issued prefetches.
+	Stats Stats
+}
+
+// NewStride returns a stride prefetcher installing into h.
+func NewStride(h *mem.Hierarchy) *Stride { return &Stride{h: h} }
+
+// OnAccess observes a demand data access by the load/store at pc.
+func (p *Stride) OnAccess(pc, addr uint64) {
+	e := &p.entries[(pc>>2)%256]
+	tag := uint32(pc >> 2)
+	if !e.valid || e.tag != tag {
+		*e = strideEntry{tag: tag, last: addr, valid: true}
+		return
+	}
+	s := int64(addr) - int64(e.last)
+	e.last = addr
+	if s == 0 {
+		return
+	}
+	if s == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = s
+		e.conf = 0
+	}
+	if e.conf >= 2 {
+		p.h.PrefetchDNear(uint64(int64(addr) + 2*e.stride))
+		p.Stats.Issued++
+	}
+}

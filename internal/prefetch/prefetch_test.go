@@ -1,0 +1,143 @@
+package prefetch
+
+import (
+	"testing"
+
+	"espsim/internal/mem"
+	"espsim/internal/trace"
+)
+
+func hier() *mem.Hierarchy {
+	h := mem.DefaultHierarchy()
+	h.NearTimelyPct = 100 // deterministic timeliness for tests
+	return h
+}
+
+func TestNextLineIPrefetchesSuccessor(t *testing.T) {
+	h := hier()
+	p := NewNextLineI(h)
+	h.FetchI(0x1000) // warm the line itself
+	p.OnFetch(0x1000)
+	if !h.L2.Probe(0x1040) {
+		t.Fatal("next line not prefetched into L2")
+	}
+	if p.Stats.Issued != 1 {
+		t.Fatalf("Issued = %d", p.Stats.Issued)
+	}
+}
+
+func TestNextLineIOncePerLine(t *testing.T) {
+	h := hier()
+	p := NewNextLineI(h)
+	p.OnFetch(0x1000)
+	p.OnFetch(0x1004)
+	p.OnFetch(0x1038)
+	if p.Stats.Issued != 1 {
+		t.Fatalf("Issued = %d, want 1 for same-line fetches", p.Stats.Issued)
+	}
+	p.OnFetch(0x1040)
+	if p.Stats.Issued != 2 {
+		t.Fatalf("Issued = %d after crossing a line", p.Stats.Issued)
+	}
+}
+
+func TestNextLineITimeliness(t *testing.T) {
+	h := hier()
+	p := NewNextLineI(h)
+	// Cold successor: L2 only.
+	p.OnFetch(0x5000)
+	if h.L1I.Probe(0x5040) {
+		t.Fatal("cold next-line prefetch must not reach L1I")
+	}
+	// Now that 0x5040 is L2-resident, a repeat prefetch reaches L1I.
+	p.OnFetch(0x5000 + 2*trace.LineBytes)
+	p.OnFetch(0x5000)
+	if !h.L1I.Probe(0x5040) {
+		t.Fatal("warm, timely next-line prefetch should reach L1I")
+	}
+}
+
+func TestDCURequiresStreak(t *testing.T) {
+	h := hier()
+	p := NewDCU(h)
+	for i := 0; i < streakLen-1; i++ {
+		p.OnAccess(0x8000)
+	}
+	if p.Stats.Issued != 0 {
+		t.Fatal("DCU fired before the streak completed")
+	}
+	p.OnAccess(0x8000)
+	if p.Stats.Issued != 1 {
+		t.Fatal("DCU should fire after 4 consecutive same-line accesses")
+	}
+	if !h.L2.Probe(0x8040) {
+		t.Fatal("DCU prefetch did not land")
+	}
+}
+
+func TestDCUStreakResetOnLineChange(t *testing.T) {
+	h := hier()
+	p := NewDCU(h)
+	p.OnAccess(0x8000)
+	p.OnAccess(0x8000)
+	p.OnAccess(0x9000) // breaks the streak
+	p.OnAccess(0x8000)
+	p.OnAccess(0x8000)
+	p.OnAccess(0x8000)
+	if p.Stats.Issued != 0 {
+		t.Fatal("streak should have been reset by the interleaved access")
+	}
+}
+
+func TestStrideDetectsStride(t *testing.T) {
+	h := hier()
+	p := NewStride(h)
+	pc := uint64(0x1234)
+	for i := 0; i < 4; i++ {
+		p.OnAccess(pc, uint64(0x10000+i*256))
+	}
+	if p.Stats.Issued == 0 {
+		t.Fatal("stride prefetcher never fired on a perfect stride")
+	}
+	// Prefetches land two strides ahead.
+	if !h.L2.Probe(0x10000 + 3*256 + 2*256) {
+		t.Fatal("stride prefetch target missing")
+	}
+}
+
+func TestStrideIgnoresRandom(t *testing.T) {
+	h := hier()
+	p := NewStride(h)
+	pc := uint64(0x1234)
+	addrs := []uint64{0x1000, 0x9000, 0x2000, 0x7000, 0x3000}
+	for _, a := range addrs {
+		p.OnAccess(pc, a)
+	}
+	if p.Stats.Issued != 0 {
+		t.Fatalf("stride fired %d times on random addresses", p.Stats.Issued)
+	}
+}
+
+func TestStrideZeroStrideSafe(t *testing.T) {
+	h := hier()
+	p := NewStride(h)
+	for i := 0; i < 10; i++ {
+		p.OnAccess(0x100, 0x8000) // same address every time
+	}
+	if p.Stats.Issued != 0 {
+		t.Fatal("zero stride must not prefetch")
+	}
+}
+
+func TestStridePerPCTracking(t *testing.T) {
+	h := hier()
+	p := NewStride(h)
+	// Two PCs with different strides, interleaved: both must be detected.
+	for i := 0; i < 5; i++ {
+		p.OnAccess(0x100, uint64(0x10000+i*128))
+		p.OnAccess(0x200, uint64(0x80000+i*512))
+	}
+	if p.Stats.Issued < 4 {
+		t.Fatalf("interleaved strides poorly tracked: %d issues", p.Stats.Issued)
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{2, 2, 2}); got != 2 {
+		t.Fatalf("HMean(2,2,2) = %v", got)
+	}
+	got := HarmonicMean([]float64{1, 4})
+	if math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("HMean(1,4) = %v, want 1.6", got)
+	}
+	if !math.IsNaN(HarmonicMean(nil)) {
+		t.Fatal("HMean(nil) should be NaN")
+	}
+	if !math.IsNaN(HarmonicMean([]float64{1, -1})) {
+		t.Fatal("HMean with non-positive input should be NaN")
+	}
+}
+
+func TestHarmonicLEQArithmetic(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return HarmonicMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMeanBetween(t *testing.T) {
+	xs := []float64{1, 2, 8}
+	g := GeoMean(xs)
+	if g <= HarmonicMean(xs) || g >= Mean(xs) {
+		t.Fatalf("GeoMean %v not between HMean %v and Mean %v", g, HarmonicMean(xs), Mean(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7}
+	if got := Percentile(xs, 0.5); got != 5 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Percentile(xs, 1.0); got != 9 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := Percentile(xs, 0.0); got != 1 {
+		t.Fatalf("min quantile = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("Percentile(nil) should be NaN")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(1.16); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("Improvement(1.16) = %v", got)
+	}
+	if Improvement(1) != 0 {
+		t.Fatal("Improvement(1) != 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.Add("alpha", "1")
+	tb.AddF("beta", "%.2f", 3.14159)
+	out := tb.String()
+	for _, want := range []string{"My Title", "name", "alpha", "beta", "3.14"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("xxxxxxxx", "1")
+	tb.Add("y", "2")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	last := lines[len(lines)-1]
+	prev := lines[len(lines)-2]
+	if strings.Index(prev, "1") != strings.Index(last, "2") {
+		t.Fatalf("columns misaligned:\n%s", tb.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("title ignored", "a", "b")
+	tb.Add("x", "1")
+	tb.Add("with,comma", `with"quote`)
+	got := tb.CSV()
+	want := "a,b\nx,1\n\"with,comma\",\"with\"\"quote\"\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

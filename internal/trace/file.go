@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format (little-endian, varint-compressed):
+//
+//	magic "ESPT" | version u8 | event count uvarint
+//	per event: id uvarint | handler uvarint | seed u64 | diverge varint |
+//	           inst count uvarint | insts...
+//	per inst:  kind u8 (bit0-1 kind, bit2 taken, bit3 indirect,
+//	           bit4 call, bit5 ret) |
+//	           pc delta varint | addr uvarint (mem only) |
+//	           target delta varint (taken branches only)
+//
+// PC and target are delta-encoded against the previous instruction's PC,
+// which keeps sequential code to ~2 bytes per instruction.
+
+var fileMagic = [4]byte{'E', 'S', 'P', 'T'}
+
+const fileVersion = 1
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// EventTrace is a fully materialized event: its metadata plus every
+// dynamic instruction it retires.
+type EventTrace struct {
+	Event Event
+	Insts []Inst
+}
+
+// WriteFile encodes events to w in the ESPT binary format.
+func WriteFile(w io.Writer, events []EventTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(fileVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(events))); err != nil {
+		return err
+	}
+	for _, et := range events {
+		ev := et.Event
+		if err := putUvarint(uint64(ev.ID)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ev.Handler)); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf[:8], ev.Seed)
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+		if err := putVarint(int64(ev.Diverge)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(et.Insts))); err != nil {
+			return err
+		}
+		prevPC := uint64(0)
+		for _, in := range et.Insts {
+			hdr := byte(in.Kind) & 0x3
+			if in.Taken {
+				hdr |= 1 << 2
+			}
+			if in.Indirect {
+				hdr |= 1 << 3
+			}
+			if in.Call {
+				hdr |= 1 << 4
+			}
+			if in.Ret {
+				hdr |= 1 << 5
+			}
+			if err := bw.WriteByte(hdr); err != nil {
+				return err
+			}
+			if err := putVarint(int64(in.PC) - int64(prevPC)); err != nil {
+				return err
+			}
+			prevPC = in.PC
+			if in.Kind == Load || in.Kind == Store {
+				if err := putUvarint(in.Addr); err != nil {
+					return err
+				}
+			}
+			if in.Kind == Branch && in.Taken {
+				if err := putVarint(int64(in.Target) - int64(in.PC)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile decodes an ESPT trace previously written by WriteFile.
+func ReadFile(r io.Reader) ([]EventTrace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if ver != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+	nEvents, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	const maxEvents = 1 << 26
+	if nEvents > maxEvents {
+		return nil, fmt.Errorf("%w: implausible event count %d", ErrBadTrace, nEvents)
+	}
+	events := make([]EventTrace, 0, nEvents)
+	for e := uint64(0); e < nEvents; e++ {
+		var et EventTrace
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		handler, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		var seedBuf [8]byte
+		if _, err := io.ReadFull(br, seedBuf[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		diverge, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		nInsts, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		const maxInsts = 1 << 30
+		if nInsts > maxInsts {
+			return nil, fmt.Errorf("%w: implausible instruction count %d", ErrBadTrace, nInsts)
+		}
+		et.Event = Event{
+			ID:      int(id),
+			Handler: int(handler),
+			Seed:    binary.LittleEndian.Uint64(seedBuf[:]),
+			Len:     int(nInsts),
+			Diverge: int(diverge),
+		}
+		et.Insts = make([]Inst, 0, nInsts)
+		prevPC := uint64(0)
+		for k := uint64(0); k < nInsts; k++ {
+			hdr, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			in := Inst{
+				Kind:     Kind(hdr & 0x3),
+				Taken:    hdr&(1<<2) != 0,
+				Indirect: hdr&(1<<3) != 0,
+				Call:     hdr&(1<<4) != 0,
+				Ret:      hdr&(1<<5) != 0,
+			}
+			dpc, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+			}
+			in.PC = uint64(int64(prevPC) + dpc)
+			prevPC = in.PC
+			if in.Kind == Load || in.Kind == Store {
+				if in.Addr, err = binary.ReadUvarint(br); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+				}
+			}
+			if in.Kind == Branch && in.Taken {
+				dt, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+				}
+				in.Target = uint64(int64(in.PC) + dt)
+			}
+			et.Insts = append(et.Insts, in)
+		}
+		events = append(events, et)
+	}
+	return events, nil
+}

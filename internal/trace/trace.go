@@ -1,0 +1,156 @@
+// Package trace defines the instruction-level currency of the simulator:
+// dynamic instruction records, replayable instruction streams, and the
+// event metadata that ties streams to the asynchronous runtime.
+//
+// The paper drives its evaluation with instruction traces of Chromium's
+// renderer process (Section 5). We reproduce that pipeline with synthetic
+// but statistically calibrated traces (package workload); everything above
+// the generator consumes only the types defined here, so recorded traces
+// and synthetic traces are interchangeable.
+package trace
+
+// Kind classifies a dynamic instruction. The timing model only needs to
+// know whether an instruction touches memory, transfers control, or
+// occupies an execution slot.
+type Kind uint8
+
+const (
+	// ALU is any non-memory, non-control instruction.
+	ALU Kind = iota
+	// Load reads memory at Inst.Addr.
+	Load
+	// Store writes memory at Inst.Addr.
+	Store
+	// Branch is a control transfer; Taken/Target/Indirect describe it.
+	Branch
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case ALU:
+		return "alu"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	default:
+		return "unknown"
+	}
+}
+
+// InstBytes is the fixed instruction size. A fixed-size RISC-like encoding
+// keeps program-counter arithmetic trivial; the paper's traces are x86 but
+// nothing in ESP depends on variable-length encoding.
+const InstBytes = 4
+
+// LineBytes is the cache line size used throughout (Figure 7).
+const LineBytes = 64
+
+// Inst is one dynamic instruction.
+type Inst struct {
+	// PC is the instruction's virtual address.
+	PC uint64
+	// Addr is the effective memory address for Load/Store instructions.
+	Addr uint64
+	// Target is the branch target when Taken; ignored otherwise.
+	Target uint64
+	// Kind classifies the instruction.
+	Kind Kind
+	// Taken reports whether a Branch was taken.
+	Taken bool
+	// Indirect reports whether a Branch computed its target at run time
+	// (indirect call/jump); such branches consult the iBTB.
+	Indirect bool
+	// Call marks a Branch that pushes a return address; Ret marks one
+	// that returns through it. They drive the return address stack.
+	Call bool
+	Ret  bool
+}
+
+// NextPC returns the address of the instruction that follows i in the
+// dynamic stream.
+func (i Inst) NextPC() uint64 {
+	if i.Kind == Branch && i.Taken {
+		return i.Target
+	}
+	return i.PC + InstBytes
+}
+
+// Line returns the cache line address (tag | index bits) containing addr.
+func Line(addr uint64) uint64 { return addr &^ (LineBytes - 1) }
+
+// Stream is a replayable sequence of dynamic instructions for one event.
+// Next returns false when the event has retired its last instruction.
+type Stream interface {
+	Next() (Inst, bool)
+}
+
+// Event is one unit of asynchronous work: a handler invocation posted to
+// the software event queue.
+type Event struct {
+	// ID is the event's position in the session's execution order.
+	ID int
+	// Handler identifies the handler type (callback function) invoked.
+	Handler int
+	// Seed makes the event's dynamic behaviour reproducible.
+	Seed uint64
+	// Len is the approximate number of instructions the event retires.
+	Len int
+	// Diverge, when >= 0, is the instruction index at which a speculative
+	// pre-execution of this event diverges from its eventual normal
+	// execution (the event depended on an earlier, skipped event). A
+	// value of -1 means pre-execution matches normal execution exactly.
+	Diverge int
+}
+
+// Program produces replayable instruction streams for events. Stream may
+// be called any number of times for the same event; each call restarts the
+// event from its first instruction.
+type Program interface {
+	// Stream returns ev's instruction stream. When speculative is true the
+	// stream is the pre-execution variant, which follows the normal stream
+	// until ev.Diverge and then departs from it.
+	Stream(ev Event, speculative bool) Stream
+}
+
+// SliceStream adapts a materialized instruction slice to the Stream
+// interface.
+type SliceStream struct {
+	insts []Inst
+	pos   int
+}
+
+// NewSliceStream returns a Stream that yields insts in order.
+func NewSliceStream(insts []Inst) *SliceStream { return &SliceStream{insts: insts} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Inst, bool) {
+	if s.pos >= len(s.insts) {
+		return Inst{}, false
+	}
+	i := s.insts[s.pos]
+	s.pos++
+	return i, true
+}
+
+// Reset rewinds the stream to the first instruction.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Record drains a stream into a slice, up to max instructions
+// (max <= 0 means unbounded).
+func Record(s Stream, max int) []Inst {
+	var out []Inst
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		in, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, in)
+	}
+}

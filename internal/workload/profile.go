@@ -1,0 +1,285 @@
+// Package workload synthesizes asynchronous-program instruction traces
+// that are statistically calibrated to the seven Web 2.0 applications the
+// paper evaluates (Figure 6): amazon, bing, cnn, facebook, gmaps, gdocs
+// and pixlr.
+//
+// The paper recorded Chromium renderer-process traces of live browsing
+// sessions; those traces are not available, so this package substitutes a
+// deterministic generator that reproduces the execution properties ESP
+// exploits (DESIGN.md §2): many short events of varied handler types,
+// large instruction footprints, cold data misses, mostly-independent
+// events that occasionally depend on a predecessor, and events resident in
+// the queue before they run.
+package workload
+
+import "fmt"
+
+// Profile describes one application workload. The seven presets are
+// scaled-down versions of the paper's sessions (Figure 6): event lengths
+// and counts are divided by ScaleDivisor while the ratios between
+// applications — and the footprint-to-cache-size ratios that produce the
+// paper's miss rates — are preserved.
+type Profile struct {
+	// Name is the application name as it appears in the paper's figures;
+	// Actions describes the browsing session (Figure 6's "Actions
+	// performed" column).
+	Name    string
+	Actions string
+
+	// PaperEvents and PaperInsts are the session sizes reported in
+	// Figure 6 (instructions in millions are stored as absolute counts).
+	PaperEvents int
+	PaperInsts  int64
+
+	// Events is the number of events simulated; MeanEventLen the mean
+	// instructions per event (lognormal-ish spread of EventLenSpread).
+	Events         int
+	MeanEventLen   int
+	EventLenSpread float64
+
+	// Handlers is the number of distinct handler types; consecutive
+	// events come from different handlers (fine-grained interleaving).
+	Handlers int
+
+	// HandlerFootprint is the code bytes reachable per handler type;
+	// RuntimeFootprint the shared JS-engine/runtime code all handlers
+	// call into; RuntimeFrac the fraction of call sites that target it.
+	HandlerFootprint int
+	RuntimeFootprint int
+	RuntimeFrac      float64
+
+	// LoadFrac/StoreFrac are per-instruction memory mix (of non-branch
+	// slots); BranchFrac emerges from the mean basic-block length.
+	LoadFrac  float64
+	StoreFrac float64
+
+	// SharedData is the application-state data region (bytes);
+	// EventHeap the per-event private allocation (cold on first touch);
+	// SharedFrac the fraction of new data references into shared state;
+	// StrideFrac the probability a load starts a sequential array walk
+	// (what a stride/DCU prefetcher can catch);
+	// HotFrac is the fraction of shared refs that hit a hot 1/16 subset;
+	// ReuseFrac is the probability a data reference re-touches a recent
+	// address (temporal locality — it sets the L1-D hit rate).
+	SharedData int
+	EventHeap  int
+	SharedFrac float64
+	StrideFrac float64
+	HotFrac    float64
+	ReuseFrac  float64
+
+	// HotCallFrac is the fraction of call sites that target a small hot
+	// subset of functions (code temporal locality — it sets the I-cache
+	// behaviour together with the footprints).
+	HotCallFrac float64
+
+	// CodeIntensity scales how much code an event of a given length
+	// touches (1.0 = suite default; 0 means 1). Code-diverse
+	// applications (spreadsheet formulas, map rendering paths) sit
+	// above 1.
+	CodeIntensity float64
+
+	// DataDepBranch is the fraction of conditional branches whose
+	// outcome is data dependent (unpredictable across event instances).
+	DataDepBranch float64
+
+	// DepProb is the probability that an event depends on an earlier
+	// pending event, making its pre-execution diverge (paper §5: >99%
+	// of pre-executions match normal execution).
+	DepProb float64
+
+	// QueueNext and QueueSecond are the probabilities that, when an
+	// event begins executing, the next (resp. second-next) event is
+	// already resident in the event queue (paper §2.2: events wait tens
+	// of microseconds; §6.6: a third pending event is rarely visible).
+	QueueNext   float64
+	QueueSecond float64
+
+	// Seed decorrelates applications from one another.
+	Seed uint64
+}
+
+// ScaleDivisor is the default factor by which paper session sizes are
+// divided for the simulated profiles, chosen so the full experiment suite
+// runs in minutes. cmd/espsim and cmd/espbench accept -scale to trade
+// run time for longer sessions.
+const ScaleDivisor = 10
+
+// Validate reports whether the profile's parameters are usable.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Events <= 0:
+		return fmt.Errorf("workload %q: Events must be positive", p.Name)
+	case p.MeanEventLen < 64:
+		return fmt.Errorf("workload %q: MeanEventLen %d too small", p.Name, p.MeanEventLen)
+	case p.Handlers <= 0:
+		return fmt.Errorf("workload %q: Handlers must be positive", p.Name)
+	case p.HandlerFootprint < 4096 || p.RuntimeFootprint < 4096:
+		return fmt.Errorf("workload %q: code footprints must be >= 4KiB", p.Name)
+	case p.LoadFrac < 0 || p.StoreFrac < 0 || p.LoadFrac+p.StoreFrac > 0.9:
+		return fmt.Errorf("workload %q: bad memory mix", p.Name)
+	case p.SharedData < 4096 || p.EventHeap < 256:
+		return fmt.Errorf("workload %q: data regions too small", p.Name)
+	case p.DepProb < 0 || p.DepProb > 1:
+		return fmt.Errorf("workload %q: DepProb out of range", p.Name)
+	case p.ReuseFrac < 0 || p.ReuseFrac > 0.999:
+		return fmt.Errorf("workload %q: ReuseFrac out of range", p.Name)
+	case p.HotCallFrac < 0 || p.HotCallFrac > 1:
+		return fmt.Errorf("workload %q: HotCallFrac out of range", p.Name)
+	case p.CodeIntensity < 0 || p.CodeIntensity > 8:
+		return fmt.Errorf("workload %q: CodeIntensity out of range", p.Name)
+	case p.QueueNext < 0 || p.QueueNext > 1 || p.QueueSecond < 0 || p.QueueSecond > 1:
+		return fmt.Errorf("workload %q: queue probabilities out of range", p.Name)
+	}
+	return nil
+}
+
+// TotalInsts returns the approximate instructions the profile simulates.
+func (p *Profile) TotalInsts() int64 { return int64(p.Events) * int64(p.MeanEventLen) }
+
+// Scale returns a copy of the profile with event count multiplied by f
+// (event lengths are left unchanged so per-event microarchitectural
+// behaviour is preserved). f must be positive.
+func (p Profile) Scale(f float64) Profile {
+	if f <= 0 {
+		f = 1
+	}
+	p.Events = int(float64(p.Events) * f)
+	if p.Events < 4 {
+		p.Events = 4
+	}
+	return p
+}
+
+func base(name string, seed uint64) Profile {
+	return Profile{
+		Name:             name,
+		EventLenSpread:   0.8,
+		Handlers:         24,
+		HandlerFootprint: 96 << 10,
+		RuntimeFootprint: 384 << 10,
+		RuntimeFrac:      0.30,
+		LoadFrac:         0.26,
+		StoreFrac:        0.10,
+		SharedData:       3 << 20,
+		EventHeap:        12 << 10,
+		SharedFrac:       0.45,
+		StrideFrac:       0.004,
+		HotFrac:          0.80,
+		ReuseFrac:        0.965,
+		HotCallFrac:      0.66,
+		CodeIntensity:    1.0,
+		DataDepBranch:    0.06,
+		DepProb:          0.02,
+		QueueNext:        0.96,
+		QueueSecond:      0.85,
+		Seed:             seed,
+	}
+}
+
+// Amazon models the e-commerce session (search, click result, related
+// item): many short events over a large retail-page handler set.
+func Amazon() Profile {
+	p := base("amazon", 0xA3A201)
+	p.PaperEvents, p.PaperInsts = 7787, 434e6
+	p.Actions = "Search for a pair of headphones, click on one result, go to a related item"
+	p.Events, p.MeanEventLen = 380, 5600
+	p.Handlers = 30
+	return p
+}
+
+// Bing models the search session: short events, moderate footprint.
+func Bing() Profile {
+	p := base("bing", 0xB1B902)
+	p.PaperEvents, p.PaperInsts = 4858, 259e6
+	p.Actions = `Search for the term "Roger Federer", go to new results`
+	p.Events, p.MeanEventLen = 250, 5300
+	p.Handlers = 22
+	p.HandlerFootprint = 72 << 10
+	return p
+}
+
+// CNN models the news session: very many events, large article DOM state.
+func CNN() Profile {
+	p := base("cnn", 0xC2C903)
+	p.PaperEvents, p.PaperInsts = 13409, 1230e6
+	p.Actions = "Click on the headline, go to world news"
+	p.Events, p.MeanEventLen = 300, 9200
+	p.Handlers = 34
+	p.SharedData = 4 << 20
+	return p
+}
+
+// Facebook models the social-networking session: longer events, heavy
+// shared state, more inter-event dependence.
+func Facebook() Profile {
+	p := base("facebook", 0xF4F904)
+	p.PaperEvents, p.PaperInsts = 9305, 2165e6
+	p.Actions = "Visit own homepage, go to communities, go to pictures"
+	p.Events, p.MeanEventLen = 110, 23300
+	p.Handlers = 36
+	p.HandlerFootprint = 112 << 10
+	p.DepProb = 0.03
+	return p
+}
+
+// GMaps models the interactive-maps session: long compute-heavy events
+// (tile math), data-intensive with some strided access.
+func GMaps() Profile {
+	p := base("gmaps", 0x69A905)
+	p.PaperEvents, p.PaperInsts = 7298, 2722e6
+	p.Actions = "Search for two addresses, get driving, public transit and biking directions"
+	p.Events, p.MeanEventLen = 64, 37300
+	p.Handlers = 28
+	p.StrideFrac = 0.02
+	p.SharedData = 5 << 20
+	p.CodeIntensity = 1.7
+	p.ReuseFrac = 0.977
+	return p
+}
+
+// GDocs models the spreadsheet session: the longest events in the suite.
+func GDocs() Profile {
+	p := base("gdocs", 0x6D0906)
+	p.PaperEvents, p.PaperInsts = 1714, 809e6
+	p.Actions = "Open a spreadsheet, insert data, add 5 values"
+	p.Events, p.MeanEventLen = 44, 47200
+	p.Handlers = 26
+	p.HandlerFootprint = 128 << 10
+	p.CodeIntensity = 1.7
+	p.ReuseFrac = 0.977
+	return p
+}
+
+// Pixlr models the image-editing session: a small number of filter
+// events, the smallest session in the suite, heavily strided pixel data.
+func Pixlr() Profile {
+	p := base("pixlr", 0x919707)
+	p.PaperEvents, p.PaperInsts = 465, 26e6
+	p.Actions = "Add various filters to an image uploaded from the computer"
+	p.Events, p.MeanEventLen = 96, 5600
+	p.Handlers = 14
+	p.StrideFrac = 0.035
+	p.HandlerFootprint = 64 << 10
+	p.SharedData = 2 << 20
+	return p
+}
+
+// Suite returns the seven paper benchmarks in figure order.
+func Suite() []Profile {
+	return []Profile{Amazon(), Bing(), CNN(), Facebook(), GMaps(), GDocs(), Pixlr()}
+}
+
+// ByName returns the named profile, or an error listing valid names.
+func ByName(name string) (Profile, error) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, 7)
+	for _, p := range Suite() {
+		names = append(names, p.Name)
+	}
+	return Profile{}, fmt.Errorf("workload: unknown application %q (valid: %v)", name, names)
+}

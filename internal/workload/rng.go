@@ -1,0 +1,52 @@
+package workload
+
+// Deterministic hashing and pseudo-random generation.
+//
+// All "static" program properties (what code lives at a PC: block length,
+// branch class, call targets, biases, instruction kinds) are pure functions
+// of (program seed, PC) via Hash, so every dynamic instance of a handler
+// executes the same code. All "dynamic" behaviour (data-dependent branch
+// outcomes, memory addresses) flows from a per-event RNG, so replaying an
+// event — e.g. for speculative pre-execution — reproduces it exactly.
+
+// Hash mixes x with splitmix64's finalizer. It is the basis for all static
+// code properties.
+func Hash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash2 mixes two values.
+func Hash2(a, b uint64) uint64 { return Hash(a ^ Hash(b)) }
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// (seed-0) generator; use NewRNG for an explicit seed.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) RNG { return RNG{state: seed} }
+
+// Next returns the next 64 pseudo-random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Next()>>11) / (1 << 53) }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Reseed replaces the generator state, decorrelating the sequence from its
+// past. Used to model speculative pre-executions diverging from the normal
+// execution path.
+func (r *RNG) Reseed(salt uint64) { r.state = Hash2(r.state, salt) }

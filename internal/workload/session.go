@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+
+	"espsim/internal/trace"
+)
+
+// Session is one application browsing session: the ordered list of events
+// the looper thread will execute, plus the queue-occupancy schedule that
+// determines which future events ESP can see (paper §2.2, §6.6).
+type Session struct {
+	// Gen generates the instruction streams for the session's events.
+	Gen *Generator
+	// Events is the execution order.
+	Events []trace.Event
+	// VisibleDepth[i] is how many future events are already enqueued
+	// when event i starts executing. The hardware event queue exposes at
+	// most two of them; the Figure 13 design-space study looks deeper.
+	VisibleDepth []int
+}
+
+// NewSession builds the session for a profile. Sessions are fully
+// deterministic in the profile (including its Seed).
+func NewSession(p Profile) (*Session, error) {
+	gen, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	rng := NewRNG(Hash2(p.Seed, 0x5E55104))
+	s := &Session{
+		Gen:          gen,
+		Events:       make([]trace.Event, p.Events),
+		VisibleDepth: make([]int, p.Events),
+	}
+	prevHandler := -1
+	for i := range s.Events {
+		// Consecutive events come from different handler types: the
+		// fine-grained interleaving of varied tasks that destroys
+		// locality in asynchronous programs (paper §2.1).
+		h := rng.Intn(p.Handlers)
+		if h == prevHandler && p.Handlers > 1 {
+			h = (h + 1 + rng.Intn(p.Handlers-1)) % p.Handlers
+		}
+		prevHandler = h
+
+		ln := eventLen(&rng, p)
+		div := -1
+		if rng.Bool(p.DepProb) {
+			div = rng.Intn(ln)
+		}
+		s.Events[i] = trace.Event{
+			ID:      i,
+			Handler: h,
+			Seed:    Hash2(p.Seed, 0xE0E47+uint64(i)),
+			Len:     ln,
+			Diverge: div,
+		}
+		s.VisibleDepth[i] = queueDepth(&rng, p)
+	}
+	return s, nil
+}
+
+// queueDepth samples how many future events are resident in the software
+// queue: P(>=1) = QueueNext, P(>=2) = QueueSecond, with a geometric tail
+// beyond that (deep occupancy is rare; §6.6 finds little opportunity
+// beyond two events).
+func queueDepth(rng *RNG, p Profile) int {
+	if !rng.Bool(p.QueueNext) {
+		return 0
+	}
+	if !rng.Bool(p.QueueSecond / math.Max(p.QueueNext, 1e-9)) {
+		return 1
+	}
+	d := 2
+	for d < 8 && rng.Bool(0.55) {
+		d++
+	}
+	return d
+}
+
+// eventLen samples a lognormal-ish event length around the profile mean.
+// The sum of four uniforms approximates a normal deviate; the exponential
+// map gives the long right tail real event-length distributions show.
+func eventLen(rng *RNG, p Profile) int {
+	g := rng.Float64() + rng.Float64() + rng.Float64() + rng.Float64() - 2 // ~N(0, 0.58)
+	ln := float64(p.MeanEventLen) * math.Exp(p.EventLenSpread*g)
+	// Recentre so the mean stays near MeanEventLen despite exp's skew.
+	ln /= math.Exp(p.EventLenSpread * p.EventLenSpread / 6)
+	n := int(ln)
+	const minLen = 256
+	if n < minLen {
+		n = minLen
+	}
+	if max := 8 * p.MeanEventLen; n > max {
+		n = max
+	}
+	return n
+}
+
+// TotalInsts returns the exact instruction count of the session's events.
+func (s *Session) TotalInsts() int64 {
+	var t int64
+	for _, ev := range s.Events {
+		t += int64(ev.Len)
+	}
+	return t
+}
+
+// Pending returns the future events visible in the queue when event i
+// starts: at most two, per the paper's 2-entry hardware event queue.
+func (s *Session) Pending(i int) []trace.Event { return s.PendingN(i, 2) }
+
+// PendingN returns up to n visible future events; the Figure 13 study
+// uses n up to 8.
+func (s *Session) PendingN(i, n int) []trace.Event {
+	d := s.VisibleDepth[i]
+	if d > n {
+		d = n
+	}
+	var out []trace.Event
+	for j := i + 1; j <= i+d && j < len(s.Events); j++ {
+		out = append(out, s.Events[j])
+	}
+	return out
+}

@@ -1,0 +1,463 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"espsim/internal/trace"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash(12345) != Hash(12345) {
+		t.Fatal("Hash not deterministic")
+	}
+	if Hash(1) == Hash(2) {
+		t.Fatal("Hash(1) == Hash(2): suspicious collision")
+	}
+}
+
+func TestRNGReproducible(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		v := r.Intn(int(n))
+		return v >= 0 && v < int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBoolBias(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %.3f, want ~0.3", frac)
+	}
+}
+
+func TestSuiteProfilesValid(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 7 {
+		t.Fatalf("Suite has %d profiles, want 7", len(suite))
+	}
+	for _, p := range suite {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.PaperEvents == 0 || p.PaperInsts == 0 {
+			t.Errorf("%s: missing Figure 6 paper numbers", p.Name)
+		}
+	}
+}
+
+func TestSuitePaperRatios(t *testing.T) {
+	// The simulated sessions must preserve the paper's ordering of
+	// instructions-per-event across applications (Figure 6).
+	paperIPE := func(p Profile) float64 { return float64(p.PaperInsts) / float64(p.PaperEvents) }
+	simIPE := func(p Profile) float64 { return float64(p.MeanEventLen) }
+	suite := Suite()
+	for i := 0; i < len(suite); i++ {
+		for j := i + 1; j < len(suite); j++ {
+			a, b := suite[i], suite[j]
+			if paperIPE(a) > 1.1*paperIPE(b) && simIPE(a) <= simIPE(b) {
+				t.Errorf("insts/event ordering of %s vs %s does not match the paper", a.Name, b.Name)
+			}
+			if paperIPE(b) > 1.1*paperIPE(a) && simIPE(b) <= simIPE(a) {
+				t.Errorf("insts/event ordering of %s vs %s does not match the paper", b.Name, a.Name)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("gmaps")
+	if err != nil || p.Name != "gmaps" {
+		t.Fatalf("ByName(gmaps) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("notanapp"); err == nil {
+		t.Fatal("ByName should reject unknown names")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	mods := []func(*Profile){
+		func(p *Profile) { p.Events = 0 },
+		func(p *Profile) { p.MeanEventLen = 1 },
+		func(p *Profile) { p.Handlers = 0 },
+		func(p *Profile) { p.HandlerFootprint = 100 },
+		func(p *Profile) { p.LoadFrac = 0.8; p.StoreFrac = 0.3 },
+		func(p *Profile) { p.SharedData = 10 },
+		func(p *Profile) { p.DepProb = 1.5 },
+		func(p *Profile) { p.ReuseFrac = 1.5 },
+		func(p *Profile) { p.QueueNext = -0.1 },
+	}
+	for i, mod := range mods {
+		p := Amazon()
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mod %d: Validate accepted a bad profile", i)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := Amazon()
+	small := p.Scale(0.5)
+	if small.Events != p.Events/2 {
+		t.Fatalf("Scale(0.5): %d events, want %d", small.Events, p.Events/2)
+	}
+	if tiny := p.Scale(0.000001); tiny.Events < 4 {
+		t.Fatal("Scale floor of 4 events not applied")
+	}
+	if same := p.Scale(-1); same.Events != p.Events {
+		t.Fatal("non-positive scale should be a no-op")
+	}
+}
+
+func TestSessionDeterministic(t *testing.T) {
+	a, err := NewSession(Bing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSession(Bing())
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("session lengths differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs between identical sessions", i)
+		}
+		if a.VisibleDepth[i] != b.VisibleDepth[i] {
+			t.Fatalf("queue depth %d differs between identical sessions", i)
+		}
+	}
+}
+
+func TestSessionInterleavesHandlers(t *testing.T) {
+	s, err := NewSession(Amazon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 1; i < len(s.Events); i++ {
+		if s.Events[i].Handler == s.Events[i-1].Handler {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d consecutive events share a handler; interleaving is the point (§2.1)", same)
+	}
+}
+
+func TestSessionEventLengths(t *testing.T) {
+	p := CNN()
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, ev := range s.Events {
+		if ev.Len < 256 || ev.Len > 8*p.MeanEventLen {
+			t.Fatalf("event %d length %d outside clamp", ev.ID, ev.Len)
+		}
+		total += int64(ev.Len)
+	}
+	mean := float64(total) / float64(len(s.Events))
+	if mean < 0.6*float64(p.MeanEventLen) || mean > 1.6*float64(p.MeanEventLen) {
+		t.Fatalf("mean event length %.0f far from profile mean %d", mean, p.MeanEventLen)
+	}
+}
+
+func TestSessionDependenceRate(t *testing.T) {
+	p := Amazon()
+	p.Events = 2000
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := 0
+	for _, ev := range s.Events {
+		if ev.Diverge >= 0 {
+			dep++
+			if ev.Diverge >= ev.Len {
+				t.Fatalf("event %d diverge index %d beyond length %d", ev.ID, ev.Diverge, ev.Len)
+			}
+		}
+	}
+	frac := float64(dep) / float64(len(s.Events))
+	if frac < p.DepProb/2 || frac > p.DepProb*2 {
+		t.Fatalf("dependent-event fraction %.3f far from DepProb %.3f", frac, p.DepProb)
+	}
+}
+
+func TestPendingRespectsDepth(t *testing.T) {
+	s, err := NewSession(Amazon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Events {
+		p2 := s.Pending(i)
+		if len(p2) > 2 {
+			t.Fatalf("Pending returned %d events, max 2", len(p2))
+		}
+		if len(p2) > s.VisibleDepth[i] {
+			t.Fatalf("Pending exceeds visible depth at %d", i)
+		}
+		for k, ev := range p2 {
+			if ev.ID != i+1+k {
+				t.Fatalf("Pending(%d)[%d] = event %d, want %d", i, k, ev.ID, i+1+k)
+			}
+		}
+		p8 := s.PendingN(i, 8)
+		if len(p8) < len(p2) {
+			t.Fatal("PendingN(8) returned fewer events than Pending")
+		}
+	}
+}
+
+func TestStreamReplayIdentical(t *testing.T) {
+	// The cornerstone of ESP: re-running an event's stream must produce
+	// the identical instruction sequence (paper §5: pre-executions match
+	// normal executions with >99% accuracy; exactly, absent divergence).
+	s, err := NewSession(Facebook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.Events[3]
+	ev.Diverge = -1
+	a := trace.Record(s.Gen.Stream(ev, false), ev.Len)
+	b := trace.Record(s.Gen.Stream(ev, true), ev.Len)
+	if len(a) != len(b) || len(a) != ev.Len {
+		t.Fatalf("lengths: normal %d speculative %d want %d", len(a), len(b), ev.Len)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("inst %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamDivergence(t *testing.T) {
+	s, err := NewSession(Amazon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.Events[0]
+	ev.Diverge = ev.Len / 2
+	normal := trace.Record(s.Gen.Stream(ev, false), ev.Len)
+	spec := trace.Record(s.Gen.Stream(ev, true), ev.Len)
+	for i := 0; i < ev.Diverge; i++ {
+		if normal[i] != spec[i] {
+			t.Fatalf("streams differ at %d, before divergence point %d", i, ev.Diverge)
+		}
+	}
+	differs := false
+	for i := ev.Diverge; i < len(normal) && i < len(spec); i++ {
+		if normal[i] != spec[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("speculative stream never diverged after the divergence point")
+	}
+}
+
+func TestStreamInstructionMix(t *testing.T) {
+	p := Amazon()
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads, stores, branches, total int
+	for _, ev := range s.Events[:20] {
+		for _, in := range trace.Record(s.Gen.Stream(ev, false), ev.Len) {
+			total++
+			switch in.Kind {
+			case trace.Load:
+				loads++
+			case trace.Store:
+				stores++
+			case trace.Branch:
+				branches++
+			}
+		}
+	}
+	lf, sf, bf := float64(loads)/float64(total), float64(stores)/float64(total), float64(branches)/float64(total)
+	if lf < 0.15 || lf > 0.35 {
+		t.Errorf("load fraction %.3f outside [0.15, 0.35]", lf)
+	}
+	if sf < 0.04 || sf > 0.18 {
+		t.Errorf("store fraction %.3f outside [0.04, 0.18]", sf)
+	}
+	if bf < 0.06 || bf > 0.20 {
+		t.Errorf("branch fraction %.3f outside [0.06, 0.20]", bf)
+	}
+}
+
+func TestStreamBranchTargetsValid(t *testing.T) {
+	s, err := NewSession(Pixlr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.Events[0]
+	insts := trace.Record(s.Gen.Stream(ev, false), ev.Len)
+	for i := 0; i < len(insts)-1; i++ {
+		if insts[i].NextPC() != insts[i+1].PC {
+			t.Fatalf("control-flow break at %d: NextPC %#x but next inst at %#x",
+				i, insts[i].NextPC(), insts[i+1].PC)
+		}
+	}
+}
+
+func TestStreamCodeDataDisjoint(t *testing.T) {
+	s, err := NewSession(GDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := s.Events[0]
+	for _, in := range trace.Record(s.Gen.Stream(ev, false), ev.Len) {
+		if in.Kind == trace.Load || in.Kind == trace.Store {
+			if in.Addr < sharedBase {
+				t.Fatalf("data address %#x inside code space", in.Addr)
+			}
+		}
+		if in.PC >= sharedBase {
+			t.Fatalf("PC %#x inside data space", in.PC)
+		}
+	}
+}
+
+func TestStreamWorkingSetScalesWithLength(t *testing.T) {
+	s, err := NewSession(GMaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := func(ev trace.Event) int {
+		seen := make(map[uint64]bool)
+		for _, in := range trace.Record(s.Gen.Stream(ev, false), ev.Len) {
+			seen[trace.Line(in.PC)] = true
+		}
+		return len(seen)
+	}
+	short := s.Events[0]
+	short.Len = 2000
+	long := s.Events[0]
+	long.Len = 32000
+	ls, ll := lines(short), lines(long)
+	if ll <= ls {
+		t.Fatalf("long event touched %d lines, short %d; want more for longer", ll, ls)
+	}
+	// Sub-linear: 16x longer should touch clearly less than 16x the code.
+	if float64(ll) > 14*float64(ls) {
+		t.Fatalf("footprint scaling looks linear: %d vs %d lines", ll, ls)
+	}
+}
+
+func TestGeneratorRejectsInvalidProfile(t *testing.T) {
+	p := Amazon()
+	p.Events = 0
+	if _, err := New(p); err == nil {
+		t.Fatal("New accepted an invalid profile")
+	}
+	if _, err := NewSession(p); err == nil {
+		t.Fatal("NewSession accepted an invalid profile")
+	}
+}
+
+func TestQueueDepthDistribution(t *testing.T) {
+	p := Amazon()
+	p.Events = 4000
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atLeast1, atLeast2 := 0, 0
+	for _, d := range s.VisibleDepth {
+		if d >= 1 {
+			atLeast1++
+		}
+		if d >= 2 {
+			atLeast2++
+		}
+	}
+	f1 := float64(atLeast1) / float64(p.Events)
+	f2 := float64(atLeast2) / float64(p.Events)
+	if f1 < p.QueueNext-0.05 || f1 > p.QueueNext+0.05 {
+		t.Errorf("P(depth>=1) = %.3f, want ~%.2f", f1, p.QueueNext)
+	}
+	if f2 < p.QueueSecond-0.05 || f2 > p.QueueSecond+0.05 {
+		t.Errorf("P(depth>=2) = %.3f, want ~%.2f", f2, p.QueueSecond)
+	}
+}
+
+func TestProfilesHaveActions(t *testing.T) {
+	for _, p := range Suite() {
+		if p.Actions == "" {
+			t.Errorf("%s: missing Figure 6 actions description", p.Name)
+		}
+	}
+}
+
+func TestCodeIntensityValidated(t *testing.T) {
+	p := Amazon()
+	p.CodeIntensity = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative CodeIntensity accepted")
+	}
+	// Zero means "default": usable as-is.
+	p.CodeIntensity = 0
+	if _, err := New(p); err != nil {
+		t.Fatalf("zero CodeIntensity should default to 1: %v", err)
+	}
+}
+
+func TestCodeIntensityWidensFootprint(t *testing.T) {
+	lines := func(p Profile) int {
+		s, err := NewSession(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := s.Events[0]
+		seen := map[uint64]bool{}
+		for _, in := range trace.Record(s.Gen.Stream(ev, false), ev.Len) {
+			seen[trace.Line(in.PC)] = true
+		}
+		return len(seen)
+	}
+	base := Amazon()
+	wide := Amazon()
+	wide.CodeIntensity = 2.5
+	if lines(wide) <= lines(base) {
+		t.Fatal("higher CodeIntensity did not widen the event footprint")
+	}
+}
