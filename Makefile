@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz-smoke tier1 clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# fuzz-smoke gives the hardened trace decoder a short adversarial
+# shake on every gate run; longer campaigns use -fuzztime by hand.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadFile -fuzztime=10s ./internal/trace
+
+# tier1 is the robustness gate: everything must be green before merge.
+tier1: vet build race fuzz-smoke
+
+clean:
+	$(GO) clean ./...

@@ -27,28 +27,36 @@ type AblationRow struct {
 }
 
 // ablate evaluates variants of ESPNLConfig against the NL+S baseline.
+// Any failing run (base or variant) aborts the sweep: a sweep with a
+// hole in it would mis-rank the parameter settings.
 func (h *Harness) ablate(prof workload.Profile, parameter string, settings []string,
-	mod func(cfg *Config, i int)) Ablation {
-	base := h.Run(prof, NLSConfig())
+	mod func(cfg *Config, i int)) (Ablation, error) {
 	a := Ablation{Parameter: parameter}
+	base, err := h.Run(prof, NLSConfig())
+	if err != nil {
+		return a, fmt.Errorf("esp: ablation %q: baseline: %w", parameter, err)
+	}
 	t := stats.NewTable(fmt.Sprintf("Ablation: %s (%s)", parameter, prof.Name),
 		parameter, "improvement % over NL+S")
 	for i, s := range settings {
 		cfg := ESPNLConfig()
 		cfg.Name = fmt.Sprintf("abl-%s-%d", parameter, i)
 		mod(&cfg, i)
-		r := h.Run(prof, cfg)
+		r, err := h.Run(prof, cfg)
+		if err != nil {
+			return a, fmt.Errorf("esp: ablation %q: setting %q: %w", parameter, s, err)
+		}
 		row := AblationRow{Setting: s, ImprovementPct: stats.Improvement(r.Speedup(base))}
 		a.Rows = append(a.Rows, row)
 		t.Add(s, fmt.Sprintf("%.1f", row.ImprovementPct))
 	}
 	a.Table = t
-	return a
+	return a, nil
 }
 
 // AblatePrefetchLead sweeps the list-prefetch lookahead around the
 // paper's 190 instructions.
-func (h *Harness) AblatePrefetchLead(prof workload.Profile) Ablation {
+func (h *Harness) AblatePrefetchLead(prof workload.Profile) (Ablation, error) {
 	leads := []int{30, 100, 190, 400, 1200}
 	return h.ablate(prof, "prefetch lead (insts)",
 		[]string{"30", "100", "190 (paper)", "400", "1200"},
@@ -57,7 +65,7 @@ func (h *Harness) AblatePrefetchLead(prof workload.Profile) Ablation {
 
 // AblatePreEventWindow sweeps the looper-overhead head start around the
 // paper's ~70 instructions.
-func (h *Harness) AblatePreEventWindow(prof workload.Profile) Ablation {
+func (h *Harness) AblatePreEventWindow(prof workload.Profile) (Ablation, error) {
 	windows := []int{0, 35, 70, 140}
 	return h.ablate(prof, "pre-event window (insts)",
 		[]string{"0", "35", "70 (paper)", "140"},
@@ -65,7 +73,7 @@ func (h *Harness) AblatePreEventWindow(prof workload.Profile) Ablation {
 }
 
 // AblateJumpDepth sweeps the number of events ESP may jump ahead.
-func (h *Harness) AblateJumpDepth(prof workload.Profile) Ablation {
+func (h *Harness) AblateJumpDepth(prof workload.Profile) (Ablation, error) {
 	depths := []int{1, 2, 3, 4}
 	return h.ablate(prof, "jump-ahead depth",
 		[]string{"1", "2 (paper)", "3", "4"},
@@ -77,7 +85,7 @@ func (h *Harness) AblateJumpDepth(prof workload.Profile) Ablation {
 
 // AblateListBudget scales every prediction-list byte budget relative to
 // Figure 8.
-func (h *Harness) AblateListBudget(prof workload.Profile) Ablation {
+func (h *Harness) AblateListBudget(prof workload.Profile) (Ablation, error) {
 	factors := []float64{0.25, 0.5, 1, 2, 4}
 	return h.ablate(prof, "list budget (x Figure 8)",
 		[]string{"0.25x", "0.5x", "1x (paper)", "2x", "4x"},
@@ -94,7 +102,7 @@ func (h *Harness) AblateListBudget(prof workload.Profile) Ablation {
 }
 
 // AblateMinWindow sweeps the smallest stall window worth jumping into.
-func (h *Harness) AblateMinWindow(prof workload.Profile) Ablation {
+func (h *Harness) AblateMinWindow(prof workload.Profile) (Ablation, error) {
 	windows := []int{0, 28, 60, 100}
 	return h.ablate(prof, "minimum stall window (cycles)",
 		[]string{"0", "28 (default)", "60", "100"},
@@ -102,7 +110,7 @@ func (h *Harness) AblateMinWindow(prof workload.Profile) Ablation {
 }
 
 // AblateDirtyHazard sweeps the dirty-eviction poisoning period (§4.4).
-func (h *Harness) AblateDirtyHazard(prof workload.Profile) Ablation {
+func (h *Harness) AblateDirtyHazard(prof workload.Profile) (Ablation, error) {
 	periods := []int{0, 1, 4, 16}
 	return h.ablate(prof, "dirty-hazard period",
 		[]string{"off", "every eviction", "every 4th (default)", "every 16th"},
@@ -117,14 +125,24 @@ func scaleBytes(b int, f float64) int {
 	return n
 }
 
-// AllAblations runs every sweep on one application.
-func (h *Harness) AllAblations(prof workload.Profile) []Ablation {
-	return []Ablation{
-		h.AblatePrefetchLead(prof),
-		h.AblatePreEventWindow(prof),
-		h.AblateJumpDepth(prof),
-		h.AblateListBudget(prof),
-		h.AblateMinWindow(prof),
-		h.AblateDirtyHazard(prof),
+// AllAblations runs every sweep on one application, stopping at the
+// first sweep that cannot complete.
+func (h *Harness) AllAblations(prof workload.Profile) ([]Ablation, error) {
+	sweeps := []func(workload.Profile) (Ablation, error){
+		h.AblatePrefetchLead,
+		h.AblatePreEventWindow,
+		h.AblateJumpDepth,
+		h.AblateListBudget,
+		h.AblateMinWindow,
+		h.AblateDirtyHazard,
 	}
+	var out []Ablation
+	for _, sweep := range sweeps {
+		a, err := sweep(prof)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }

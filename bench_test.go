@@ -19,11 +19,14 @@ import (
 )
 
 // benchFigure runs a figure generator b.N times, logging the table once.
-func benchFigure(b *testing.B, gen func(h *Harness) Figure, metrics func(f Figure, b *testing.B)) {
+func benchFigure(b *testing.B, gen func(h *Harness) (Figure, error), metrics func(f Figure, b *testing.B)) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := NewHarness()
-		f := gen(h)
+		f, err := gen(h)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			b.Logf("\n%s\n%s", f.Table, f.PaperNote)
 			if metrics != nil {
@@ -114,7 +117,10 @@ func BenchmarkAblations(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := NewHarness()
-		abls := h.AllAblations(workload.Amazon())
+		abls, err := h.AllAblations(workload.Amazon())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			for _, a := range abls {
 				b.Logf("\n%s", a.Table)
@@ -127,7 +133,10 @@ func BenchmarkHeadline(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := NewHarness()
-		t := h.Headline()
+		t, err := h.Headline()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			b.Logf("\n%s", t)
 		}
@@ -142,7 +151,10 @@ func benchSimulate(b *testing.B, cfg Config) {
 	b.ReportAllocs()
 	var insts int64
 	for i := 0; i < b.N; i++ {
-		r := MustRun(prof, cfg)
+		r, err := Run(prof, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		insts = r.Insts
 	}
 	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")

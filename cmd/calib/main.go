@@ -34,8 +34,16 @@ func main() {
 		if p.Events < 4 {
 			p.Events = 4
 		}
-		base := esp.MustRun(p, esp.NLSConfig())
-		e := esp.MustRun(p, esp.ESPNLConfig())
+		base, err := esp.Run(p, esp.NLSConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calib:", err)
+			os.Exit(1)
+		}
+		e, err := esp.Run(p, esp.ESPNLConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calib:", err)
+			os.Exit(1)
+		}
 		cov := float64(e.ESPStats.PreExecInsts) / float64(e.Insts)
 		fmt.Printf("len x%d: NL+S cyc=%d ESP+NL cyc=%d gain=%.1f%% coverage=%.0f%% IMPKI %.1f->%.1f BP %.1f->%.1f\n",
 			mult, base.Cycles, e.Cycles, (e.Speedup(base)-1)*100, cov*100,

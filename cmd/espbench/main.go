@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	espbench [-fig all|3|6|8|9|10|11a|11b|12|13|14|headline] [-scale 1]
+//	espbench [-fig all|3|6|8|9|10|11a|11b|12|13|14|headline] [-scale 1] [-par 4]
+//
+// With -fig all the figures run concurrently through the fault-tolerant
+// sweep runner: a figure that fails is reported and skipped, the rest
+// are still emitted, and espbench exits non-zero if anything degraded.
 package main
 
 import (
@@ -22,6 +26,7 @@ func main() {
 		scale = flag.Float64("scale", 1, "event-count scale factor")
 		app   = flag.String("app", "amazon", "application for -fig ablations")
 		csv   = flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+		par   = flag.Int("par", 4, "figure-level parallelism for -fig all")
 	)
 	flag.Parse()
 
@@ -29,59 +34,90 @@ func main() {
 	h := esp.NewHarness()
 	h.Scale = *scale
 
-	figures := map[string]func() esp.Figure{
+	figures := map[string]func() (esp.Figure, error){
 		"3": h.Fig3, "6": h.Fig6, "8": h.Fig8, "9": h.Fig9, "10": h.Fig10,
 		"11a": h.Fig11a, "11b": h.Fig11b, "12": h.Fig12, "13": h.Fig13, "14": h.Fig14,
 		"related": h.FigRelated,
 	}
-	order := []string{"3", "6", "8", "9", "10", "11a", "11b", "12", "13", "14", "related"}
 
 	switch *fig {
 	case "all":
-		for _, id := range order {
-			printFigure(figures[id]())
+		sweep := h.RunAll(*par)
+		for _, f := range sweep.Figures {
+			printFigure(f)
 		}
-		fmt.Println(h.Headline())
+		head, err := h.Headline()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(head)
+		if s := sweep.Summary(); s != "" {
+			fmt.Fprintln(os.Stderr, "espbench: sweep degraded:")
+			fmt.Fprintln(os.Stderr, s)
+			os.Exit(1)
+		}
 	case "headline":
-		fmt.Println(h.Headline())
+		head, err := h.Headline()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(head)
 	case "seeds":
 		prof, err := workload.ByName(*app)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "espbench:", err)
-			os.Exit(2)
+			fail(err)
 		}
-		fmt.Println(h.SeedStudy(prof, 5))
+		t, err := h.SeedStudy(prof, 5)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
 	case "ablations":
 		prof, err := workload.ByName(*app)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "espbench:", err)
-			os.Exit(2)
+			fail(err)
 		}
-		for _, a := range h.AllAblations(prof) {
+		abls, err := h.AllAblations(prof)
+		if err != nil {
+			fail(err)
+		}
+		for _, a := range abls {
 			fmt.Println(a.Table)
 			fmt.Println()
 		}
 	default:
-		f, ok := figures[*fig]
+		gen, ok := figures[*fig]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "espbench: unknown figure %q\n", *fig)
 			os.Exit(2)
 		}
-		printFigure(f())
+		f, err := gen()
+		if err != nil {
+			fail(err)
+		}
+		printFigure(f)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "espbench:", err)
+	os.Exit(1)
 }
 
 func printFigure(f esp.Figure) {
 	if csvOut {
 		fmt.Print(f.Table.CSV())
 		fmt.Println()
-		return
+	} else {
+		fmt.Println(f.Table)
+		if f.PaperNote != "" {
+			fmt.Printf("  %s\n", f.PaperNote)
+		}
+		fmt.Println()
 	}
-	fmt.Println(f.Table)
-	if f.PaperNote != "" {
-		fmt.Printf("  %s\n", f.PaperNote)
+	for _, key := range f.CellErrorKeys() {
+		fmt.Fprintf(os.Stderr, "espbench: %s: cell %s failed: %v\n", f.ID, key, f.CellErrors[key])
 	}
-	fmt.Println()
 }
 
 // csvOut switches printFigure to CSV rendering.

@@ -21,16 +21,18 @@ import (
 	"espsim/internal/workload"
 )
 
-// replayTrace runs a recorded ESPT trace through the simulator.
-func replayTrace(path string, cfg esp.Config) (esp.Result, error) {
+// replayTrace runs a recorded ESPT trace through the simulator. The
+// decode limits bound what an untrusted or corrupted trace file can
+// make the decoder allocate.
+func replayTrace(path string, cfg esp.Config, lim trace.Limits) (esp.Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return esp.Result{}, err
 	}
 	defer f.Close()
-	events, err := trace.ReadFile(f)
+	events, err := trace.ReadFileLimits(f, lim)
 	if err != nil {
-		return esp.Result{}, err
+		return esp.Result{}, fmt.Errorf("reading trace %s: %w", path, err)
 	}
 	return esp.RunSource(path, eventq.TraceSource{Events: events}, cfg)
 }
@@ -62,6 +64,7 @@ func main() {
 		scale     = flag.Float64("scale", 1, "event-count scale factor")
 		events    = flag.Int("events", 0, "max events to simulate (0 = all)")
 		tracePath = flag.String("trace", "", "replay an ESPT trace file (from cmd/tracegen) instead of a synthetic session")
+		traceMB   = flag.Int64("trace-max-mb", 0, "cap on trace file size in MiB (0 = default 1 GiB)")
 		verbose   = flag.Bool("v", false, "print component-level statistics")
 	)
 	flag.Parse()
@@ -76,7 +79,11 @@ func main() {
 	var r esp.Result
 	var err error
 	if *tracePath != "" {
-		r, err = replayTrace(*tracePath, cfg)
+		lim := trace.DefaultLimits()
+		if *traceMB > 0 {
+			lim.MaxTraceBytes = *traceMB << 20
+		}
+		r, err = replayTrace(*tracePath, cfg, lim)
 	} else {
 		var prof workload.Profile
 		prof, err = workload.ByName(*app)

@@ -123,6 +123,76 @@ func (r Result) Speedup(base Result) float64 {
 	return float64(base.Cycles) / float64(r.Cycles)
 }
 
+// effectiveCPU resolves the timing configuration: the zero value selects
+// DefaultConfig (so `esp.Config{...}` literals keep working).
+func (c Config) effectiveCPU() cpu.Config {
+	if c.CPU.Width == 0 {
+		cc := cpu.DefaultConfig()
+		cc.PerfectBP = c.PerfectBP
+		return cc
+	}
+	cc := c.CPU
+	cc.PerfectBP = c.PerfectBP
+	return cc
+}
+
+// effectiveRA resolves the runahead configuration (zero value:
+// runahead.DefaultConfig).
+func (c Config) effectiveRA() runahead.Config {
+	if c.RA.BaseCPI == 0 {
+		return runahead.DefaultConfig()
+	}
+	return c.RA
+}
+
+// effectiveESP resolves the ESP options (zero value:
+// core.DefaultOptions).
+func (c Config) effectiveESP() core.Options {
+	if c.ESP.BaseCPI == 0 {
+		return core.DefaultOptions()
+	}
+	return c.ESP
+}
+
+// Validate reports whether the configuration can be simulated, with a
+// wrapped, actionable error naming the offending field. It checks the
+// timing model, the assist selection and its sub-configuration
+// (including cachelet geometry for ESP), and the mutually exclusive
+// instruction prefetchers. Run and RunSource call it, so an invalid
+// configuration yields an error, never a panic.
+func (c Config) Validate() error {
+	fail := func(err error) error {
+		return fmt.Errorf("esp: config %q: %w", c.Name, err)
+	}
+	if err := c.effectiveCPU().Validate(); err != nil {
+		return fail(err)
+	}
+	if c.MaxEvents < 0 {
+		return fail(fmt.Errorf("MaxEvents must be non-negative, got %d", c.MaxEvents))
+	}
+	if c.MaxPending < 0 {
+		return fail(fmt.Errorf("MaxPending must be non-negative, got %d", c.MaxPending))
+	}
+	if c.EFetch && c.PIF {
+		return fail(fmt.Errorf("EFetch and PIF are mutually exclusive instruction prefetchers; enable at most one"))
+	}
+	switch c.Assist {
+	case AssistNone:
+	case AssistRunahead:
+		if err := c.effectiveRA().Validate(); err != nil {
+			return fail(err)
+		}
+	case AssistESP:
+		opt := c.effectiveESP()
+		if err := opt.Validate(); err != nil {
+			return fail(err)
+		}
+	default:
+		return fail(fmt.Errorf("unknown AssistKind %d", c.Assist))
+	}
+	return nil
+}
+
 // specSource adapts an eventq.Source to ESP's StreamSource: pre-execution
 // uses the speculative stream variant (the paper's forked-off renderer
 // processes, §5).
@@ -144,13 +214,13 @@ func Run(prof workload.Profile, cfg Config) (Result, error) {
 }
 
 // RunSource simulates any event source (synthetic session or recorded
-// trace) under one configuration.
+// trace) under one configuration. The configuration is validated first:
+// a bad Config yields a wrapped error, never a panic.
 func RunSource(app string, src eventq.Source, cfg Config) (Result, error) {
-	ccfg := cfg.CPU
-	if ccfg.Width == 0 {
-		ccfg = cpu.DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
-	ccfg.PerfectBP = cfg.PerfectBP
+	ccfg := cfg.effectiveCPU()
 
 	hier := mem.DefaultHierarchy()
 	hier.PerfectL1I = cfg.PerfectL1I
@@ -168,8 +238,6 @@ func RunSource(app string, src eventq.Source, cfg Config) (Result, error) {
 		c.Stride = prefetch.NewStride(hier)
 	}
 	switch {
-	case cfg.EFetch && cfg.PIF:
-		return Result{}, fmt.Errorf("esp: EFetch and PIF are mutually exclusive")
 	case cfg.EFetch:
 		c.FetchObs = prefetch.NewEFetch(hier)
 	case cfg.PIF:
@@ -179,18 +247,10 @@ func RunSource(app string, src eventq.Source, cfg Config) (Result, error) {
 	var raEng *runahead.Engine
 	switch cfg.Assist {
 	case AssistRunahead:
-		ra := cfg.RA
-		if ra.BaseCPI == 0 {
-			ra = runahead.DefaultConfig()
-		}
-		raEng = runahead.New(ra, hier, bp)
+		raEng = runahead.New(cfg.effectiveRA(), hier, bp)
 		c.Assist = raEng
 	case AssistESP:
-		opt := cfg.ESP
-		if opt.BaseCPI == 0 {
-			opt = core.DefaultOptions()
-		}
-		espEng, err := core.New(opt, hier, bp, specSource{src})
+		espEng, err := core.New(cfg.effectiveESP(), hier, bp, specSource{src})
 		if err != nil {
 			return Result{}, fmt.Errorf("esp: %w", err)
 		}
@@ -255,14 +315,4 @@ func RunSource(app string, src eventq.Source, cfg Config) (Result, error) {
 func getESP(a cpu.Assist) *core.ESP {
 	e, _ := a.(*core.ESP)
 	return e
-}
-
-// MustRun is Run that panics on error, for examples and benchmarks over
-// the known-good built-in profiles.
-func MustRun(prof workload.Profile, cfg Config) Result {
-	r, err := Run(prof, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return r
 }

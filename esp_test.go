@@ -14,6 +14,17 @@ func fastProfile() workload.Profile {
 	return p
 }
 
+// mustRun simulates or fails the test: the known-good configurations
+// used below must never error.
+func mustRun(t *testing.T, prof workload.Profile, cfg Config) Result {
+	t.Helper()
+	r, err := Run(prof, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s, %s): %v", prof.Name, cfg.Name, err)
+	}
+	return r
+}
+
 func TestRunProducesSaneResult(t *testing.T) {
 	r, err := Run(fastProfile(), ESPNLConfig())
 	if err != nil {
@@ -48,8 +59,8 @@ func TestRunRejectsInvalidProfile(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a := MustRun(fastProfile(), ESPNLConfig())
-	b := MustRun(fastProfile(), ESPNLConfig())
+	a := mustRun(t, fastProfile(), ESPNLConfig())
+	b := mustRun(t, fastProfile(), ESPNLConfig())
 	if a.Cycles != b.Cycles || a.Insts != b.Insts || a.CPU != b.CPU {
 		t.Fatalf("simulation not deterministic: %d vs %d cycles", a.Cycles, b.Cycles)
 	}
@@ -80,22 +91,22 @@ func TestConfigNamesUnique(t *testing.T) {
 
 func TestPerfectStructuresAlwaysFaster(t *testing.T) {
 	p := fastProfile()
-	base := MustRun(p, NLSConfig())
+	base := mustRun(t, p, NLSConfig())
 	for _, cfg := range []Config{PerfectL1DConfig(), PerfectBPConfig(), PerfectL1IConfig(), PerfectAllConfig()} {
-		r := MustRun(p, cfg)
+		r := mustRun(t, p, cfg)
 		if r.Cycles >= base.Cycles {
 			t.Errorf("%s (%d cycles) not faster than NL+S (%d)", cfg.Name, r.Cycles, base.Cycles)
 		}
 	}
-	all := MustRun(p, PerfectAllConfig())
-	one := MustRun(p, PerfectL1IConfig())
+	all := mustRun(t, p, PerfectAllConfig())
+	one := mustRun(t, p, PerfectL1IConfig())
 	if all.Cycles >= one.Cycles {
 		t.Fatal("perfect-all should beat perfect-L1I alone")
 	}
 }
 
 func TestPerfectBPZeroMispredicts(t *testing.T) {
-	r := MustRun(fastProfile(), PerfectBPConfig())
+	r := mustRun(t, fastProfile(), PerfectBPConfig())
 	if r.CPU.Mispredicts != 0 {
 		t.Fatalf("perfect BP mispredicted %d times", r.CPU.Mispredicts)
 	}
@@ -107,8 +118,8 @@ func TestESPImprovesOnEveryApp(t *testing.T) {
 	}
 	for _, p := range workload.Suite() {
 		p := p.Scale(0.4)
-		base := MustRun(p, NLSConfig())
-		e := MustRun(p, ESPNLConfig())
+		base := mustRun(t, p, NLSConfig())
+		e := mustRun(t, p, ESPNLConfig())
 		if e.Cycles >= base.Cycles {
 			t.Errorf("%s: ESP+NL (%d cycles) not faster than NL+S (%d)", p.Name, e.Cycles, base.Cycles)
 		}
@@ -117,8 +128,8 @@ func TestESPImprovesOnEveryApp(t *testing.T) {
 
 func TestESPReducesFrontEndMetrics(t *testing.T) {
 	p := fastProfile()
-	base := MustRun(p, NLSConfig())
-	e := MustRun(p, ESPNLConfig())
+	base := mustRun(t, p, NLSConfig())
+	e := mustRun(t, p, ESPNLConfig())
 	if e.IMPKI >= base.IMPKI {
 		t.Errorf("ESP did not reduce I-MPKI: %.2f vs %.2f", e.IMPKI, base.IMPKI)
 	}
@@ -132,8 +143,8 @@ func TestESPReducesFrontEndMetrics(t *testing.T) {
 
 func TestIdealESPBeatsRealESP(t *testing.T) {
 	p := fastProfile()
-	real := MustRun(p, ESPIOnlyNLIConfig())
-	ideal := MustRun(p, IdealESPINLIConfig())
+	real := mustRun(t, p, ESPIOnlyNLIConfig())
+	ideal := mustRun(t, p, IdealESPINLIConfig())
 	if ideal.IMPKI > real.IMPKI {
 		t.Fatalf("ideal ESP-I MPKI %.2f worse than real %.2f", ideal.IMPKI, real.IMPKI)
 	}
@@ -141,8 +152,8 @@ func TestIdealESPBeatsRealESP(t *testing.T) {
 
 func TestRunaheadBetweenBaselineAndESP(t *testing.T) {
 	p := fastProfile()
-	base := MustRun(p, BaselineConfig())
-	ra := MustRun(p, RunaheadConfig())
+	base := mustRun(t, p, BaselineConfig())
+	ra := mustRun(t, p, RunaheadConfig())
 	if ra.Cycles >= base.Cycles {
 		t.Fatal("runahead slower than doing nothing")
 	}
@@ -153,8 +164,8 @@ func TestRunaheadBetweenBaselineAndESP(t *testing.T) {
 
 func TestEnergyESPCostsMore(t *testing.T) {
 	p := fastProfile()
-	nl := MustRun(p, NLConfig())
-	e := MustRun(p, ESPNLConfig())
+	nl := mustRun(t, p, NLConfig())
+	e := mustRun(t, p, ESPNLConfig())
 	rel := e.Energy.RelativeTo(nl.Energy).Total()
 	if rel <= 1.0 {
 		t.Fatalf("ESP relative energy %.3f; extra instructions must cost something", rel)
@@ -179,7 +190,7 @@ func TestSpeedupHelper(t *testing.T) {
 func TestWorkingSetStudyRun(t *testing.T) {
 	p := fastProfile()
 	p.Events = 60
-	r := MustRun(p, WorkingSetStudyConfig())
+	r := mustRun(t, p, WorkingSetStudyConfig())
 	if r.Study == nil {
 		t.Fatal("study missing")
 	}
@@ -200,9 +211,9 @@ func TestWorkingSetStudyRun(t *testing.T) {
 
 func TestEFetchAndPIFConfigsRun(t *testing.T) {
 	p := fastProfile()
-	base := MustRun(p, BaselineConfig())
+	base := mustRun(t, p, BaselineConfig())
 	for _, cfg := range []Config{EFetchConfig(), PIFConfig()} {
-		r := MustRun(p, cfg)
+		r := mustRun(t, p, cfg)
 		if r.Cycles >= base.Cycles {
 			t.Errorf("%s (%d cycles) not faster than bare baseline (%d)", cfg.Name, r.Cycles, base.Cycles)
 		}
@@ -245,8 +256,8 @@ func TestMultiQueueThroughFacade(t *testing.T) {
 
 func TestIdleCoreDesignPoint(t *testing.T) {
 	p := fastProfile()
-	espOnly := MustRun(p, ESPConfig())
-	idle := MustRun(p, IdleCoreConfig())
+	espOnly := mustRun(t, p, ESPConfig())
+	idle := mustRun(t, p, IdleCoreConfig())
 	// A dedicated helper core pre-executes continuously, so it covers
 	// more than stall-window-bound ESP — the §7 trade-off: better
 	// performance, at the cost of an entire core.

@@ -1,0 +1,186 @@
+package esp
+
+import (
+	"strings"
+	"testing"
+
+	"espsim/internal/core"
+	"espsim/internal/cpu"
+	"espsim/internal/runahead"
+)
+
+// TestConfigValidate is the table-driven contract for Config.Validate:
+// every documented misconfiguration is rejected with an actionable
+// message naming the offending field, and every preset is accepted.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring of the error; "" means valid
+	}{
+		{"zero value resolves defaults", Config{Name: "zero"}, ""},
+		{"baseline preset", BaselineConfig(), ""},
+		{"esp preset", ESPNLConfig(), ""},
+		{"runahead preset", RunaheadNLConfig(), ""},
+		{"idle-core preset", IdleCoreConfig(), ""},
+		{
+			"negative MaxEvents",
+			Config{Name: "bad", MaxEvents: -1},
+			"MaxEvents",
+		},
+		{
+			"negative MaxPending",
+			Config{Name: "bad", MaxPending: -3},
+			"MaxPending",
+		},
+		{
+			"both EFetch and PIF",
+			Config{Name: "bad", EFetch: true, PIF: true},
+			"mutually exclusive",
+		},
+		{
+			"unknown assist kind",
+			Config{Name: "bad", Assist: AssistKind(99)},
+			"unknown AssistKind",
+		},
+		{
+			"partial CPU config",
+			func() Config {
+				c := BaselineConfig()
+				c.CPU.Width = 4 // everything else zero
+				return c
+			}(),
+			"ROB",
+		},
+		{
+			"negative CPU base CPI",
+			func() Config {
+				c := BaselineConfig()
+				c.CPU = cpu.DefaultConfig()
+				c.CPU.BaseCPI = -1
+				return c
+			}(),
+			"BaseCPI",
+		},
+		{
+			"runahead DepFrac out of range",
+			func() Config {
+				c := RunaheadNLConfig()
+				c.RA.DepFrac = 1.5
+				return c
+			}(),
+			"DepFrac",
+		},
+		{
+			"runahead zero config rejected",
+			func() Config {
+				c := RunaheadNLConfig()
+				c.RA = runahead.Config{WarmD: true} // BaseCPI 0 but non-zero struct? still resolves default
+				return c
+			}(),
+			"", // BaseCPI==0 resolves to DefaultConfig; WarmD flag alone is harmless
+		},
+		{
+			"esp jump depth out of range",
+			func() Config {
+				c := ESPNLConfig()
+				c.ESP.JumpDepth = 9
+				return c
+			}(),
+			"JumpDepth",
+		},
+		{
+			"esp negative prefetch lead",
+			func() Config {
+				c := ESPNLConfig()
+				c.ESP.PrefetchLead = -5
+				return c
+			}(),
+			"prefetch windows",
+		},
+		{
+			"esp unknown BP mode",
+			func() Config {
+				c := ESPNLConfig()
+				c.ESP.BPMode = core.BPMode(7)
+				return c
+			}(),
+			"BPMode",
+		},
+		{
+			"cachelet bytes not divisible into ways",
+			func() Config {
+				c := ESPNLConfig()
+				c.ESP.Sizes.ICacheletBytes[0] = 5000 // not ways*64B-aligned
+				return c
+			}(),
+			"cachelet",
+		},
+		{
+			"cachelet sets not a power of two",
+			func() Config {
+				c := ESPNLConfig()
+				c.ESP.Sizes.DCacheletBytes[0] = 11 * 64 * 3 // 3 sets
+				return c
+			}(),
+			"power of two",
+		},
+		{
+			"list budget zero",
+			func() Config {
+				c := ESPNLConfig()
+				c.ESP.Sizes.BListTgtBytes[1] = 0
+				return c
+			}(),
+			"at least one record",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			// Errors must be actionable: they name the config they reject.
+			if !strings.Contains(err.Error(), tc.cfg.Name) {
+				t.Fatalf("error %q does not name config %q", err, tc.cfg.Name)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidConfig proves the no-panic contract end to end:
+// Run returns the validation error instead of panicking mid-simulation.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := ESPNLConfig()
+	cfg.ESP.Sizes.ICacheletBytes[0] = 5000
+	if _, err := Run(fastProfile(), cfg); err == nil {
+		t.Fatal("invalid cachelet geometry accepted by Run")
+	}
+}
+
+// TestHarnessMemoizesErrors: a failing cell reports the same error on
+// every use without re-running.
+func TestHarnessMemoizesErrors(t *testing.T) {
+	h := NewHarness()
+	h.MaxEvents = 10
+	bad := EFetchConfig()
+	bad.PIF = true
+	_, err1 := h.Run(fastProfile(), bad)
+	_, err2 := h.Run(fastProfile(), bad)
+	if err1 == nil || err2 == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("memoized errors differ: %v vs %v", err1, err2)
+	}
+}

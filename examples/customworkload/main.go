@@ -9,11 +9,23 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	esp "espsim"
 	"espsim/internal/stats"
 	"espsim/internal/workload"
 )
+
+// run simulates or exits with a one-line error — a malformed custom
+// Profile (or Config) surfaces as a validation error, never a panic.
+func run(prof workload.Profile, cfg esp.Config) esp.Result {
+	r, err := esp.Run(prof, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "customworkload:", err)
+		os.Exit(1)
+	}
+	return r
+}
 
 // iotSensor models an Internet-of-Things sensor hub: a small firmware
 // (tight code), short periodic events, and heavy shared state — one of
@@ -59,8 +71,8 @@ func main() {
 	} {
 		p := iotSensor()
 		p.QueueNext, p.QueueSecond = q.next, q.second
-		base := esp.MustRun(p, esp.NLSConfig())
-		accel := esp.MustRun(p, esp.ESPNLConfig())
+		base := run(p, esp.NLSConfig())
+		accel := run(p, esp.ESPNLConfig())
 		t.Add(fmt.Sprintf("%.2f", q.next), fmt.Sprintf("%.2f", q.second),
 			fmt.Sprintf("%.1f", (accel.Speedup(base)-1)*100))
 	}
@@ -73,8 +85,8 @@ func main() {
 	for _, dep := range []float64{0.0, 0.05, 0.25, 0.75} {
 		p := iotSensor()
 		p.DepProb = dep
-		base := esp.MustRun(p, esp.NLSConfig())
-		accel := esp.MustRun(p, esp.ESPNLConfig())
+		base := run(p, esp.NLSConfig())
+		accel := run(p, esp.ESPNLConfig())
 		t2.Add(fmt.Sprintf("%.2f", dep),
 			fmt.Sprintf("%.1f", (accel.Speedup(base)-1)*100),
 			fmt.Sprintf("%d", accel.ESPStats.Corrections))

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	esp "espsim"
 	"espsim/internal/core"
@@ -14,9 +15,21 @@ import (
 	"espsim/internal/workload"
 )
 
+// run simulates or exits with a one-line error. An illegal cachelet
+// geometry in the sizing sweep below would surface here as a validation
+// error, not a panic.
+func run(prof workload.Profile, cfg esp.Config) esp.Result {
+	r, err := esp.Run(prof, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "designspace:", err)
+		os.Exit(1)
+	}
+	return r
+}
+
 func main() {
 	prof := workload.Amazon()
-	base := esp.MustRun(prof, esp.NLSConfig())
+	base := run(prof, esp.NLSConfig())
 
 	// Jump-ahead depth sweep: performance and mode usage.
 	t := stats.NewTable("Jump-ahead depth (amazon)",
@@ -26,7 +39,7 @@ func main() {
 		cfg.Name = fmt.Sprintf("ESP-depth%d", depth)
 		cfg.ESP.JumpDepth = depth
 		cfg.MaxPending = depth
-		r := esp.MustRun(prof, cfg)
+		r := run(prof, cfg)
 		entries := ""
 		for m := 0; m < depth; m++ {
 			if m > 0 {
@@ -53,7 +66,7 @@ func main() {
 		cfg.ESP.Sizes.ICacheletWays[0] = 11
 		cfg.ESP.Sizes.DCacheletBytes[0] = bytes
 		cfg.ESP.Sizes.DCacheletWays[0] = 11
-		r := esp.MustRun(prof, cfg)
+		r := run(prof, cfg)
 		t2.Add(fmt.Sprintf("%.1f KB", float64(bytes)/1024),
 			fmt.Sprintf("%.1f", (r.Speedup(base)-1)*100),
 			fmt.Sprintf("%d", r.ESPStats.CacheletFills))

@@ -11,13 +11,20 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	esp "espsim"
 	"espsim/internal/eventq"
 	"espsim/internal/stats"
 	"espsim/internal/workload"
 )
+
+// fatal prints a one-line error and exits non-zero, matching the other
+// examples' error handling.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "multiqueue:", err)
+	os.Exit(1)
+}
 
 func main() {
 	// Two applications' queues share one looper: a maps view and a feed.
@@ -28,11 +35,11 @@ func main() {
 		b.Events = 40
 		sa, err := workload.NewSession(a)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		sb, err := workload.NewSession(b)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return []*workload.Session{sa, sb}
 	}
@@ -42,15 +49,15 @@ func main() {
 	for _, miss := range []float64{0.0, 0.1, 0.3, 0.6, 1.0} {
 		src, err := eventq.NewMultiQueueSource(mk(), 0xBEEF, miss)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		base, err := esp.RunSource("multiqueue", src, esp.NLSConfig())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		accel, err := esp.RunSource("multiqueue", src, esp.ESPNLConfig())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		t.Add(fmt.Sprintf("%.0f%%", miss*100),
 			fmt.Sprintf("%.1f", (accel.Speedup(base)-1)*100),

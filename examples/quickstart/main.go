@@ -6,10 +6,22 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	esp "espsim"
 	"espsim/internal/workload"
 )
+
+// run simulates or exits with a one-line error: example programs treat
+// any simulation failure as fatal.
+func run(prof workload.Profile, cfg esp.Config) esp.Result {
+	r, err := esp.Run(prof, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+	return r
+}
 
 func main() {
 	// Pick a workload: the seven paper applications are built in
@@ -17,10 +29,10 @@ func main() {
 	app := workload.Amazon()
 
 	// Simulate the paper's baseline: next-line + stride prefetching.
-	base := esp.MustRun(app, esp.NLSConfig())
+	base := run(app, esp.NLSConfig())
 
 	// Simulate the same session on an ESP core.
-	accel := esp.MustRun(app, esp.ESPNLConfig())
+	accel := run(app, esp.ESPNLConfig())
 
 	fmt.Printf("workload: %s (%d events, %d instructions)\n\n",
 		base.App, app.Events, base.Insts)

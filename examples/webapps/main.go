@@ -7,11 +7,22 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	esp "espsim"
 	"espsim/internal/stats"
 	"espsim/internal/workload"
 )
+
+// run simulates or exits with a one-line error.
+func run(prof workload.Profile, cfg esp.Config) esp.Result {
+	r, err := esp.Run(prof, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webapps:", err)
+		os.Exit(1)
+	}
+	return r
+}
 
 func main() {
 	configs := []esp.Config{
@@ -27,10 +38,10 @@ func main() {
 
 	var speedups = make(map[string][]float64)
 	for _, prof := range workload.Suite() {
-		base := esp.MustRun(prof, esp.BaselineConfig())
+		base := run(prof, esp.BaselineConfig())
 		row := []string{prof.Name}
 		for _, cfg := range configs {
-			r := esp.MustRun(prof, cfg)
+			r := run(prof, cfg)
 			sp := r.Speedup(base)
 			speedups[cfg.Name] = append(speedups[cfg.Name], sp)
 			row = append(row, fmt.Sprintf("%.1f", stats.Improvement(sp)))

@@ -2,6 +2,10 @@ package esp
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
 
 	"espsim/internal/core"
 	"espsim/internal/mem"
@@ -14,19 +18,38 @@ import (
 // FigN method returns a Figure holding a rendered table plus the raw
 // series, and results are memoized across figures — Figure 9's ESP+NL run
 // is Figure 11's and Figure 14's too.
+//
+// The harness is safe for concurrent use: figure methods may run in
+// parallel (see RunAll) and concurrent requests for the same
+// (profile, config) cell share one simulation.
 type Harness struct {
 	// Scale multiplies every profile's event count (1 = default scaled
 	// sessions; cmd/espbench -scale exposes it).
 	Scale float64
 	// MaxEvents truncates sessions when positive (fast unit tests).
 	MaxEvents int
+	// Timeout bounds the wall-clock time of one simulation cell; a cell
+	// exceeding it fails with an error instead of hanging the sweep.
+	// Zero means no limit. The timed-out simulation goroutine cannot be
+	// interrupted and is abandoned to finish in the background.
+	Timeout time.Duration
 
-	results map[string]Result
+	mu    sync.Mutex
+	cells map[string]*harnessCell
+}
+
+// harnessCell memoizes one (profile, config) simulation. The sync.Once
+// gives singleflight semantics: concurrent figure generators that need
+// the same cell block on one computation instead of duplicating it.
+type harnessCell struct {
+	once sync.Once
+	res  Result
+	err  error
 }
 
 // NewHarness returns a harness at the default scale.
 func NewHarness() *Harness {
-	return &Harness{Scale: 1, results: make(map[string]Result)}
+	return &Harness{Scale: 1, cells: make(map[string]*harnessCell)}
 }
 
 // Suite returns the benchmark profiles at the harness scale.
@@ -40,21 +63,61 @@ func (h *Harness) Suite() []workload.Profile {
 	return ps
 }
 
-// Run simulates (memoized) one profile under one configuration.
-func (h *Harness) Run(prof workload.Profile, cfg Config) Result {
+// Run simulates (memoized) one profile under one configuration. All
+// failure modes — invalid configuration, session build errors, a panic
+// escaping the simulator, exceeding h.Timeout — come back as errors;
+// the error is memoized like a result, so a failing cell is reported
+// consistently by every figure that needs it.
+func (h *Harness) Run(prof workload.Profile, cfg Config) (Result, error) {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = h.MaxEvents
 	}
 	key := fmt.Sprintf("%s/%s/%g/%d", prof.Name, cfg.Name, h.Scale, cfg.MaxEvents)
-	if r, ok := h.results[key]; ok {
-		return r
+	h.mu.Lock()
+	if h.cells == nil {
+		h.cells = make(map[string]*harnessCell)
 	}
-	r, err := Run(prof, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("esp: harness run %s: %v", key, err))
+	cell, ok := h.cells[key]
+	if !ok {
+		cell = &harnessCell{}
+		h.cells[key] = cell
 	}
-	h.results[key] = r
-	return r
+	h.mu.Unlock()
+	cell.once.Do(func() {
+		cell.res, cell.err = h.runCell(prof, cfg, key)
+	})
+	return cell.res, cell.err
+}
+
+// runCell executes one simulation with panic containment and the
+// optional timeout. The simulation itself is pure CPU with no
+// cancellation points, so on timeout the goroutine is abandoned (it
+// finishes eventually; its result is discarded).
+func (h *Harness) runCell(prof workload.Profile, cfg Config, key string) (Result, error) {
+	type outcome struct {
+		res Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("esp: run %s: panic: %v", key, r)}
+			}
+		}()
+		res, err := Run(prof, cfg)
+		ch <- outcome{res: res, err: err}
+	}()
+	if h.Timeout <= 0 {
+		o := <-ch
+		return o.res, o.err
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(h.Timeout):
+		return Result{}, fmt.Errorf("esp: run %s: exceeded %v timeout", key, h.Timeout)
+	}
 }
 
 // Figure is one regenerated paper figure: a rendered table plus the raw
@@ -67,12 +130,50 @@ type Figure struct {
 	Apps      []string
 	// Series maps a configuration label to per-application values in
 	// Apps order; Summary holds the suite aggregate per label (the
-	// paper's HMean bars).
+	// paper's HMean bars). A cell whose simulation failed holds NaN and
+	// is excluded from the aggregate.
 	Series  map[string][]float64
 	Summary map[string]float64
 	// Order lists series labels in figure order.
 	Order []string
-	Table *stats.Table
+	// CellErrors records failed (app, config) cells, keyed "app/config".
+	// A figure with failed cells is still emitted: the healthy cells
+	// stand, the failed ones are NaN-annotated here.
+	CellErrors map[string]error
+	Table      *stats.Table
+}
+
+// cellError annotates one failed (app, config) cell.
+func (f *Figure) cellError(app, config string, err error) {
+	if f.CellErrors == nil {
+		f.CellErrors = make(map[string]error)
+	}
+	f.CellErrors[app+"/"+config] = err
+}
+
+// CellErrorKeys returns the failed-cell keys in sorted order (map
+// iteration is randomized; summaries must be deterministic).
+func (f *Figure) CellErrorKeys() []string {
+	keys := make([]string, 0, len(f.CellErrors))
+	for k := range f.CellErrors {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// hmeanValid aggregates the non-NaN values; NaN if none survived.
+func hmeanValid(vals []float64) float64 {
+	ok := vals[:0:0]
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			ok = append(ok, v)
+		}
+	}
+	if len(ok) == 0 {
+		return math.NaN()
+	}
+	return stats.HarmonicMean(ok)
 }
 
 func appNames(ps []workload.Profile) []string {
@@ -85,7 +186,10 @@ func appNames(ps []workload.Profile) []string {
 
 // improvementFigure runs base and each config per app and tabulates
 // performance improvement (%) over base, with harmonic-mean summary.
-func (h *Harness) improvementFigure(id, title, note string, base Config, cfgs []Config) Figure {
+// Failed cells degrade gracefully: they are NaN-annotated in the figure
+// and excluded from the summary. An error is returned only when every
+// cell failed (the figure would carry no information).
+func (h *Harness) improvementFigure(id, title, note string, base Config, cfgs []Config) (Figure, error) {
 	ps := h.Suite()
 	fig := Figure{
 		ID: id, Title: title, PaperNote: note,
@@ -93,24 +197,49 @@ func (h *Harness) improvementFigure(id, title, note string, base Config, cfgs []
 		Series:  make(map[string][]float64),
 		Summary: make(map[string]float64),
 	}
+	var firstErr error
+	cells := 0
 	for _, cfg := range cfgs {
 		fig.Order = append(fig.Order, cfg.Name)
 		var speedups []float64
 		for _, p := range ps {
-			b := h.Run(p, base)
-			r := h.Run(p, cfg)
+			cells++
+			b, errB := h.Run(p, base)
+			r, errR := h.Run(p, cfg)
+			if err := firstOf(errB, errR); err != nil {
+				fig.cellError(p.Name, cfg.Name, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				fig.Series[cfg.Name] = append(fig.Series[cfg.Name], math.NaN())
+				speedups = append(speedups, math.NaN())
+				continue
+			}
 			sp := r.Speedup(b)
 			speedups = append(speedups, sp)
 			fig.Series[cfg.Name] = append(fig.Series[cfg.Name], stats.Improvement(sp))
 		}
-		fig.Summary[cfg.Name] = stats.Improvement(stats.HarmonicMean(speedups))
+		fig.Summary[cfg.Name] = stats.Improvement(hmeanValid(speedups))
+	}
+	if len(fig.CellErrors) == cells && cells > 0 {
+		return fig, fmt.Errorf("esp: figure %s: every cell failed: %w", id, firstErr)
 	}
 	fig.Table = seriesTable(title+" — performance improvement (%) over "+base.Name, &fig, "%.1f")
-	return fig
+	return fig, nil
 }
 
-// metricFigure tabulates a per-result metric for each config and app.
-func (h *Harness) metricFigure(id, title, note string, cfgs []Config, metric func(Result) float64, format string) Figure {
+func firstOf(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// metricFigure tabulates a per-result metric for each config and app,
+// with the same graceful cell degradation as improvementFigure.
+func (h *Harness) metricFigure(id, title, note string, cfgs []Config, metric func(Result) float64, format string) (Figure, error) {
 	ps := h.Suite()
 	fig := Figure{
 		ID: id, Title: title, PaperNote: note,
@@ -118,18 +247,34 @@ func (h *Harness) metricFigure(id, title, note string, cfgs []Config, metric fun
 		Series:  make(map[string][]float64),
 		Summary: make(map[string]float64),
 	}
+	var firstErr error
+	cells := 0
 	for _, cfg := range cfgs {
 		fig.Order = append(fig.Order, cfg.Name)
 		var vals []float64
 		for _, p := range ps {
-			v := metric(h.Run(p, cfg))
+			cells++
+			r, err := h.Run(p, cfg)
+			if err != nil {
+				fig.cellError(p.Name, cfg.Name, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				vals = append(vals, math.NaN())
+				fig.Series[cfg.Name] = append(fig.Series[cfg.Name], math.NaN())
+				continue
+			}
+			v := metric(r)
 			vals = append(vals, v)
 			fig.Series[cfg.Name] = append(fig.Series[cfg.Name], v)
 		}
-		fig.Summary[cfg.Name] = stats.HarmonicMean(vals)
+		fig.Summary[cfg.Name] = hmeanValid(vals)
+	}
+	if len(fig.CellErrors) == cells && cells > 0 {
+		return fig, fmt.Errorf("esp: figure %s: every cell failed: %w", id, firstErr)
 	}
 	fig.Table = seriesTable(title, &fig, format)
-	return fig
+	return fig, nil
 }
 
 func seriesTable(title string, fig *Figure, format string) *stats.Table {
@@ -143,7 +288,7 @@ func seriesTable(title string, fig *Figure, format string) *stats.Table {
 
 // Fig3 regenerates Figure 3: performance potential with perfect
 // structures, over the NL+S baseline machine.
-func (h *Harness) Fig3() Figure {
+func (h *Harness) Fig3() (Figure, error) {
 	return h.improvementFigure("fig3",
 		"Figure 3: performance potential in web applications",
 		"Paper: perfect-all nearly doubles performance; perfect L1-I is the largest single factor.",
@@ -153,7 +298,7 @@ func (h *Harness) Fig3() Figure {
 
 // Fig6 regenerates Figure 6: the benchmark table (paper sessions and the
 // scaled sessions simulated here).
-func (h *Harness) Fig6() Figure {
+func (h *Harness) Fig6() (Figure, error) {
 	ps := h.Suite()
 	fig := Figure{
 		ID:        "fig6",
@@ -166,7 +311,7 @@ func (h *Harness) Fig6() Figure {
 	for _, p := range ps {
 		sess, err := workload.NewSession(p)
 		if err != nil {
-			panic(err)
+			return fig, fmt.Errorf("esp: figure fig6: building session %s: %w", p.Name, err)
 		}
 		total := sess.TotalInsts()
 		actions := p.Actions
@@ -182,11 +327,11 @@ func (h *Harness) Fig6() Figure {
 			fmt.Sprintf("%d", total/int64(len(sess.Events))))
 	}
 	fig.Table = t
-	return fig
+	return fig, nil
 }
 
 // Fig8 regenerates Figure 8: ESP's hardware budget.
-func (h *Harness) Fig8() Figure {
+func (h *Harness) Fig8() (Figure, error) {
 	rows := core.HardwareBudget(core.DefaultSizes())
 	fig := Figure{
 		ID:        "fig8",
@@ -202,12 +347,12 @@ func (h *Harness) Fig8() Figure {
 		fmt.Sprintf("%.1f KB", float64(core.BudgetTotal(rows, 0))/1024),
 		fmt.Sprintf("%.1f KB", float64(core.BudgetTotal(rows, 1))/1024))
 	fig.Table = t
-	return fig
+	return fig, nil
 }
 
 // Fig9 regenerates Figure 9: ESP vs next-line vs runahead, normalized to
 // the no-prefetching baseline.
-func (h *Harness) Fig9() Figure {
+func (h *Harness) Fig9() (Figure, error) {
 	return h.improvementFigure("fig9",
 		"Figure 9: performance of ESP, next-line and runahead",
 		"Paper HMeans: NL 13.8%, NL+S ~13.9%, Runahead 12%, Runahead+NL 21%, ESP+NL 32% (16% over NL+S).",
@@ -216,7 +361,7 @@ func (h *Harness) Fig9() Figure {
 }
 
 // Fig10 regenerates Figure 10: sources of performance in ESP.
-func (h *Harness) Fig10() Figure {
+func (h *Harness) Fig10() (Figure, error) {
 	return h.improvementFigure("fig10",
 		"Figure 10: sources of performance in ESP",
 		"Paper: naive ESP gains almost nothing (hurts pixlr); I-lists add 9.1% over NL, B-lists 6%, D-lists 3.3%.",
@@ -225,7 +370,7 @@ func (h *Harness) Fig10() Figure {
 }
 
 // Fig11a regenerates Figure 11a: L1 I-cache MPKI.
-func (h *Harness) Fig11a() Figure {
+func (h *Harness) Fig11a() (Figure, error) {
 	return h.metricFigure("fig11a",
 		"Figure 11a: L1-I cache misses per kilo-instruction",
 		"Paper: base ~23.5, NL ~17.5, ESP-I+NL-I ~11.6, close to ideal.",
@@ -234,7 +379,7 @@ func (h *Harness) Fig11a() Figure {
 }
 
 // Fig11b regenerates Figure 11b: L1 D-cache miss rate (%).
-func (h *Harness) Fig11b() Figure {
+func (h *Harness) Fig11b() (Figure, error) {
 	return h.metricFigure("fig11b",
 		"Figure 11b: L1-D cache miss rate (%)",
 		"Paper: base 4.4%, ESP-D+NL-D 1.8%, Runahead-D+NL-D 0.8%, ideal ESP-D comparable to runahead.",
@@ -245,7 +390,7 @@ func (h *Harness) Fig11b() Figure {
 
 // Fig12 regenerates Figure 12: branch misprediction rate (%) across the
 // predictor design points.
-func (h *Harness) Fig12() Figure {
+func (h *Harness) Fig12() (Figure, error) {
 	return h.metricFigure("fig12",
 		"Figure 12: branch misprediction rate (%)",
 		"Paper: base 9.9%, naive sharing ~base, replicated tables 7.4%, separate PIR + B-list (ESP) 6.1%.",
@@ -256,15 +401,11 @@ func (h *Harness) Fig12() Figure {
 
 // Fig13 regenerates Figure 13: pre-execution working-set sizes per ESP
 // mode, aggregated across the suite, plus the normal-mode working set.
-func (h *Harness) Fig13() Figure {
+// An application whose instrumented run fails is skipped from the
+// aggregate and annotated; the figure is produced from the rest.
+func (h *Harness) Fig13() (Figure, error) {
 	ps := h.Suite()
 	study := core.NewWorkingSetStudy(8)
-	for _, p := range ps {
-		r := h.Run(p, WorkingSetStudyConfig())
-		study.Merge(r.Study)
-	}
-	normalMax, normal95 := h.normalWorkingSet(ps)
-
 	fig := Figure{
 		ID:        "fig13",
 		Title:     "Figure 13: I-cachelet working sets (cache lines)",
@@ -272,6 +413,28 @@ func (h *Harness) Fig13() Figure {
 		Series:    make(map[string][]float64),
 		Summary:   make(map[string]float64),
 	}
+	merged := 0
+	var firstErr error
+	for _, p := range ps {
+		r, err := h.Run(p, WorkingSetStudyConfig())
+		if err != nil {
+			fig.cellError(p.Name, WorkingSetStudyConfig().Name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		study.Merge(r.Study)
+		merged++
+	}
+	if merged == 0 {
+		return fig, fmt.Errorf("esp: figure fig13: every instrumented run failed: %w", firstErr)
+	}
+	normalMax, normal95, err := h.normalWorkingSet(ps)
+	if err != nil {
+		return fig, fmt.Errorf("esp: figure fig13: %w", err)
+	}
+
 	t := stats.NewTable(fig.Title, "mode", "events", "max lines", "95% reuse", "85% reuse", "75% reuse")
 	t.Add("Normal", "-", fmt.Sprintf("%d", normalMax), fmt.Sprintf("%d", normal95), "-", "-")
 	fig.Series["normal-max"] = []float64{float64(normalMax)}
@@ -288,19 +451,19 @@ func (h *Harness) Fig13() Figure {
 		fig.Summary[key] = float64(m.Lines95)
 	}
 	fig.Table = t
-	return fig
+	return fig, nil
 }
 
 // normalWorkingSet profiles the instruction working sets of events
 // executing normally (the "Normal" bar of Figure 13). It samples a bounded
 // number of events per application.
-func (h *Harness) normalWorkingSet(ps []workload.Profile) (maxLines, lines95 int) {
+func (h *Harness) normalWorkingSet(ps []workload.Profile) (maxLines, lines95 int, err error) {
 	const perApp = 24
 	var all95 []float64
 	for _, p := range ps {
 		sess, err := workload.NewSession(p)
 		if err != nil {
-			panic(err)
+			return 0, 0, fmt.Errorf("building session %s: %w", p.Name, err)
 		}
 		n := len(sess.Events)
 		if n > perApp {
@@ -326,12 +489,12 @@ func (h *Harness) normalWorkingSet(ps []workload.Profile) (maxLines, lines95 int
 			all95 = append(all95, float64(ws.LinesFor(0.95)))
 		}
 	}
-	return maxLines, int(stats.Percentile(all95, 0.95))
+	return maxLines, int(stats.Percentile(all95, 0.95)), nil
 }
 
 // Fig14 regenerates Figure 14: energy of ESP+NL relative to NL, with the
 // paper's three-part breakdown and extra-instruction annotations.
-func (h *Harness) Fig14() Figure {
+func (h *Harness) Fig14() (Figure, error) {
 	ps := h.Suite()
 	fig := Figure{
 		ID:        "fig14",
@@ -345,9 +508,20 @@ func (h *Harness) Fig14() Figure {
 	t := stats.NewTable(fig.Title,
 		"app", "NL", "ESP+NL", "mispredict", "static", "dynamic", "extra insts %")
 	var rels, extras []float64
+	var firstErr error
 	for _, p := range ps {
-		nl := h.Run(p, NLConfig())
-		e := h.Run(p, ESPNLConfig())
+		nl, errNL := h.Run(p, NLConfig())
+		e, errE := h.Run(p, ESPNLConfig())
+		if err := firstOf(errNL, errE); err != nil {
+			fig.cellError(p.Name, ESPNLConfig().Name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			fig.Series["relative-energy"] = append(fig.Series["relative-energy"], math.NaN())
+			fig.Series["extra-inst%"] = append(fig.Series["extra-inst%"], math.NaN())
+			t.Add(p.Name, "1.00", "error", "-", "-", "-", "-")
+			continue
+		}
 		rel := e.Energy.RelativeTo(nl.Energy)
 		rels = append(rels, rel.Total())
 		extras = append(extras, e.ExtraInstPct)
@@ -360,25 +534,31 @@ func (h *Harness) Fig14() Figure {
 			fmt.Sprintf("%.2f", rel.Dynamic),
 			fmt.Sprintf("%.1f", e.ExtraInstPct))
 	}
+	if len(rels) == 0 {
+		return fig, fmt.Errorf("esp: figure fig14: every cell failed: %w", firstErr)
+	}
 	fig.Summary["relative-energy"] = stats.Mean(rels)
 	fig.Summary["extra-inst%"] = stats.Mean(extras)
 	t.Add("Mean", "1.00",
 		fmt.Sprintf("%.2f", fig.Summary["relative-energy"]), "", "", "",
 		fmt.Sprintf("%.1f", fig.Summary["extra-inst%"]))
 	fig.Table = t
-	return fig
+	return fig, nil
 }
 
 // FigRelated regenerates the §7 related-work comparison: ESP against the
 // event-aware instruction prefetchers EFetch and PIF, with their hardware
 // budgets. The paper reports ESP attaining 6% more performance than
 // EFetch at 3× less hardware and 10% more than PIF at 15× less.
-func (h *Harness) FigRelated() Figure {
-	fig := h.improvementFigure("related",
+func (h *Harness) FigRelated() (Figure, error) {
+	fig, err := h.improvementFigure("related",
 		"Section 7: ESP vs event-aware instruction prefetchers",
 		"Paper: ESP beats EFetch by 6% with 3x less hardware, and PIF by 10% with 15x less; §7 also argues an idle helper core could do ESP's job but costs a core plus live-in/list transfer overheads.",
 		BaselineConfig(),
 		[]Config{NLIOnlyConfig(), EFetchConfig(), PIFConfig(), IdleCoreConfig(), ESPConfig(), ESPNLConfig()})
+	if err != nil {
+		return fig, err
+	}
 	budgets := map[string]string{
 		"NL-I": "~0 KB", "EFetch": "~39 KB", "PIF": "~190 KB",
 		"IdleCore": "a full core", "ESP": "13.8 KB", "ESP+NL": "13.8 KB",
@@ -388,20 +568,29 @@ func (h *Harness) FigRelated() Figure {
 		t.Add(name, budgets[name], fmt.Sprintf("%.1f", fig.Summary[name]))
 	}
 	fig.Table = t
-	return fig
+	return fig, nil
 }
 
 // Headline computes the abstract's summary metrics: ESP+NL speedup over
 // the NL+S baseline (paper: 16%), I-MPKI (17.5 → 11.6), L1-D miss rate,
 // and misprediction rate (9.9% → 6.1%).
-func (h *Harness) Headline() *stats.Table {
+func (h *Harness) Headline() (*stats.Table, error) {
 	ps := h.Suite()
 	var spESP, spRA []float64
 	var mpkiNL, mpkiESP, dNL, dESP, bNL, bESP []float64
 	for _, p := range ps {
-		base := h.Run(p, NLSConfig())
-		e := h.Run(p, ESPNLConfig())
-		ra := h.Run(p, RunaheadNLConfig())
+		base, err := h.Run(p, NLSConfig())
+		if err != nil {
+			return nil, fmt.Errorf("esp: headline: %w", err)
+		}
+		e, err := h.Run(p, ESPNLConfig())
+		if err != nil {
+			return nil, fmt.Errorf("esp: headline: %w", err)
+		}
+		ra, err := h.Run(p, RunaheadNLConfig())
+		if err != nil {
+			return nil, fmt.Errorf("esp: headline: %w", err)
+		}
 		spESP = append(spESP, e.Speedup(base))
 		spRA = append(spRA, ra.Speedup(base))
 		mpkiNL = append(mpkiNL, base.IMPKI)
@@ -422,21 +611,30 @@ func (h *Harness) Headline() *stats.Table {
 		fmt.Sprintf("%.1f -> %.1f", stats.HarmonicMean(dNL), stats.HarmonicMean(dESP)))
 	t.Add("Branch mispredict %: NL+S -> ESP+NL", "9.9 -> 6.1",
 		fmt.Sprintf("%.1f -> %.1f", stats.HarmonicMean(bNL), stats.HarmonicMean(bESP)))
-	return t
+	return t, nil
 }
 
 // SeedStudy re-runs one application's headline comparison across
 // perturbed workload seeds: the sessions are deterministic, so this is
 // the robustness check that the measured speedups are properties of the
 // workload's statistics rather than of one lucky seed.
-func (h *Harness) SeedStudy(prof workload.Profile, n int) *stats.Table {
+func (h *Harness) SeedStudy(prof workload.Profile, n int) (*stats.Table, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("esp: seed study needs at least one seed, got %d", n)
+	}
 	var imps []float64
 	for k := 0; k < n; k++ {
 		p := prof
 		p.Seed = workload.Hash2(prof.Seed, uint64(k))
 		p.Name = fmt.Sprintf("%s#%d", prof.Name, k)
-		base := h.Run(p, NLSConfig())
-		e := h.Run(p, ESPNLConfig())
+		base, err := h.Run(p, NLSConfig())
+		if err != nil {
+			return nil, fmt.Errorf("esp: seed study: %w", err)
+		}
+		e, err := h.Run(p, ESPNLConfig())
+		if err != nil {
+			return nil, fmt.Errorf("esp: seed study: %w", err)
+		}
 		imps = append(imps, stats.Improvement(e.Speedup(base)))
 	}
 	min, max := imps[0], imps[0]
@@ -454,14 +652,20 @@ func (h *Harness) SeedStudy(prof workload.Profile, n int) *stats.Table {
 	t.AddF("min", "%.1f", min)
 	t.AddF("mean", "%.1f", stats.Mean(imps))
 	t.AddF("max", "%.1f", max)
-	return t
+	return t, nil
 }
 
-// AllFigures regenerates every figure, in paper order.
-func (h *Harness) AllFigures() []Figure {
-	return []Figure{
-		h.Fig3(), h.Fig6(), h.Fig8(), h.Fig9(), h.Fig10(),
-		h.Fig11a(), h.Fig11b(), h.Fig12(), h.Fig13(), h.Fig14(),
-		h.FigRelated(),
+// AllFigures regenerates every figure sequentially, in paper order,
+// failing on the first figure that cannot be produced at all. RunAll is
+// the fault-tolerant, concurrent alternative.
+func (h *Harness) AllFigures() ([]Figure, error) {
+	var figs []Figure
+	for _, nf := range StandardFigures() {
+		f, err := nf.Gen(h)
+		if err != nil {
+			return figs, err
+		}
+		figs = append(figs, f)
 	}
+	return figs, nil
 }

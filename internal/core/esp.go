@@ -143,15 +143,6 @@ func New(opt Options, h *mem.Hierarchy, bp *branch.Predictor, src StreamSource) 
 	return e, nil
 }
 
-// MustNew is New that panics on invalid options.
-func MustNew(opt Options, h *mem.Hierarchy, bp *branch.Predictor, src StreamSource) *ESP {
-	e, err := New(opt, h, bp, src)
-	if err != nil {
-		panic(err)
-	}
-	return e
-}
-
 // resetSlot points a slot at a (new) future event, discarding any state
 // from a previous occupant.
 func (e *ESP) resetSlot(s *slot, depth int, ev trace.Event, valid bool) {
@@ -181,10 +172,14 @@ func (e *ESP) resetSlot(s *slot, depth int, ev trace.Event, valid bool) {
 	}
 }
 
+// cachelet builds a per-slot cachelet. Geometry was checked by
+// Options.Validate in New (and the Ideal-mode sizes are compiled-in
+// constants), so a failure here is an internal invariant violation —
+// the panic is unreachable from any input that passed validation.
 func (e *ESP) cachelet(name string, bytes, ways int) *mem.Cache {
 	c, err := mem.NewCache(name, bytes, ways)
 	if err != nil {
-		panic(fmt.Sprintf("core: bad cachelet geometry: %v", err))
+		panic(fmt.Sprintf("core: internal invariant: cachelet geometry escaped validation: %v", err))
 	}
 	return c
 }

@@ -7,7 +7,11 @@
 // just-in-time branch-predictor training (§3, §4).
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"espsim/internal/mem"
+)
 
 // BPMode selects how pre-execution interacts with the branch predictor —
 // the design points of Figure 12.
@@ -78,6 +82,35 @@ func (s Sizes) mode(i int) int {
 		return 0
 	}
 	return 1
+}
+
+// Validate checks every per-mode capacity: the cachelets must form legal
+// cache geometries (the engine builds a fresh pair per tracked event)
+// and the list budgets must hold at least one record each.
+func (s Sizes) Validate() error {
+	modeName := [2]string{"ESP-1", "ESP-2"}
+	for m := 0; m < 2; m++ {
+		if err := mem.CheckGeometry(modeName[m]+" I-cachelet", s.ICacheletBytes[m], s.ICacheletWays[m]); err != nil {
+			return fmt.Errorf("core: bad cachelet geometry: %w", err)
+		}
+		if err := mem.CheckGeometry(modeName[m]+" D-cachelet", s.DCacheletBytes[m], s.DCacheletWays[m]); err != nil {
+			return fmt.Errorf("core: bad cachelet geometry: %w", err)
+		}
+		for _, b := range []struct {
+			name  string
+			bytes int
+		}{
+			{"IListBytes", s.IListBytes[m]},
+			{"DListBytes", s.DListBytes[m]},
+			{"BListDirBytes", s.BListDirBytes[m]},
+			{"BListTgtBytes", s.BListTgtBytes[m]},
+		} {
+			if b.bytes < 1 {
+				return fmt.Errorf("core: %s %s is %d bytes; every list needs capacity for at least one record", modeName[m], b.name, b.bytes)
+			}
+		}
+	}
+	return nil
 }
 
 // Options configures an ESP engine.
@@ -182,15 +215,33 @@ func DefaultOptions() Options {
 	}
 }
 
-// Validate reports whether the options are coherent.
+// Validate reports whether the options are coherent, including the
+// cachelet geometry and list capacities of Sizes. New is the only
+// constructor and calls it, so an ESP engine never exists with options
+// that could later panic mid-simulation.
 func (o *Options) Validate() error {
 	switch {
 	case o.JumpDepth < 1 || o.JumpDepth > 8:
 		return fmt.Errorf("core: JumpDepth %d out of range [1,8]", o.JumpDepth)
 	case o.BaseCPI <= 0:
-		return fmt.Errorf("core: BaseCPI must be positive")
+		return fmt.Errorf("core: BaseCPI must be positive, got %g (start from DefaultOptions)", o.BaseCPI)
 	case o.PrefetchLead < 0 || o.PreEventWindow < 0:
-		return fmt.Errorf("core: prefetch windows must be non-negative")
+		return fmt.Errorf("core: prefetch windows must be non-negative, got lead=%d window=%d", o.PrefetchLead, o.PreEventWindow)
+	case o.MinLead < 0:
+		return fmt.Errorf("core: MinLead must be non-negative, got %d", o.MinLead)
+	case o.SwitchPenalty < 0 || o.MispredictPenalty < 0:
+		return fmt.Errorf("core: penalties must be non-negative, got switch=%d mispredict=%d", o.SwitchPenalty, o.MispredictPenalty)
+	case o.MinWindow < 0:
+		return fmt.Errorf("core: MinWindow must be non-negative, got %d", o.MinWindow)
+	case o.DirtyHazardPeriod < 0:
+		return fmt.Errorf("core: DirtyHazardPeriod must be non-negative, got %d", o.DirtyHazardPeriod)
+	case o.BPMode > BPReplicate:
+		return fmt.Errorf("core: unknown BPMode %d", o.BPMode)
+	case o.IdleTransfer < 0:
+		return fmt.Errorf("core: IdleTransfer must be non-negative, got %d", o.IdleTransfer)
+	}
+	if err := o.Sizes.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -53,17 +53,28 @@ type Cache struct {
 	Stats CacheStats
 }
 
+// CheckGeometry validates a cache geometry without building it:
+// sizeBytes must be a positive multiple of ways*64 with a power-of-two
+// set count. Configuration validators use it to reject bad cachelet
+// geometry before any simulation structure is constructed.
+func CheckGeometry(name string, sizeBytes, ways int) error {
+	if sizeBytes <= 0 || ways <= 0 || sizeBytes%(ways*trace.LineBytes) != 0 {
+		return fmt.Errorf("mem: cache %q: size %d not divisible into %d ways of 64B lines", name, sizeBytes, ways)
+	}
+	if nSets := sizeBytes / (ways * trace.LineBytes); nSets&(nSets-1) != 0 {
+		return fmt.Errorf("mem: cache %q: set count %d not a power of two", name, nSets)
+	}
+	return nil
+}
+
 // NewCache builds a cache of sizeBytes with the given associativity and
 // 64-byte lines. sizeBytes must be a positive multiple of ways*64 with a
 // power-of-two set count.
 func NewCache(name string, sizeBytes, ways int) (*Cache, error) {
-	if sizeBytes <= 0 || ways <= 0 || sizeBytes%(ways*trace.LineBytes) != 0 {
-		return nil, fmt.Errorf("mem: cache %q: size %d not divisible into %d ways of 64B lines", name, sizeBytes, ways)
+	if err := CheckGeometry(name, sizeBytes, ways); err != nil {
+		return nil, err
 	}
 	nSets := sizeBytes / (ways * trace.LineBytes)
-	if nSets&(nSets-1) != 0 {
-		return nil, fmt.Errorf("mem: cache %q: set count %d not a power of two", name, nSets)
-	}
 	setShift := uint(0)
 	for 1<<setShift < nSets {
 		setShift++
@@ -81,8 +92,11 @@ func NewCache(name string, sizeBytes, ways int) (*Cache, error) {
 	return c, nil
 }
 
-// MustCache is NewCache that panics on configuration errors; for use with
-// the fixed, known-good configurations in this repository.
+// MustCache is NewCache that panics on configuration errors. It is for
+// compiled-in constants only (DefaultHierarchy's Figure 7 geometry and
+// package tests): a panic here is an internal invariant violation, never
+// a reaction to user input — user-supplied geometry must go through
+// CheckGeometry/NewCache.
 func MustCache(name string, sizeBytes, ways int) *Cache {
 	c, err := NewCache(name, sizeBytes, ways)
 	if err != nil {

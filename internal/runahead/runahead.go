@@ -13,6 +13,8 @@
 package runahead
 
 import (
+	"fmt"
+
 	"espsim/internal/branch"
 	"espsim/internal/cpu"
 	"espsim/internal/mem"
@@ -49,6 +51,25 @@ type Config struct {
 	// EnterCost is the budget consumed checkpointing and redirecting
 	// into runahead mode.
 	EnterCost int
+}
+
+// Validate reports whether the configuration is coherent, naming the
+// offending field. The zero Config is NOT valid: start from
+// DefaultConfig or DataOnlyConfig.
+func (c Config) Validate() error {
+	switch {
+	case c.BaseCPI <= 0:
+		return fmt.Errorf("runahead: BaseCPI must be positive, got %g (start from DefaultConfig)", c.BaseCPI)
+	case c.DepFrac < 0 || c.DepFrac > 1:
+		return fmt.Errorf("runahead: DepFrac must be in [0,1], got %g", c.DepFrac)
+	case c.BranchDepFrac < 0 || c.BranchDepFrac > 1:
+		return fmt.Errorf("runahead: BranchDepFrac must be in [0,1], got %g", c.BranchDepFrac)
+	case c.WrongPathStop < 0 || c.WrongPathStop > 1:
+		return fmt.Errorf("runahead: WrongPathStop must be in [0,1], got %g", c.WrongPathStop)
+	case c.EnterCost < 0:
+		return fmt.Errorf("runahead: EnterCost must be non-negative, got %d", c.EnterCost)
+	}
+	return nil
 }
 
 // DefaultConfig returns the full runahead configuration used in Figure 9.

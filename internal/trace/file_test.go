@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// validPayload returns one encoded event with a known instruction mix.
+func validPayload(t *testing.T) []byte {
+	t.Helper()
+	r := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, []EventTrace{randomEventTrace(r, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadFileBadVersionDistinct(t *testing.T) {
+	in := []byte{'E', 'S', 'P', 'T', 9, 0}
+	_, err := ReadFile(bytes.NewReader(in))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("ErrBadVersion must wrap ErrBadTrace, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "unsupported version 9") {
+		t.Fatalf("version error lacks the offending byte: %v", err)
+	}
+}
+
+func TestReadFileTrailingGarbageDistinct(t *testing.T) {
+	in := append(validPayload(t), 0xEE)
+	_, err := ReadFile(bytes.NewReader(in))
+	if !errors.Is(err, ErrTrailingGarbage) {
+		t.Fatalf("want ErrTrailingGarbage, got %v", err)
+	}
+	if errors.Is(err, ErrBadVersion) {
+		t.Fatal("trailing-garbage error must be distinct from the version error")
+	}
+	if !strings.Contains(err.Error(), "byte offset") {
+		t.Fatalf("error lacks byte-offset context: %v", err)
+	}
+}
+
+func TestReadFileErrorsCarryOffsets(t *testing.T) {
+	full := validPayload(t)
+	// Truncate at every section boundary of the fixed-layout prefix and
+	// a spread of points inside the instruction payload.
+	cuts := []int{0, 1, 3, 4, 5} // inside magic, after magic, version
+	for n := 6; n < len(full)-1; n += 3 {
+		cuts = append(cuts, n)
+	}
+	for _, n := range cuts {
+		_, err := ReadFile(bytes.NewReader(full[:n]))
+		if err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted", n, len(full))
+		}
+		if !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("truncation at %d: error does not wrap ErrBadTrace: %v", n, err)
+		}
+		if n >= 4 && !strings.Contains(err.Error(), "byte offset") {
+			t.Fatalf("truncation at %d: error lacks byte-offset context: %v", n, err)
+		}
+	}
+}
+
+// header emits magic+version+event count, the common prefix for
+// hand-built payloads.
+func header(nEvents uint64) []byte {
+	out := []byte{'E', 'S', 'P', 'T', fileVersion}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], nEvents)
+	return append(out, buf[:n]...)
+}
+
+func TestReadFileLimitsEvents(t *testing.T) {
+	in := header(100)
+	_, err := ReadFileLimits(bytes.NewReader(in), Limits{MaxEvents: 10})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge for event-count bomb, got %v", err)
+	}
+}
+
+func TestReadFileLimitsInsts(t *testing.T) {
+	// One event declaring 2^40 instructions in a handful of bytes.
+	in := header(1)
+	var buf [binary.MaxVarintLen64]byte
+	in = append(in, 0, 0)                 // id, handler
+	in = append(in, make([]byte, 8)...)   // seed
+	in = append(in, 0)                    // diverge = 0
+	n := binary.PutUvarint(buf[:], 1<<40) // inst count
+	in = append(in, buf[:n]...)
+	_, err := ReadFileLimits(bytes.NewReader(in), Limits{MaxInsts: 1 << 20})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge for instruction-count bomb, got %v", err)
+	}
+}
+
+func TestReadFileLimitsBytes(t *testing.T) {
+	full := validPayload(t)
+	_, err := ReadFileLimits(bytes.NewReader(full), Limits{MaxTraceBytes: 8})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge under a byte budget, got %v", err)
+	}
+	// The same payload decodes cleanly when the budget is sufficient.
+	if _, err := ReadFileLimits(bytes.NewReader(full), Limits{MaxTraceBytes: int64(len(full))}); err != nil {
+		t.Fatalf("payload within budget rejected: %v", err)
+	}
+}
+
+func TestReadFileDeclaredCountBombDoesNotPreallocate(t *testing.T) {
+	// A 12-byte input declaring 2^25 events must fail on EOF without
+	// first allocating 2^25 EventTrace headers (~3 GiB).
+	in := header(1 << 25)
+	_, err := ReadFile(bytes.NewReader(in))
+	if err == nil {
+		t.Fatal("header-only bomb accepted")
+	}
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("want ErrBadTrace, got %v", err)
+	}
+}

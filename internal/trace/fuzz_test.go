@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// fuzzLimits keeps fuzz inputs from allocating their way past the
+// harness: any input that decodes to more than this is rejected.
+func fuzzLimits() Limits {
+	return Limits{MaxTraceBytes: 1 << 20, MaxEvents: 1 << 12, MaxInsts: 1 << 16}
+}
+
+// encodeTraces is WriteFile into a byte slice, for seeding.
+func encodeTraces(t testing.TB, events []EventTrace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, events); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFile feeds arbitrary bytes to the decoder. The property: it
+// never panics, never allocates past the limits, and anything it does
+// accept re-encodes and re-decodes to the same events.
+func FuzzReadFile(f *testing.F) {
+	r := rand.New(rand.NewSource(1))
+	f.Add([]byte{})
+	f.Add([]byte("ESPT"))
+	f.Add([]byte{'E', 'S', 'P', 'T', 1, 0})
+	f.Add([]byte{'E', 'S', 'P', 'T', 2, 0})                      // bad version
+	f.Add([]byte{'E', 'S', 'P', 'T', 1, 0xff, 0xff, 0xff, 0xff}) // huge count
+	f.Add(encodeTraces(f, nil))
+	f.Add(encodeTraces(f, []EventTrace{randomEventTrace(r, 0)}))
+	f.Add(encodeTraces(f, []EventTrace{randomEventTrace(r, 0), randomEventTrace(r, 1)}))
+	f.Add(append(encodeTraces(f, []EventTrace{randomEventTrace(r, 2)}), 0xAA)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadFileLimits(bytes.NewReader(data), fuzzLimits())
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("decode error does not wrap ErrBadTrace: %v", err)
+			}
+			return
+		}
+		var total uint64
+		for _, et := range events {
+			total += uint64(len(et.Insts))
+		}
+		if total > fuzzLimits().MaxInsts {
+			t.Fatalf("accepted %d instructions past the %d limit", total, fuzzLimits().MaxInsts)
+		}
+		// Accepted input must re-encode losslessly (the encoder emits
+		// canonical varints, so the re-encoding is also decodable).
+		again, err := ReadFileLimits(bytes.NewReader(encodeTraces(t, events)), fuzzLimits())
+		if err != nil {
+			t.Fatalf("re-decoding accepted input: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("re-decode: %d events, want %d", len(again), len(events))
+		}
+		for i := range events {
+			if again[i].Event != events[i].Event || len(again[i].Insts) != len(events[i].Insts) {
+				t.Fatalf("event %d changed across re-encode", i)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip drives the encoder and decoder with generated sessions:
+// every writable trace must read back exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(42), uint8(8))
+	f.Add(int64(-7), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		r := rand.New(rand.NewSource(seed))
+		events := make([]EventTrace, 0, n%16)
+		for i := 0; i < int(n%16); i++ {
+			events = append(events, randomEventTrace(r, i))
+		}
+		data := encodeTraces(t, events)
+		got, err := ReadFile(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("ReadFile of WriteFile output: %v", err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("got %d events, want %d", len(got), len(events))
+		}
+		for i := range events {
+			if got[i].Event != events[i].Event {
+				t.Fatalf("event %d metadata: got %+v want %+v", i, got[i].Event, events[i].Event)
+			}
+			if len(got[i].Insts) != len(events[i].Insts) {
+				t.Fatalf("event %d: %d insts, want %d", i, len(got[i].Insts), len(events[i].Insts))
+			}
+			for j := range events[i].Insts {
+				if got[i].Insts[j] != events[i].Insts[j] {
+					t.Fatalf("event %d inst %d differs", i, j)
+				}
+			}
+		}
+	})
+}

@@ -25,11 +25,23 @@ func shapeHarness() *Harness {
 	return shared
 }
 
+// mustFig adapts a (Figure, error) figure generator for tests: the
+// curried form lets the two-value call expand into the argument list.
+func mustFig(t *testing.T) func(Figure, error) Figure {
+	return func(f Figure, err error) Figure {
+		if err != nil {
+			t.Helper()
+			t.Fatalf("figure generation: %v", err)
+		}
+		return f
+	}
+}
+
 func TestShapeFig9Ordering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config sweep")
 	}
-	f := shapeHarness().Fig9()
+	f := mustFig(t)(shapeHarness().Fig9())
 	get := func(name string) float64 {
 		v, ok := f.Summary[name]
 		if !ok || math.IsNaN(v) {
@@ -69,7 +81,7 @@ func TestShapeFig10Sources(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config sweep")
 	}
-	f := shapeHarness().Fig10()
+	f := mustFig(t)(shapeHarness().Fig10())
 	i := f.Summary["ESP-I+NL"]
 	ib := f.Summary["ESP-I,B+NL"]
 	ibd := f.Summary["ESP-I,B,D+NL"]
@@ -86,7 +98,7 @@ func TestShapeFig11aICache(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config sweep")
 	}
-	f := shapeHarness().Fig11a()
+	f := mustFig(t)(shapeHarness().Fig11a())
 	base, nli := f.Summary["base"], f.Summary["NL-I"]
 	espI, espNL, ideal := f.Summary["ESP-I"], f.Summary["ESP-I+NL-I"], f.Summary["idealESP-I+NL-I"]
 	if !(base > nli) {
@@ -107,7 +119,7 @@ func TestShapeFig11bDCache(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config sweep")
 	}
-	f := shapeHarness().Fig11b()
+	f := mustFig(t)(shapeHarness().Fig11b())
 	base := f.Summary["base"]
 	raD := f.Summary["Runahead-D"]
 	espD := f.Summary["ESP-D"]
@@ -130,7 +142,7 @@ func TestShapeFig12Branch(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config sweep")
 	}
-	f := shapeHarness().Fig12()
+	f := mustFig(t)(shapeHarness().Fig12())
 	base := f.Summary["NL+S"]
 	noextra := f.Summary["BP-noextra"]
 	sepctx := f.Summary["BP-sepctx"]
@@ -155,7 +167,7 @@ func TestShapeFig3Potential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config sweep")
 	}
-	f := shapeHarness().Fig3()
+	f := mustFig(t)(shapeHarness().Fig3())
 	all := f.Summary["perfectAll"]
 	l1i := f.Summary["perfectL1I"]
 	bp := f.Summary["perfectBP"]
@@ -183,7 +195,7 @@ func TestShapeFig13WorkingSets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("instrumented sweep")
 	}
-	f := shapeHarness().Fig13()
+	f := mustFig(t)(shapeHarness().Fig13())
 	esp1 := f.Series["ESP1"]
 	esp2 := f.Series["ESP2"]
 	if len(esp1) < 2 || len(esp2) < 2 {
@@ -210,7 +222,7 @@ func TestShapeFig14Energy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config sweep")
 	}
-	f := shapeHarness().Fig14()
+	f := mustFig(t)(shapeHarness().Fig14())
 	rel := f.Summary["relative-energy"]
 	extra := f.Summary["extra-inst%"]
 	if rel <= 1.0 || rel > 1.25 {
@@ -225,7 +237,10 @@ func TestShapeHeadlineTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config sweep")
 	}
-	tbl := shapeHarness().Headline()
+	tbl, err := shapeHarness().Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 5 {
 		t.Fatalf("headline table has %d rows", len(tbl.Rows))
 	}
@@ -235,7 +250,7 @@ func TestShapeRelatedWork(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-config sweep")
 	}
-	f := shapeHarness().FigRelated()
+	f := mustFig(t)(shapeHarness().FigRelated())
 	// The paper's §7 claim: ESP outperforms both event-aware
 	// instruction prefetchers with a fraction of their hardware.
 	if !(f.Summary["ESP"] > f.Summary["EFetch"]) {
@@ -256,7 +271,11 @@ func TestAblationsRun(t *testing.T) {
 	}
 	h := NewHarness()
 	p := fastProfile()
-	for _, a := range h.AllAblations(p) {
+	abls, err := h.AllAblations(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range abls {
 		if len(a.Rows) < 3 {
 			t.Fatalf("ablation %q has %d rows", a.Parameter, len(a.Rows))
 		}
@@ -268,7 +287,10 @@ func TestAblationsRun(t *testing.T) {
 		}
 	}
 	// Depth 2 must beat depth 1 (the paper's core provisioning claim).
-	d := h.AblateJumpDepth(p)
+	d, err := h.AblateJumpDepth(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.Rows[1].ImprovementPct <= d.Rows[0].ImprovementPct {
 		t.Errorf("jump depth 2 (%.1f) should beat depth 1 (%.1f)",
 			d.Rows[1].ImprovementPct, d.Rows[0].ImprovementPct)
@@ -279,8 +301,14 @@ func TestHarnessMemoization(t *testing.T) {
 	h := NewHarness()
 	h.MaxEvents = 10
 	p := fastProfile()
-	a := h.Run(p, NLConfig())
-	b := h.Run(p, NLConfig())
+	a, err := h.Run(p, NLConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run(p, NLConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Fatal("memoized results differ")
 	}
@@ -298,11 +326,14 @@ func TestShapeSeedRobustness(t *testing.T) {
 	}
 	h := NewHarness()
 	p := fastProfile()
-	tbl := h.SeedStudy(p, 4)
+	tbl, err := h.SeedStudy(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The min row must still show a clear improvement: the result is a
 	// property of the workload statistics, not of one seed.
 	var min float64
-	_, err := fmt.Sscanf(tbl.Rows[0][1], "%f", &min)
+	_, err = fmt.Sscanf(tbl.Rows[0][1], "%f", &min)
 	if err != nil {
 		t.Fatalf("parsing seed table: %v", err)
 	}
