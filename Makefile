@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke tier1 clean
+.PHONY: all build vet test race bench bench-go fuzz-smoke tier1 clean
 
 all: tier1
 
@@ -16,7 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench measures the sweep engine (two-plane reuse vs rebuild-per-cell)
+# on the Figure 9 grid and records ns/op, allocs/op, cells/sec and the
+# speedup factor in BENCH_PR3.json.
 bench:
+	$(GO) run ./cmd/espperf -out BENCH_PR3.json
+
+# bench-go runs the full Go benchmark suite (per-figure regeneration
+# plus raw simulator throughput).
+bench-go:
 	$(GO) test -bench=. -benchmem .
 
 # fuzz-smoke gives the hardened trace decoder a short adversarial

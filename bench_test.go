@@ -167,3 +167,57 @@ func BenchmarkSimulateNLS(b *testing.B) { benchSimulate(b, NLSConfig()) }
 func BenchmarkSimulateRunahead(b *testing.B) { benchSimulate(b, RunaheadNLConfig()) }
 
 func BenchmarkSimulateESP(b *testing.B) { benchSimulate(b, ESPNLConfig()) }
+
+// The two-plane engine's reason for existing: sweepConfigs×one profile,
+// either materializing the workload once and resetting pooled machines
+// (Reuse — the Runner's hot loop), or rebuilding the session and machine
+// for every cell (Rebuild — what Run does). allocs/op of Reuse must stay
+// flat as the cell count grows; the espperf command records the ratio.
+
+func sweepConfigs() []Config {
+	return []Config{
+		BaselineConfig(), NLConfig(), NLSConfig(),
+		RunaheadNLConfig(), ESPNLConfig(), ESPIBDNLConfig(),
+	}
+}
+
+func BenchmarkSweepReuse(b *testing.B) {
+	prof := workload.Amazon()
+	prof.Events = 120
+	cfgs := sweepConfigs()
+	w, err := NewWorkload(prof, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := make([]*Machine, len(cfgs))
+	for i, cfg := range cfgs {
+		if machines[i], err = NewMachine(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range machines {
+			if r := m.Run(w); r.Cycles == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+func BenchmarkSweepRebuild(b *testing.B) {
+	prof := workload.Amazon()
+	prof.Events = 120
+	cfgs := sweepConfigs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			if _, err := Run(prof, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}

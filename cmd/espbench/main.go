@@ -51,9 +51,10 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(head)
-		if s := sweep.Summary(); s != "" {
+		fmt.Println("engine:", sweep.Perf)
+		if !sweep.OK() {
 			fmt.Fprintln(os.Stderr, "espbench: sweep degraded:")
-			fmt.Fprintln(os.Stderr, s)
+			fmt.Fprintln(os.Stderr, sweep.Summary())
 			os.Exit(1)
 		}
 	case "headline":

@@ -1,0 +1,165 @@
+// Command espperf measures the simulator's sweep throughput: the full
+// Figure 9 grid (7 applications × 7 configurations) run twice — once
+// through the two-plane engine (workloads materialized once, machines
+// reset and reused) and once rebuilding the session and machine for
+// every cell, the way a naive loop over esp.Run does. It writes the
+// comparison as JSON (ns/op, allocs/op, cells/sec, speedup) for
+// tracking across commits.
+//
+// Usage:
+//
+//	espperf [-scale 1] [-out BENCH_PR3.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"espsim"
+	"espsim/internal/workload"
+)
+
+// phase is one measured sweep strategy.
+type phase struct {
+	Name        string  `json:"name"`
+	WallNs      int64   `json:"wall_ns"`
+	Cells       int     `json:"cells"`
+	NsPerCell   int64   `json:"ns_per_cell"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	AllocsTotal uint64  `json:"allocs_total"`
+	AllocsCell  uint64  `json:"allocs_per_cell"`
+	BytesTotal  uint64  `json:"alloc_bytes_total"`
+	BytesCell   uint64  `json:"alloc_bytes_per_cell"`
+}
+
+type report struct {
+	Scale   float64 `json:"scale"`
+	Apps    int     `json:"apps"`
+	Configs int     `json:"configs"`
+	Reuse   phase   `json:"reuse"`
+	Rebuild phase   `json:"rebuild"`
+	// Speedup is rebuild wall-clock over reuse wall-clock: the factor
+	// the two-plane engine saves on the Figure 9 sweep.
+	Speedup float64 `json:"speedup"`
+}
+
+// fig9Configs is the Figure 9 grid: the baseline plus its six
+// comparison machines.
+func fig9Configs() []esp.Config {
+	return []esp.Config{
+		esp.BaselineConfig(), esp.NLConfig(), esp.NLSConfig(),
+		esp.RunaheadConfig(), esp.RunaheadNLConfig(),
+		esp.ESPConfig(), esp.ESPNLConfig(),
+	}
+}
+
+// measure runs sweep and reports wall clock and allocation deltas.
+// TotalAlloc and Mallocs are cumulative, so the deltas are exact even
+// when the garbage collector runs mid-sweep.
+func measure(name string, cells int, sweep func() error) (phase, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := sweep(); err != nil {
+		return phase{}, err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	p := phase{
+		Name:        name,
+		WallNs:      wall.Nanoseconds(),
+		Cells:       cells,
+		NsPerCell:   wall.Nanoseconds() / int64(cells),
+		CellsPerSec: float64(cells) / wall.Seconds(),
+		AllocsTotal: after.Mallocs - before.Mallocs,
+		BytesTotal:  after.TotalAlloc - before.TotalAlloc,
+	}
+	p.AllocsCell = p.AllocsTotal / uint64(cells)
+	p.BytesCell = p.BytesTotal / uint64(cells)
+	return p, nil
+}
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 1, "event-count scale factor")
+		out   = flag.String("out", "BENCH_PR3.json", "output JSON path (- for stdout only)")
+	)
+	flag.Parse()
+
+	profs := workload.Suite()
+	if *scale != 1 {
+		for i := range profs {
+			profs[i] = profs[i].Scale(*scale)
+		}
+	}
+	cfgs := fig9Configs()
+	cells := len(profs) * len(cfgs)
+
+	// Two-plane engine: one Harness memoizes nothing here (every cell is
+	// distinct); its Runner materializes each app's workload once and
+	// resets one pooled machine per configuration.
+	h := esp.NewHarness()
+	h.Scale = *scale
+	reuse, err := measure("reuse", cells, func() error {
+		for _, prof := range profs {
+			for _, cfg := range cfgs {
+				if _, err := h.Run(prof, cfg); err != nil {
+					return fmt.Errorf("%s/%s: %w", prof.Name, cfg.Name, err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "espperf: engine:", h.Perf())
+
+	// Naive loop: every cell regenerates the session's instruction
+	// streams and assembles a fresh machine.
+	rebuild, err := measure("rebuild", cells, func() error {
+		for _, prof := range profs {
+			for _, cfg := range cfgs {
+				if _, err := esp.Run(prof, cfg); err != nil {
+					return fmt.Errorf("%s/%s: %w", prof.Name, cfg.Name, err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	rep := report{
+		Scale:   *scale,
+		Apps:    len(profs),
+		Configs: len(cfgs),
+		Reuse:   reuse,
+		Rebuild: rebuild,
+		Speedup: float64(rebuild.WallNs) / float64(reuse.WallNs),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	fmt.Printf("%s", buf)
+	if *out != "-" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "espperf: %d cells, reuse %.1f cells/s vs rebuild %.1f cells/s: %.2fx speedup\n",
+		cells, reuse.CellsPerSec, rebuild.CellsPerSec, rep.Speedup)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "espperf:", err)
+	os.Exit(1)
+}

@@ -12,307 +12,106 @@
 //
 // Config presets correspond to the machine configurations in the paper's
 // figures; the Harness in experiments.go regenerates every figure.
+//
+// The engine behind this facade (internal/sim) is split into two planes.
+// The workload plane materializes a session once into an immutable,
+// arena-backed Workload that any number of goroutines may replay. The
+// machine plane assembles a Machine once per Config and resets it to
+// cold state between replays without reallocating its tables. Run and
+// RunSource build both planes per call; when simulating many cells,
+// materialize the workload once and reuse a Machine (or use the Harness,
+// which pools both):
+//
+//	w, _ := esp.NewWorkload(prof, 0)
+//	m, _ := esp.NewMachine(cfg)
+//	for i := 0; i < laps; i++ {
+//		res := m.Run(w) // resets, then replays; no reallocation
+//	}
 package esp
 
 import (
-	"fmt"
-
-	"espsim/internal/branch"
-	"espsim/internal/core"
-	"espsim/internal/cpu"
-	"espsim/internal/energy"
 	"espsim/internal/eventq"
-	"espsim/internal/mem"
-	"espsim/internal/prefetch"
-	"espsim/internal/runahead"
-	"espsim/internal/trace"
+	"espsim/internal/sim"
 	"espsim/internal/workload"
 )
 
 // AssistKind selects the stall-window consumer.
-type AssistKind uint8
+type AssistKind = sim.AssistKind
 
 const (
 	// AssistNone: the core idles through LLC-miss stalls (baseline).
-	AssistNone AssistKind = iota
+	AssistNone = sim.AssistNone
 	// AssistRunahead: runahead execution pre-executes the same event.
-	AssistRunahead
+	AssistRunahead = sim.AssistRunahead
 	// AssistESP: Event Sneak Peek pre-executes queued future events.
-	AssistESP
+	AssistESP = sim.AssistESP
 )
 
-// Config is a complete machine configuration.
-type Config struct {
-	// Name labels the configuration in tables and memoization keys.
-	Name string
-
-	// CPU is the timing-model configuration (zero value: DefaultConfig).
-	CPU cpu.Config
-
-	// NLI enables the next-line instruction prefetcher; NLD the
-	// DCU-style next-line data prefetcher; StridePF the stride
-	// prefetcher.
-	NLI      bool
-	NLD      bool
-	StridePF bool
-
-	// EFetch and PIF enable the §7 comparison instruction prefetchers
-	// (mutually exclusive).
-	EFetch bool
-	PIF    bool
-
-	// Assist selects none / runahead / ESP; RA and ESP configure them.
-	Assist AssistKind
-	RA     runahead.Config
-	ESP    core.Options
-
-	// PerfectL1I, PerfectL1D, PerfectBP idealize structures (Figure 3).
-	PerfectL1I bool
-	PerfectL1D bool
-	PerfectBP  bool
-
-	// MaxEvents truncates the session (0: run everything); MaxPending
-	// widens the queue view past 2 for the Figure 13 study.
-	MaxEvents  int
-	MaxPending int
-}
+// Config is a complete machine configuration. Sub-configurations (CPU,
+// RA, ESP) resolve to their package defaults only when left entirely
+// zero; Validate rejects a partially-filled sub-config with an error
+// naming the missing field instead of silently discarding the rest.
+type Config = sim.Config
 
 // Result is the outcome of one simulation.
-type Result struct {
-	App    string
-	Config string
+type Result = sim.Result
 
-	Insts  int64
-	Cycles int64
-	IPC    float64
+// Workload is one application session materialized once — every event's
+// normal and speculative instruction stream in one contiguous arena —
+// and immutable afterwards, so it can be replayed by any number of
+// machines concurrently.
+type Workload = sim.Workload
 
-	// IMPKI is L1-I misses per kilo-instruction (Figure 11a); DMissRate
-	// the L1-D miss rate (Figure 11b); MispredictRate the branch
-	// misprediction rate (Figure 12).
-	IMPKI          float64
-	DMissRate      float64
-	MispredictRate float64
+// Machine is one simulated core assembled from a Config. Machine.Run
+// resets it to cold state (without reallocating) and replays a
+// workload; results are bit-identical to a freshly built machine.
+type Machine = sim.Machine
 
-	// ExtraInstPct is the percentage of additional (pre-executed)
-	// instructions over the committed ones (Figure 14 annotations).
-	ExtraInstPct float64
+// Perf aggregates workload/machine reuse and timing counters across a
+// sweep (see Sweep.Perf).
+type Perf = sim.Perf
 
-	CPU cpu.Stats
-	L1I mem.CacheStats
-	L1D mem.CacheStats
-	L2  mem.CacheStats
-
-	// ESPStats / RAStats are present when the corresponding assist ran.
-	ESPStats *core.Stats
-	RAStats  *runahead.Stats
-
-	// Energy is the absolute Figure 14 breakdown (relative plots divide
-	// by a baseline's Total).
-	Energy energy.Breakdown
-
-	// Study holds Figure 13 working-set samples when
-	// ESP.MeasureWorkingSets was set.
-	Study *core.WorkingSetStudy
+// NewWorkload materializes prof's session, truncated to maxEvents when
+// positive (0: the whole session).
+func NewWorkload(prof workload.Profile, maxEvents int) (*Workload, error) {
+	return sim.NewWorkload(prof, maxEvents)
 }
 
-// Speedup returns how much faster r is than base (base.Cycles/r.Cycles).
-func (r Result) Speedup(base Result) float64 {
-	if r.Cycles == 0 {
-		return 0
-	}
-	return float64(base.Cycles) / float64(r.Cycles)
+// MaterializeSource snapshots any event source (recorded trace,
+// multi-queue merge) into an immutable Workload.
+func MaterializeSource(app string, src eventq.Source, maxEvents int) *Workload {
+	return sim.MaterializeSource(app, src, maxEvents)
 }
 
-// effectiveCPU resolves the timing configuration: the zero value selects
-// DefaultConfig (so `esp.Config{...}` literals keep working).
-func (c Config) effectiveCPU() cpu.Config {
-	if c.CPU.Width == 0 {
-		cc := cpu.DefaultConfig()
-		cc.PerfectBP = c.PerfectBP
-		return cc
-	}
-	cc := c.CPU
-	cc.PerfectBP = c.PerfectBP
-	return cc
+// NewMachine validates cfg and assembles a reusable machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	return sim.NewMachine(cfg)
 }
 
-// effectiveRA resolves the runahead configuration (zero value:
-// runahead.DefaultConfig).
-func (c Config) effectiveRA() runahead.Config {
-	if c.RA.BaseCPI == 0 {
-		return runahead.DefaultConfig()
-	}
-	return c.RA
-}
-
-// effectiveESP resolves the ESP options (zero value:
-// core.DefaultOptions).
-func (c Config) effectiveESP() core.Options {
-	if c.ESP.BaseCPI == 0 {
-		return core.DefaultOptions()
-	}
-	return c.ESP
-}
-
-// Validate reports whether the configuration can be simulated, with a
-// wrapped, actionable error naming the offending field. It checks the
-// timing model, the assist selection and its sub-configuration
-// (including cachelet geometry for ESP), and the mutually exclusive
-// instruction prefetchers. Run and RunSource call it, so an invalid
-// configuration yields an error, never a panic.
-func (c Config) Validate() error {
-	fail := func(err error) error {
-		return fmt.Errorf("esp: config %q: %w", c.Name, err)
-	}
-	if err := c.effectiveCPU().Validate(); err != nil {
-		return fail(err)
-	}
-	if c.MaxEvents < 0 {
-		return fail(fmt.Errorf("MaxEvents must be non-negative, got %d", c.MaxEvents))
-	}
-	if c.MaxPending < 0 {
-		return fail(fmt.Errorf("MaxPending must be non-negative, got %d", c.MaxPending))
-	}
-	if c.EFetch && c.PIF {
-		return fail(fmt.Errorf("EFetch and PIF are mutually exclusive instruction prefetchers; enable at most one"))
-	}
-	switch c.Assist {
-	case AssistNone:
-	case AssistRunahead:
-		if err := c.effectiveRA().Validate(); err != nil {
-			return fail(err)
-		}
-	case AssistESP:
-		opt := c.effectiveESP()
-		if err := opt.Validate(); err != nil {
-			return fail(err)
-		}
-	default:
-		return fail(fmt.Errorf("unknown AssistKind %d", c.Assist))
-	}
-	return nil
-}
-
-// specSource adapts an eventq.Source to ESP's StreamSource: pre-execution
-// uses the speculative stream variant (the paper's forked-off renderer
-// processes, §5).
-type specSource struct{ src eventq.Source }
-
-// SpecInsts implements core.StreamSource.
-func (s specSource) SpecInsts(ev trace.Event) []trace.Inst {
-	return s.src.Insts(ev.ID, true)
-}
-
-// Run simulates one application profile under one configuration.
+// Run simulates one application profile under one configuration. It is a
+// convenience wrapper that materializes the workload and assembles a
+// machine for a single replay; loops over profiles or configurations
+// should reuse both planes (see the package example above, or Harness).
 func Run(prof workload.Profile, cfg Config) (Result, error) {
-	sess, err := workload.NewSession(prof)
+	w, err := sim.NewWorkload(prof, cfg.MaxEvents)
 	if err != nil {
-		return Result{}, fmt.Errorf("esp: building session: %w", err)
+		return Result{}, err
 	}
-	src := eventq.SessionSource{S: sess, MaxPending: cfg.MaxPending}
-	return RunSource(prof.Name, src, cfg)
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(w), nil
 }
 
 // RunSource simulates any event source (synthetic session or recorded
 // trace) under one configuration. The configuration is validated first:
 // a bad Config yields a wrapped error, never a panic.
 func RunSource(app string, src eventq.Source, cfg Config) (Result, error) {
-	if err := cfg.Validate(); err != nil {
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
 		return Result{}, err
 	}
-	ccfg := cfg.effectiveCPU()
-
-	hier := mem.DefaultHierarchy()
-	hier.PerfectL1I = cfg.PerfectL1I
-	hier.PerfectL1D = cfg.PerfectL1D
-	bp := branch.New()
-	c := cpu.New(ccfg, hier, bp)
-
-	if cfg.NLI {
-		c.NLI = prefetch.NewNextLineI(hier)
-	}
-	if cfg.NLD {
-		c.DCU = prefetch.NewDCU(hier)
-	}
-	if cfg.StridePF {
-		c.Stride = prefetch.NewStride(hier)
-	}
-	switch {
-	case cfg.EFetch:
-		c.FetchObs = prefetch.NewEFetch(hier)
-	case cfg.PIF:
-		c.FetchObs = prefetch.NewPIF(hier)
-	}
-
-	var raEng *runahead.Engine
-	switch cfg.Assist {
-	case AssistRunahead:
-		raEng = runahead.New(cfg.effectiveRA(), hier, bp)
-		c.Assist = raEng
-	case AssistESP:
-		espEng, err := core.New(cfg.effectiveESP(), hier, bp, specSource{src})
-		if err != nil {
-			return Result{}, fmt.Errorf("esp: %w", err)
-		}
-		c.Assist = espEng
-	}
-
-	loop := eventq.Looper{Src: src, Core: c, MaxEvents: cfg.MaxEvents}
-	loop.Run()
-
-	res := Result{
-		App:    app,
-		Config: cfg.Name,
-		Insts:  c.Stats.Insts,
-		Cycles: c.Stats.Cycles,
-		IPC:    c.Stats.IPC(),
-		CPU:    c.Stats,
-		L1I:    hier.L1I.Stats,
-		L1D:    hier.L1D.Stats,
-		L2:     hier.L2.Stats,
-	}
-	if c.Stats.Insts > 0 {
-		res.IMPKI = float64(hier.L1I.Stats.Misses) / float64(c.Stats.Insts) * 1000
-	}
-	res.DMissRate = hier.L1D.Stats.MissRate()
-	res.MispredictRate = c.Stats.MispredictRate()
-
-	var preExec int64
-	act := energy.Activity{
-		Cycles:      c.Stats.Cycles,
-		Insts:       c.Stats.Insts,
-		Branches:    c.Stats.Branches,
-		Mispredicts: c.Stats.Mispredicts,
-		L1IAccesses: hier.L1I.Stats.Accesses,
-		L1DAccesses: hier.L1D.Stats.Accesses,
-		L2Accesses:  hier.L2.Stats.Accesses,
-		MemAccesses: hier.L2.Stats.Misses,
-		Prefetches:  hier.L1I.Stats.PrefetchInstalls + hier.L1D.Stats.PrefetchInstalls,
-	}
-	if esp := getESP(c.Assist); esp != nil {
-		st := esp.Stats
-		res.ESPStats = &st
-		res.Study = esp.Study
-		preExec = st.PreExecInsts
-		act.L2Accesses += st.CacheletFills
-		act.MemAccesses += st.LLCFills
-		act.CacheletOps = st.PreExecInsts
-		act.ListOps = st.PrefetchI + st.PrefetchD + st.Corrections + st.CacheletFills
-	}
-	if raEng != nil {
-		st := raEng.Stats
-		res.RAStats = &st
-		preExec = st.PreExecInsts
-	}
-	act.PreExecInsts = preExec
-	if c.Stats.Insts > 0 {
-		res.ExtraInstPct = float64(preExec) / float64(c.Stats.Insts) * 100
-	}
-	res.Energy = energy.Compute(act, energy.DefaultModel())
-	return res, nil
-}
-
-func getESP(a cpu.Assist) *core.ESP {
-	e, _ := a.(*core.ESP)
-	return e
+	w := sim.MaterializeSource(app, src, cfg.MaxEvents)
+	return m.Run(w), nil
 }

@@ -72,13 +72,54 @@ func TestConfigValidate(t *testing.T) {
 			"DepFrac",
 		},
 		{
-			"runahead zero config rejected",
+			// A partially-filled sub-config used to be silently replaced
+			// by the defaults whenever its magic sentinel field (BaseCPI)
+			// was zero, discarding the fields the caller did set. Now only
+			// the all-zero struct means "use defaults"; a partial fill is
+			// an explicit error naming the missing field.
+			"runahead partial config rejected",
 			func() Config {
 				c := RunaheadNLConfig()
-				c.RA = runahead.Config{WarmD: true} // BaseCPI 0 but non-zero struct? still resolves default
+				c.RA = runahead.Config{WarmD: true} // BaseCPI left zero
 				return c
 			}(),
-			"", // BaseCPI==0 resolves to DefaultConfig; WarmD flag alone is harmless
+			"BaseCPI",
+		},
+		{
+			"runahead all-zero config resolves defaults",
+			func() Config {
+				c := RunaheadNLConfig()
+				c.RA = runahead.Config{}
+				return c
+			}(),
+			"",
+		},
+		{
+			"partial sub-config error is actionable",
+			func() Config {
+				c := RunaheadNLConfig()
+				c.RA = runahead.Config{WarmD: true}
+				return c
+			}(),
+			"partially filled",
+		},
+		{
+			"esp partial options rejected",
+			func() Config {
+				c := ESPNLConfig()
+				c.ESP = core.Options{IdleCore: true} // JumpDepth etc. left zero
+				return c
+			}(),
+			"partially filled",
+		},
+		{
+			"esp all-zero options resolve defaults",
+			func() Config {
+				c := ESPNLConfig()
+				c.ESP = core.Options{}
+				return c
+			}(),
+			"",
 		},
 		{
 			"esp jump depth out of range",

@@ -2,6 +2,11 @@
 // ahead pays off (the paper settles on two modes, §6.6 / Figure 13) and
 // what the cachelets' capacity must be to capture pre-execution reuse.
 //
+// It is also the materialize-once idiom in action: the amazon session is
+// built into one immutable esp.Workload up front, and every design point
+// replays it on a fresh machine — the instruction streams are never
+// regenerated, and each sweep's wall-clock is the simulation alone.
+//
 //	go run ./examples/designspace
 package main
 
@@ -15,21 +20,27 @@ import (
 	"espsim/internal/workload"
 )
 
-// run simulates or exits with a one-line error. An illegal cachelet
-// geometry in the sizing sweep below would surface here as a validation
-// error, not a panic.
-func run(prof workload.Profile, cfg esp.Config) esp.Result {
-	r, err := esp.Run(prof, cfg)
+// replay assembles a machine for cfg and replays the shared workload, or
+// exits with a one-line error. An illegal cachelet geometry in the
+// sizing sweep below would surface here as a validation error, not a
+// panic.
+func replay(w *esp.Workload, cfg esp.Config) esp.Result {
+	m, err := esp.NewMachine(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "designspace:", err)
 		os.Exit(1)
 	}
-	return r
+	return m.Run(w)
 }
 
 func main() {
-	prof := workload.Amazon()
-	base := run(prof, esp.NLSConfig())
+	// One materialization serves every design point in both sweeps.
+	w, err := esp.NewWorkload(workload.Amazon(), 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "designspace:", err)
+		os.Exit(1)
+	}
+	base := replay(w, esp.NLSConfig())
 
 	// Jump-ahead depth sweep: performance and mode usage.
 	t := stats.NewTable("Jump-ahead depth (amazon)",
@@ -39,7 +50,7 @@ func main() {
 		cfg.Name = fmt.Sprintf("ESP-depth%d", depth)
 		cfg.ESP.JumpDepth = depth
 		cfg.MaxPending = depth
-		r := run(prof, cfg)
+		r := replay(w, cfg)
 		entries := ""
 		for m := 0; m < depth; m++ {
 			if m > 0 {
@@ -66,7 +77,7 @@ func main() {
 		cfg.ESP.Sizes.ICacheletWays[0] = 11
 		cfg.ESP.Sizes.DCacheletBytes[0] = bytes
 		cfg.ESP.Sizes.DCacheletWays[0] = 11
-		r := run(prof, cfg)
+		r := replay(w, cfg)
 		t2.Add(fmt.Sprintf("%.1f KB", float64(bytes)/1024),
 			fmt.Sprintf("%.1f", (r.Speedup(base)-1)*100),
 			fmt.Sprintf("%d", r.ESPStats.CacheletFills))

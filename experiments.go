@@ -9,6 +9,7 @@ import (
 
 	"espsim/internal/core"
 	"espsim/internal/mem"
+	"espsim/internal/sim"
 	"espsim/internal/stats"
 	"espsim/internal/trace"
 	"espsim/internal/workload"
@@ -34,8 +35,9 @@ type Harness struct {
 	// interrupted and is abandoned to finish in the background.
 	Timeout time.Duration
 
-	mu    sync.Mutex
-	cells map[string]*harnessCell
+	mu     sync.Mutex
+	runner *sim.Runner
+	cells  map[string]*harnessCell
 }
 
 // harnessCell memoizes one (profile, config) simulation. The sync.Once
@@ -49,7 +51,24 @@ type harnessCell struct {
 
 // NewHarness returns a harness at the default scale.
 func NewHarness() *Harness {
-	return &Harness{Scale: 1, cells: make(map[string]*harnessCell)}
+	return &Harness{
+		Scale:  1,
+		runner: sim.NewRunner(),
+		cells:  make(map[string]*harnessCell),
+	}
+}
+
+// Perf returns the engine's reuse and timing counters: how many cells
+// ran, how often workloads and machines were reused instead of rebuilt,
+// and the wall-clock split between building and simulating.
+func (h *Harness) Perf() Perf {
+	h.mu.Lock()
+	r := h.runner
+	h.mu.Unlock()
+	if r == nil {
+		return Perf{}
+	}
+	return r.Perf()
 }
 
 // Suite returns the benchmark profiles at the harness scale.
@@ -77,6 +96,10 @@ func (h *Harness) Run(prof workload.Profile, cfg Config) (Result, error) {
 	if h.cells == nil {
 		h.cells = make(map[string]*harnessCell)
 	}
+	if h.runner == nil {
+		h.runner = sim.NewRunner()
+	}
+	runner := h.runner
 	cell, ok := h.cells[key]
 	if !ok {
 		cell = &harnessCell{}
@@ -84,40 +107,15 @@ func (h *Harness) Run(prof workload.Profile, cfg Config) (Result, error) {
 	}
 	h.mu.Unlock()
 	cell.once.Do(func() {
-		cell.res, cell.err = h.runCell(prof, cfg, key)
+		// The runner shares one materialized workload per
+		// (profile, MaxEvents) across every configuration and resets a
+		// pooled machine per configuration instead of rebuilding it; it
+		// also contains panics and enforces the timeout (the timed-out
+		// simulation goroutine cannot be interrupted and is abandoned to
+		// finish in the background).
+		cell.res, cell.err = runner.RunCell(key, prof, cfg, h.Timeout)
 	})
 	return cell.res, cell.err
-}
-
-// runCell executes one simulation with panic containment and the
-// optional timeout. The simulation itself is pure CPU with no
-// cancellation points, so on timeout the goroutine is abandoned (it
-// finishes eventually; its result is discarded).
-func (h *Harness) runCell(prof workload.Profile, cfg Config, key string) (Result, error) {
-	type outcome struct {
-		res Result
-		err error
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				ch <- outcome{err: fmt.Errorf("esp: run %s: panic: %v", key, r)}
-			}
-		}()
-		res, err := Run(prof, cfg)
-		ch <- outcome{res: res, err: err}
-	}()
-	if h.Timeout <= 0 {
-		o := <-ch
-		return o.res, o.err
-	}
-	select {
-	case o := <-ch:
-		return o.res, o.err
-	case <-time.After(h.Timeout):
-		return Result{}, fmt.Errorf("esp: run %s: exceeded %v timeout", key, h.Timeout)
-	}
 }
 
 // Figure is one regenerated paper figure: a rendered table plus the raw

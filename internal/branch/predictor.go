@@ -104,6 +104,16 @@ func New() *Predictor {
 	return p
 }
 
+// Reset restores the predictor to its just-constructed cold state. The
+// tables are inline arrays, so this reallocates nothing; a reset
+// predictor is bit-identical to New().
+func (p *Predictor) Reset() {
+	*p = Predictor{}
+	for i := range p.local {
+		p.local[i] = 1 // weakly not-taken
+	}
+}
+
 // PIR returns the current path information register, for per-context
 // save/restore (ESP replicates one PIR per execution context).
 func (p *Predictor) PIR() uint64 { return p.pir }

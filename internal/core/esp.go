@@ -125,7 +125,26 @@ type ESP struct {
 
 	// Study collects Figure 13 working-set samples when enabled.
 	Study *WorkingSetStudy
+
+	// Recycling pools. The engine simulates one hardware structure set
+	// being reused event after event, so the software mirrors it: retired
+	// slots, their cachelets (keyed by geometry) and replica predictors
+	// go back to these pools instead of the garbage collector. A pooled
+	// structure is always reset to cold state before reuse, keeping
+	// results bit-identical to allocate-fresh.
+	cachePool map[cacheGeom][]*mem.Cache
+	slotPool  []*slot
+	bpPool    []*branch.Predictor
+
+	// runWindow/promote scratch, reused across calls.
+	readyAt     []float64
+	done        []bool
+	lineScratch []uint64
 }
+
+// cacheGeom keys the cachelet pool: cachelets are interchangeable
+// exactly when their geometry matches.
+type cacheGeom struct{ bytes, ways int }
 
 // New returns an ESP engine sharing the core's hierarchy and predictor.
 func New(opt Options, h *mem.Hierarchy, bp *branch.Predictor, src StreamSource) (*ESP, error) {
@@ -137,32 +156,113 @@ func New(opt Options, h *mem.Hierarchy, bp *branch.Predictor, src StreamSource) 
 	for i := range e.slots {
 		e.slots[i] = &slot{}
 	}
+	e.cachePool = make(map[cacheGeom][]*mem.Cache)
+	e.readyAt = make([]float64, opt.JumpDepth)
+	e.done = make([]bool, opt.JumpDepth)
 	if opt.MeasureWorkingSets {
 		e.Study = NewWorkingSetStudy(opt.JumpDepth)
 	}
 	return e, nil
 }
 
+// Reset restores the engine to its just-constructed state without
+// reallocating its structures: every slot is scrubbed back to the pool's
+// cold state, statistics are zeroed, and pooled cachelets, lists and
+// replica predictors keep their storage. Src points at the workload
+// being replayed and is cleared; the caller installs the next workload's
+// stream source before running again.
+func (e *ESP) Reset() {
+	if e.cons != nil {
+		e.freeSlot(e.cons)
+		e.cons = nil
+	}
+	for _, s := range e.slots {
+		e.scrubSlot(s)
+	}
+	e.Stats = Stats{}
+	e.consI, e.consD, e.consB = 0, 0, 0
+	e.curIdx = 0
+	e.idleBudget = 0
+	e.Src = nil
+	if e.Opt.MeasureWorkingSets {
+		e.Study = NewWorkingSetStudy(e.Opt.JumpDepth)
+	}
+}
+
+// scrubSlot releases a slot's cachelets and replica to the pools and
+// restores the zero state a fresh &slot{} would have (the list record
+// arrays keep their capacity; truncated-and-appended slices hold exactly
+// what fresh ones would).
+func (e *ESP) scrubSlot(s *slot) {
+	e.releaseSlotRes(s)
+	il, dl, bl := s.ilist, s.dlist, s.blist
+	il.reset(0)
+	dl.reset(0)
+	bl.reset(0, 0)
+	*s = slot{ilist: il, dlist: dl, blist: bl}
+}
+
+// takeSlot pops a pooled slot (or builds the first few).
+func (e *ESP) takeSlot() *slot {
+	if n := len(e.slotPool); n > 0 {
+		s := e.slotPool[n-1]
+		e.slotPool = e.slotPool[:n-1]
+		return s
+	}
+	return &slot{}
+}
+
+// freeSlot scrubs a rotated-out slot and pools it for reuse.
+func (e *ESP) freeSlot(s *slot) {
+	e.scrubSlot(s)
+	e.slotPool = append(e.slotPool, s)
+}
+
+// releaseSlotRes returns a slot's cachelets and replica predictor to
+// their pools, reset to cold state.
+func (e *ESP) releaseSlotRes(s *slot) {
+	e.releaseCache(s.icl)
+	e.releaseCache(s.dcl)
+	s.icl, s.dcl = nil, nil
+	if s.replica != nil {
+		e.bpPool = append(e.bpPool, s.replica)
+		s.replica = nil
+	}
+}
+
+func (e *ESP) releaseCache(c *mem.Cache) {
+	if c == nil {
+		return
+	}
+	c.Reset()
+	g := cacheGeom{c.SizeBytes(), c.Ways()}
+	e.cachePool[g] = append(e.cachePool[g], c)
+}
+
 // resetSlot points a slot at a (new) future event, discarding any state
-// from a previous occupant.
+// from a previous occupant. The slot's cachelets and list storage are
+// recycled through the pools, never reallocated.
 func (e *ESP) resetSlot(s *slot, depth int, ev trace.Event, valid bool) {
 	m := e.Opt.Sizes.mode(depth)
 	sz := e.Opt.Sizes
-	*s = slot{
-		ev:    ev,
-		valid: valid,
-		icl:   e.cachelet("I-cachelet", sz.ICacheletBytes[m], sz.ICacheletWays[m]),
-		dcl:   e.cachelet("D-cachelet", sz.DCacheletBytes[m], sz.DCacheletWays[m]),
-		ilist: newAccessList(sz.IListBytes[m]),
-		dlist: newAccessList(sz.DListBytes[m]),
-		blist: newBranchList(sz.BListDirBytes[m], sz.BListTgtBytes[m]),
-	}
+	e.releaseSlotRes(s)
+	il, dl, bl := s.ilist, s.dlist, s.blist
+	*s = slot{ev: ev, valid: valid, ilist: il, dlist: dl, blist: bl}
 	if e.Opt.Ideal {
 		s.icl = e.cachelet("I-cachelet", 4<<20, 16)
 		s.dcl = e.cachelet("D-cachelet", 4<<20, 16)
+		s.ilist.reset(0)
+		s.dlist.reset(0)
+		s.blist.reset(0, 0)
 		s.ilist.unbounded()
 		s.dlist.unbounded()
 		s.blist.unbounded()
+	} else {
+		s.icl = e.cachelet("I-cachelet", sz.ICacheletBytes[m], sz.ICacheletWays[m])
+		s.dcl = e.cachelet("D-cachelet", sz.DCacheletBytes[m], sz.DCacheletWays[m])
+		s.ilist.reset(sz.IListBytes[m])
+		s.dlist.reset(sz.DListBytes[m])
+		s.blist.reset(sz.BListDirBytes[m], sz.BListTgtBytes[m])
 	}
 	if valid {
 		s.pir = e.BP.PIR()
@@ -172,11 +272,20 @@ func (e *ESP) resetSlot(s *slot, depth int, ev trace.Event, valid bool) {
 	}
 }
 
-// cachelet builds a per-slot cachelet. Geometry was checked by
+// cachelet acquires a per-slot cachelet, from the geometry-keyed pool
+// when one is available (pooled cachelets are reset to cold state, so
+// reuse is bit-identical to building fresh). Geometry was checked by
 // Options.Validate in New (and the Ideal-mode sizes are compiled-in
-// constants), so a failure here is an internal invariant violation —
-// the panic is unreachable from any input that passed validation.
+// constants), so a build failure here is an internal invariant
+// violation — the panic is unreachable from any input that passed
+// validation.
 func (e *ESP) cachelet(name string, bytes, ways int) *mem.Cache {
+	g := cacheGeom{bytes, ways}
+	if l := e.cachePool[g]; len(l) > 0 {
+		c := l[len(l)-1]
+		e.cachePool[g] = l[:len(l)-1]
+		return c
+	}
 	c, err := mem.NewCache(name, bytes, ways)
 	if err != nil {
 		panic(fmt.Sprintf("core: internal invariant: cachelet geometry escaped validation: %v", err))
@@ -199,13 +308,17 @@ func (e *ESP) promote(s *slot, newDepth int) {
 	}
 	sz := e.Opt.Sizes
 	icl := e.cachelet("I-cachelet", sz.ICacheletBytes[m], sz.ICacheletWays[m])
-	for _, l := range s.icl.Lines() {
+	e.lineScratch = s.icl.AppendLines(e.lineScratch[:0])
+	for _, l := range e.lineScratch {
 		icl.Install(l, false)
 	}
 	dcl := e.cachelet("D-cachelet", sz.DCacheletBytes[m], sz.DCacheletWays[m])
-	for _, l := range s.dcl.Lines() {
+	e.lineScratch = s.dcl.AppendLines(e.lineScratch[:0])
+	for _, l := range e.lineScratch {
 		dcl.Install(l, false)
 	}
+	e.releaseCache(s.icl)
+	e.releaseCache(s.dcl)
 	s.icl, s.dcl = icl, dcl
 	s.ilist.setCapacity(sz.IListBytes[m])
 	s.dlist.setCapacity(sz.DListBytes[m])
@@ -242,9 +355,14 @@ func (e *ESP) EventStart(ev trace.Event, _ []trace.Inst, pending []trace.Event) 
 	}
 
 	// Rotate: every remaining slot moves one position forward. The
-	// departing slot may live on as e.cons until this event ends.
+	// departing slot may live on as e.cons until this event ends; if it
+	// was not consumed it is recycled immediately.
+	departing := e.slots[0]
 	copy(e.slots, e.slots[1:])
-	e.slots[len(e.slots)-1] = &slot{}
+	e.slots[len(e.slots)-1] = e.takeSlot()
+	if departing != e.cons {
+		e.freeSlot(departing)
+	}
 
 	// Resync slots with the pending events now visible in the queue.
 	for i := range e.slots {
@@ -294,9 +412,14 @@ func (e *ESP) updateReservations() {
 	s.blist.setReserved(e.cons.blist.remainingBits(e.consB))
 }
 
-// EventEnd implements cpu.Assist.
+// EventEnd implements cpu.Assist. The consumed slot was rotated out of
+// the queue at EventStart and nothing references it past this point, so
+// it is recycled.
 func (e *ESP) EventEnd(trace.Event) {
-	e.cons = nil
+	if e.cons != nil {
+		e.freeSlot(e.cons)
+		e.cons = nil
+	}
 	e.updateReservations()
 }
 
@@ -429,8 +552,11 @@ func (e *ESP) runWindow(window float64) bool {
 	before := e.Stats.PreExecInsts
 	t := 0.0
 	n := len(e.slots)
-	readyAt := make([]float64, n)
-	done := make([]bool, n)
+	readyAt := e.readyAt[:n]
+	done := e.done[:n]
+	for i := 0; i < n; i++ {
+		readyAt[i], done[i] = 0, false
+	}
 	for t < window {
 		// Pick the closest-to-execution runnable context.
 		run := -1
@@ -503,8 +629,14 @@ func (e *ESP) runSlot(s *slot, depth int, b *float64) (preExecResult, int) {
 			e.Stats.EventsPreExecuted++
 		}
 		if e.Opt.BPMode == BPReplicate {
-			r := new(branch.Predictor)
-			*r = *e.BP
+			var r *branch.Predictor
+			if n := len(e.bpPool); n > 0 {
+				r = e.bpPool[n-1]
+				e.bpPool = e.bpPool[:n-1]
+			} else {
+				r = new(branch.Predictor)
+			}
+			*r = *e.BP // full overwrite: pooled state cannot leak through
 			s.replica = r
 		}
 	}

@@ -52,6 +52,15 @@ type accessList struct {
 
 func newAccessList(capBytes int) accessList { return accessList{capBits: capBytes * 8} }
 
+// reset restores the list to its just-constructed state at the given
+// budget, keeping the record array's capacity. A truncated-and-appended
+// record slice holds exactly what a fresh one would, so a reset list is
+// behaviourally identical to newAccessList.
+func (l *accessList) reset(capBytes int) {
+	recs := l.recs[:0]
+	*l = accessList{recs: recs, capBits: capBytes * 8}
+}
+
 // setCapacity grows (or shrinks) the byte budget; used when a slot is
 // promoted from ESP-2 to ESP-1 and its list moves to the larger queue.
 func (l *accessList) setCapacity(capBytes int) { l.capBits = capBytes * 8 }
@@ -160,6 +169,13 @@ type branchList struct {
 
 func newBranchList(dirBytes, tgtBytes int) branchList {
 	return branchList{dirCap: dirBytes * 8, tgtCap: tgtBytes * 8}
+}
+
+// reset restores the list to its just-constructed state at the given
+// budgets, keeping the record array's capacity (see accessList.reset).
+func (l *branchList) reset(dirBytes, tgtBytes int) {
+	recs := l.recs[:0]
+	*l = branchList{recs: recs, dirCap: dirBytes * 8, tgtCap: tgtBytes * 8}
 }
 
 func (l *branchList) setCapacity(dirBytes, tgtBytes int) {

@@ -252,6 +252,17 @@ func New(cfg Config, h *mem.Hierarchy, bp *branch.Predictor) *Core {
 	return &Core{Cfg: cfg, Hier: h, BP: bp, lastLLCDInst: -1 << 40}
 }
 
+// Reset restores the core's run state (statistics, fetch-line tracking,
+// MLP history) to its just-constructed values. The wired-up hierarchy,
+// predictor, prefetchers and assist are structure, not state, and are
+// left attached; callers reset those separately.
+func (c *Core) Reset() {
+	c.Stats = Stats{}
+	c.fetchLine, c.fetchValid = 0, false
+	c.lastLLCDInst = -1 << 40
+	c.globalInst = 0
+}
+
 // BeginEvent announces the next event's handler type to the fetch
 // observer (called by the looper before RunEvent).
 func (c *Core) BeginEvent(handler int) {

@@ -111,6 +111,9 @@ func (c *Cache) Name() string { return c.name }
 // SizeBytes returns the capacity in bytes.
 func (c *Cache) SizeBytes() int { return len(c.sets) * c.ways * trace.LineBytes }
 
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
 func (c *Cache) index(lineAddr uint64) (set uint64, tag uint64) {
 	blk := lineAddr >> 6 // line number
 	return blk & c.setMask, blk >> c.setShift
@@ -206,16 +209,19 @@ func (c *Cache) MarkDirty(addr uint64) {
 
 // Lines returns the addresses of all resident lines (MRU first within
 // each set). Used when promoting an ESP-2 cachelet's contents to ESP-1.
-func (c *Cache) Lines() []uint64 {
-	var out []uint64
+func (c *Cache) Lines() []uint64 { return c.AppendLines(nil) }
+
+// AppendLines appends the addresses of all resident lines to buf and
+// returns the extended slice, letting hot callers reuse a scratch buffer.
+func (c *Cache) AppendLines(buf []uint64) []uint64 {
 	for s, ws := range c.sets {
 		for _, w := range ws {
 			if w.valid {
-				out = append(out, (w.tag<<c.setShift|uint64(s))<<6)
+				buf = append(buf, (w.tag<<c.setShift|uint64(s))<<6)
 			}
 		}
 	}
-	return out
+	return buf
 }
 
 // Clear invalidates every line (statistics are preserved).
@@ -227,3 +233,12 @@ func (c *Cache) Clear() {
 
 // ResetStats zeroes the statistics counters.
 func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
+
+// Reset restores the cache to its just-constructed cold state — every
+// line invalid, statistics zeroed — without reallocating the set arrays.
+// A reset cache is behaviourally indistinguishable from a fresh NewCache
+// of the same geometry.
+func (c *Cache) Reset() {
+	c.Clear()
+	c.ResetStats()
+}

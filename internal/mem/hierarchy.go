@@ -163,3 +163,12 @@ func (h *Hierarchy) ResetStats() {
 	h.L1D.ResetStats()
 	h.L2.ResetStats()
 }
+
+// Reset restores every level to its cold state (all lines invalid,
+// counters zeroed) without reallocating the caches. The Perfect* and
+// latency knobs are configuration, not run state, and are left alone.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+}

@@ -60,6 +60,20 @@ func NewEFetch(h *mem.Hierarchy) *EFetch {
 	}
 }
 
+// Reset restores the prefetcher to its just-constructed cold state,
+// keeping the signature map and recording buffers allocated.
+func (e *EFetch) Reset() {
+	clear(e.seqs)
+	e.lru = e.lru[:0]
+	e.total = 0
+	e.cur = -1
+	e.rec = e.rec[:0]
+	e.lastRec = 0
+	e.pred = nil
+	e.pos, e.issued, e.matched = 0, 0, false
+	e.Stats = Stats{}
+}
+
 // BeginEvent implements cpu.FetchObserver: store the finished event's
 // sequence, load the new handler's prediction, and prime the first
 // prefetches (EFetch, like ESP, can start before the handler's first

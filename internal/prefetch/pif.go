@@ -48,6 +48,17 @@ func NewPIF(h *mem.Hierarchy) *PIF {
 	}
 }
 
+// Reset restores the prefetcher to its just-constructed cold state,
+// keeping the history buffer and index map allocated.
+func (p *PIF) Reset() {
+	p.hist = p.hist[:0]
+	p.head = 0
+	clear(p.index)
+	p.last = 0
+	p.streamPos, p.streaming = 0, false
+	p.Stats = Stats{}
+}
+
 // BeginEvent implements cpu.FetchObserver; PIF has no notion of events —
 // its history is one global stream.
 func (p *PIF) BeginEvent(int) {}

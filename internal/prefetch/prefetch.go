@@ -30,6 +30,12 @@ type NextLineI struct {
 // into h.
 func NewNextLineI(h *mem.Hierarchy) *NextLineI { return &NextLineI{h: h} }
 
+// Reset restores the prefetcher to its just-constructed cold state.
+func (p *NextLineI) Reset() {
+	p.lastLine = 0
+	p.Stats = Stats{}
+}
+
 // OnFetch observes a demand instruction fetch of addr.
 func (p *NextLineI) OnFetch(addr uint64) {
 	l := trace.Line(addr)
@@ -57,6 +63,12 @@ const streakLen = 4
 
 // NewDCU returns a DCU prefetcher installing into h.
 func NewDCU(h *mem.Hierarchy) *DCU { return &DCU{h: h} }
+
+// Reset restores the prefetcher to its just-constructed cold state.
+func (p *DCU) Reset() {
+	p.line, p.streak = 0, 0
+	p.Stats = Stats{}
+}
 
 // OnAccess observes a demand data access.
 func (p *DCU) OnAccess(addr uint64) {
@@ -92,6 +104,12 @@ type Stride struct {
 
 // NewStride returns a stride prefetcher installing into h.
 func NewStride(h *mem.Hierarchy) *Stride { return &Stride{h: h} }
+
+// Reset invalidates every table entry without reallocating the table.
+func (p *Stride) Reset() {
+	p.entries = [256]strideEntry{}
+	p.Stats = Stats{}
+}
 
 // OnAccess observes a demand data access by the load/store at pc.
 func (p *Stride) OnAccess(pc, addr uint64) {

@@ -118,6 +118,14 @@ func New(cfg Config, h *mem.Hierarchy, bp *branch.Predictor) *Engine {
 	return &Engine{Cfg: cfg, Hier: h, BP: bp}
 }
 
+// Reset restores the engine's run state (statistics and the
+// current-event tracking) to its just-constructed values. The shared
+// hierarchy and predictor are reset by their owners.
+func (e *Engine) Reset() {
+	e.Stats = Stats{}
+	e.cur, e.curEv = nil, trace.Event{}
+}
+
 // EventStart implements cpu.Assist.
 func (e *Engine) EventStart(ev trace.Event, insts []trace.Inst, _ []trace.Event) {
 	e.cur, e.curEv = insts, ev

@@ -1,0 +1,219 @@
+// Package sim is the simulation engine behind the esp facade. It splits
+// the simulator into two planes:
+//
+//   - the workload plane: a Workload is one application session
+//     materialized once — every event's normal and speculative
+//     instruction stream laid out in a single contiguous arena — and
+//     immutable afterwards, so it can be replayed and shared across
+//     goroutines freely;
+//
+//   - the machine plane: a Machine assembles the core, memory hierarchy,
+//     branch predictor, prefetchers and stall-window assist once from a
+//     Config, and Reset() restores all of them to cold state without
+//     reallocating their tables, so one Machine replays many workloads
+//     with an allocation-flat hot loop.
+//
+// A Runner joins the planes for sweeps: workloads are materialized once
+// per application and shared across every configuration, machines are
+// recycled per configuration, and per-cell timing/allocation counters
+// record what the reuse saved. Errors keep the "esp:" prefix because
+// this package is the engine behind the public esp API.
+package sim
+
+import (
+	"fmt"
+
+	"espsim/internal/core"
+	"espsim/internal/cpu"
+	"espsim/internal/energy"
+	"espsim/internal/mem"
+	"espsim/internal/runahead"
+)
+
+// AssistKind selects the stall-window consumer.
+type AssistKind uint8
+
+const (
+	// AssistNone: the core idles through LLC-miss stalls (baseline).
+	AssistNone AssistKind = iota
+	// AssistRunahead: runahead execution pre-executes the same event.
+	AssistRunahead
+	// AssistESP: Event Sneak Peek pre-executes queued future events.
+	AssistESP
+)
+
+// Config is a complete machine configuration. It is a comparable value:
+// two configs are the same machine exactly when they compare equal,
+// which is what the Runner keys its machine pool on.
+type Config struct {
+	// Name labels the configuration in tables and memoization keys.
+	Name string
+
+	// CPU is the timing-model configuration. Leaving the whole struct
+	// zero selects cpu.DefaultConfig(); a partially-filled struct is a
+	// validation error (see Validate), never a silent fallback.
+	CPU cpu.Config
+
+	// NLI enables the next-line instruction prefetcher; NLD the
+	// DCU-style next-line data prefetcher; StridePF the stride
+	// prefetcher.
+	NLI      bool
+	NLD      bool
+	StridePF bool
+
+	// EFetch and PIF enable the §7 comparison instruction prefetchers
+	// (mutually exclusive).
+	EFetch bool
+	PIF    bool
+
+	// Assist selects none / runahead / ESP; RA and ESP configure them
+	// (all-zero structs select the documented defaults).
+	Assist AssistKind
+	RA     runahead.Config
+	ESP    core.Options
+
+	// PerfectL1I, PerfectL1D, PerfectBP idealize structures (Figure 3).
+	PerfectL1I bool
+	PerfectL1D bool
+	PerfectBP  bool
+
+	// MaxEvents truncates the session (0: run everything); MaxPending
+	// widens the queue view past 2 for the Figure 13 study.
+	MaxEvents  int
+	MaxPending int
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	App    string
+	Config string
+
+	Insts  int64
+	Cycles int64
+	IPC    float64
+
+	// IMPKI is L1-I misses per kilo-instruction (Figure 11a); DMissRate
+	// the L1-D miss rate (Figure 11b); MispredictRate the branch
+	// misprediction rate (Figure 12).
+	IMPKI          float64
+	DMissRate      float64
+	MispredictRate float64
+
+	// ExtraInstPct is the percentage of additional (pre-executed)
+	// instructions over the committed ones (Figure 14 annotations).
+	ExtraInstPct float64
+
+	CPU cpu.Stats
+	L1I mem.CacheStats
+	L1D mem.CacheStats
+	L2  mem.CacheStats
+
+	// ESPStats / RAStats are present when the corresponding assist ran.
+	ESPStats *core.Stats
+	RAStats  *runahead.Stats
+
+	// Energy is the absolute Figure 14 breakdown (relative plots divide
+	// by a baseline's Total).
+	Energy energy.Breakdown
+
+	// Study holds Figure 13 working-set samples when
+	// ESP.MeasureWorkingSets was set.
+	Study *core.WorkingSetStudy
+}
+
+// Speedup returns how much faster r is than base (base.Cycles/r.Cycles).
+func (r Result) Speedup(base Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// effectiveCPU resolves the timing configuration. Only the all-zero
+// struct selects DefaultConfig (so `Config{...}` literals keep working);
+// any explicitly-set field means the caller owns the whole struct, and
+// Validate rejects a partial fill instead of silently discarding it.
+func (c Config) effectiveCPU() cpu.Config {
+	cc := c.CPU
+	if cc == (cpu.Config{}) {
+		cc = cpu.DefaultConfig()
+	}
+	cc.PerfectBP = cc.PerfectBP || c.PerfectBP
+	return cc
+}
+
+// effectiveRA resolves the runahead configuration (all-zero struct:
+// runahead.DefaultConfig).
+func (c Config) effectiveRA() runahead.Config {
+	if c.RA == (runahead.Config{}) {
+		return runahead.DefaultConfig()
+	}
+	return c.RA
+}
+
+// effectiveESP resolves the ESP options (all-zero struct:
+// core.DefaultOptions).
+func (c Config) effectiveESP() core.Options {
+	if c.ESP == (core.Options{}) {
+		return core.DefaultOptions()
+	}
+	return c.ESP
+}
+
+// partialHint wraps a sub-config validation error with the resolution
+// path: earlier versions treated one magic field (Width, BaseCPI) as the
+// "use defaults" sentinel, which silently discarded every other field of
+// a partially-filled struct. Now only the all-zero struct means
+// "defaults", and a partial fill is an explicit, actionable error.
+func partialHint(err error, structName, defaultsName string) error {
+	return fmt.Errorf("%w (the %s sub-config is partially filled: fill every required field — start from %s — or leave the whole struct zero to get the defaults)",
+		err, structName, defaultsName)
+}
+
+// Validate reports whether the configuration can be simulated, with a
+// wrapped, actionable error naming the offending field. It checks the
+// timing model, the assist selection and its sub-configuration
+// (including cachelet geometry for ESP), and the mutually exclusive
+// instruction prefetchers. All run paths call it, so an invalid
+// configuration yields an error, never a panic.
+func (c Config) Validate() error {
+	fail := func(err error) error {
+		return fmt.Errorf("esp: config %q: %w", c.Name, err)
+	}
+	if err := c.effectiveCPU().Validate(); err != nil {
+		if c.CPU != (cpu.Config{}) {
+			err = partialHint(err, "CPU", "cpu.DefaultConfig()")
+		}
+		return fail(err)
+	}
+	if c.MaxEvents < 0 {
+		return fail(fmt.Errorf("MaxEvents must be non-negative, got %d", c.MaxEvents))
+	}
+	if c.MaxPending < 0 {
+		return fail(fmt.Errorf("MaxPending must be non-negative, got %d", c.MaxPending))
+	}
+	if c.EFetch && c.PIF {
+		return fail(fmt.Errorf("EFetch and PIF are mutually exclusive instruction prefetchers; enable at most one"))
+	}
+	switch c.Assist {
+	case AssistNone:
+	case AssistRunahead:
+		if err := c.effectiveRA().Validate(); err != nil {
+			if c.RA != (runahead.Config{}) {
+				err = partialHint(err, "RA", "runahead.DefaultConfig()")
+			}
+			return fail(err)
+		}
+	case AssistESP:
+		opt := c.effectiveESP()
+		if err := opt.Validate(); err != nil {
+			if c.ESP != (core.Options{}) {
+				err = partialHint(err, "ESP", "core.DefaultOptions()")
+			}
+			return fail(err)
+		}
+	default:
+		return fail(fmt.Errorf("unknown AssistKind %d", c.Assist))
+	}
+	return nil
+}

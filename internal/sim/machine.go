@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+
+	"espsim/internal/branch"
+	"espsim/internal/core"
+	"espsim/internal/cpu"
+	"espsim/internal/energy"
+	"espsim/internal/eventq"
+	"espsim/internal/mem"
+	"espsim/internal/prefetch"
+	"espsim/internal/runahead"
+	"espsim/internal/trace"
+)
+
+// specSource adapts an eventq.Source to ESP's StreamSource: pre-execution
+// uses the speculative stream variant (the paper's forked-off renderer
+// processes, §5).
+type specSource struct{ src eventq.Source }
+
+// SpecInsts implements core.StreamSource.
+func (s specSource) SpecInsts(ev trace.Event) []trace.Inst {
+	return s.src.Insts(ev.ID, true)
+}
+
+// Machine is the machine plane: one simulated core assembled once from a
+// Config — hierarchy, branch predictor, prefetchers, and the configured
+// stall-window assist — that can replay any number of workloads. Run
+// resets every component to cold state first, without reallocating their
+// tables, so each replay is bit-identical to a freshly built machine and
+// the replay loop is allocation-flat.
+//
+// A Machine is single-threaded; build one per worker and share the
+// (immutable) workloads instead.
+type Machine struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	bp   *branch.Predictor
+	c    *cpu.Core
+
+	nli    *prefetch.NextLineI
+	dcu    *prefetch.DCU
+	stride *prefetch.Stride
+	efetch *prefetch.EFetch
+	pif    *prefetch.PIF
+
+	ra  *runahead.Engine
+	esp *core.ESP
+}
+
+// NewMachine validates cfg and assembles the machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ccfg := cfg.effectiveCPU()
+
+	m := &Machine{cfg: cfg}
+	m.hier = mem.DefaultHierarchy()
+	m.hier.PerfectL1I = cfg.PerfectL1I
+	m.hier.PerfectL1D = cfg.PerfectL1D
+	m.bp = branch.New()
+	m.c = cpu.New(ccfg, m.hier, m.bp)
+
+	if cfg.NLI {
+		m.nli = prefetch.NewNextLineI(m.hier)
+		m.c.NLI = m.nli
+	}
+	if cfg.NLD {
+		m.dcu = prefetch.NewDCU(m.hier)
+		m.c.DCU = m.dcu
+	}
+	if cfg.StridePF {
+		m.stride = prefetch.NewStride(m.hier)
+		m.c.Stride = m.stride
+	}
+	switch {
+	case cfg.EFetch:
+		m.efetch = prefetch.NewEFetch(m.hier)
+		m.c.FetchObs = m.efetch
+	case cfg.PIF:
+		m.pif = prefetch.NewPIF(m.hier)
+		m.c.FetchObs = m.pif
+	}
+
+	switch cfg.Assist {
+	case AssistRunahead:
+		m.ra = runahead.New(cfg.effectiveRA(), m.hier, m.bp)
+		m.c.Assist = m.ra
+	case AssistESP:
+		// The stream source is bound per replay in Run; the engine is
+		// built once.
+		espEng, err := core.New(cfg.effectiveESP(), m.hier, m.bp, nil)
+		if err != nil {
+			return nil, fmt.Errorf("esp: %w", err)
+		}
+		m.esp = espEng
+		m.c.Assist = espEng
+	}
+	return m, nil
+}
+
+// Config returns the configuration the machine was built from.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Reset restores every component to its just-constructed cold state
+// without reallocating tables: caches are invalidated in place, predictor
+// tables are zeroed, assist structures return to their pools. A reset
+// machine replays a workload bit-identically to a freshly built one.
+func (m *Machine) Reset() {
+	m.hier.Reset()
+	m.bp.Reset()
+	m.c.Reset()
+	if m.nli != nil {
+		m.nli.Reset()
+	}
+	if m.dcu != nil {
+		m.dcu.Reset()
+	}
+	if m.stride != nil {
+		m.stride.Reset()
+	}
+	if m.efetch != nil {
+		m.efetch.Reset()
+	}
+	if m.pif != nil {
+		m.pif.Reset()
+	}
+	if m.ra != nil {
+		m.ra.Reset()
+	}
+	if m.esp != nil {
+		m.esp.Reset()
+	}
+}
+
+// Run resets the machine and replays w through it, returning the
+// simulation result. The workload is only read; the machine's MaxEvents
+// was already applied when w was materialized, and MaxPending shapes the
+// queue view here.
+func (m *Machine) Run(w *Workload) Result {
+	m.Reset()
+	src := w.Source(m.cfg.MaxPending)
+	if m.esp != nil {
+		m.esp.Src = specSource{src: src}
+	}
+	loop := eventq.Looper{Src: src, Core: m.c, MaxEvents: m.cfg.MaxEvents}
+	loop.Run()
+	res := m.result(w.App)
+	if m.esp != nil {
+		m.esp.Src = nil
+	}
+	return res
+}
+
+// result assembles the Result and energy accounting from the machine's
+// post-run statistics.
+func (m *Machine) result(app string) Result {
+	c, hier := m.c, m.hier
+	res := Result{
+		App:    app,
+		Config: m.cfg.Name,
+		Insts:  c.Stats.Insts,
+		Cycles: c.Stats.Cycles,
+		IPC:    c.Stats.IPC(),
+		CPU:    c.Stats,
+		L1I:    hier.L1I.Stats,
+		L1D:    hier.L1D.Stats,
+		L2:     hier.L2.Stats,
+	}
+	if c.Stats.Insts > 0 {
+		res.IMPKI = float64(hier.L1I.Stats.Misses) / float64(c.Stats.Insts) * 1000
+	}
+	res.DMissRate = hier.L1D.Stats.MissRate()
+	res.MispredictRate = c.Stats.MispredictRate()
+
+	var preExec int64
+	act := energy.Activity{
+		Cycles:      c.Stats.Cycles,
+		Insts:       c.Stats.Insts,
+		Branches:    c.Stats.Branches,
+		Mispredicts: c.Stats.Mispredicts,
+		L1IAccesses: hier.L1I.Stats.Accesses,
+		L1DAccesses: hier.L1D.Stats.Accesses,
+		L2Accesses:  hier.L2.Stats.Accesses,
+		MemAccesses: hier.L2.Stats.Misses,
+		Prefetches:  hier.L1I.Stats.PrefetchInstalls + hier.L1D.Stats.PrefetchInstalls,
+	}
+	if m.esp != nil {
+		st := m.esp.Stats
+		res.ESPStats = &st
+		res.Study = m.esp.Study
+		preExec = st.PreExecInsts
+		act.L2Accesses += st.CacheletFills
+		act.MemAccesses += st.LLCFills
+		act.CacheletOps = st.PreExecInsts
+		act.ListOps = st.PrefetchI + st.PrefetchD + st.Corrections + st.CacheletFills
+	}
+	if m.ra != nil {
+		st := m.ra.Stats
+		res.RAStats = &st
+		preExec = st.PreExecInsts
+	}
+	act.PreExecInsts = preExec
+	if c.Stats.Insts > 0 {
+		res.ExtraInstPct = float64(preExec) / float64(c.Stats.Insts) * 100
+	}
+	res.Energy = energy.Compute(act, energy.DefaultModel())
+	return res
+}

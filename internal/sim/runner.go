@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"espsim/internal/workload"
+)
+
+// Perf aggregates what the two-plane split saved across a Runner's
+// lifetime: how often workloads and machines were reused instead of
+// rebuilt, and how wall-clock time divided between building and
+// simulating.
+type Perf struct {
+	// Cells counts completed simulations.
+	Cells int64
+	// WorkloadBuilds counts sessions materialized; WorkloadReuses counts
+	// cells that replayed an already-materialized workload.
+	WorkloadBuilds int64
+	WorkloadReuses int64
+	// MachineBuilds counts machines assembled; MachineReuses counts
+	// cells that reset and reused a pooled machine.
+	MachineBuilds int64
+	MachineReuses int64
+	// BuildWall is time spent materializing workloads and assembling
+	// machines; SimWall is time spent replaying.
+	BuildWall time.Duration
+	SimWall   time.Duration
+}
+
+// String renders the counters as a one-line summary.
+func (p Perf) String() string {
+	return fmt.Sprintf("%d cells: workloads %d built/%d reused, machines %d built/%d reused, %v building, %v simulating",
+		p.Cells, p.WorkloadBuilds, p.WorkloadReuses, p.MachineBuilds, p.MachineReuses,
+		p.BuildWall.Round(time.Millisecond), p.SimWall.Round(time.Millisecond))
+}
+
+// workloadKey identifies one materialization: the full profile value
+// (Profile is a comparable struct of scalars) plus the executed-prefix
+// bound. Two cells with equal keys share one Workload.
+type workloadKey struct {
+	prof      workload.Profile
+	maxEvents int
+}
+
+type workloadCell struct {
+	once sync.Once
+	w    *Workload
+	err  error
+}
+
+// Runner joins the planes for sweeps: it materializes each workload once
+// (single-flight, shared by every configuration and goroutine) and pools
+// one reusable Machine per distinct Config per concurrent worker.
+// All methods are safe for concurrent use; results are bit-identical to
+// building a fresh machine per cell because Machine.Run resets to cold
+// state first.
+type Runner struct {
+	mu        sync.Mutex
+	workloads map[workloadKey]*workloadCell
+	machines  map[Config][]*Machine
+	perf      Perf
+}
+
+// NewRunner returns an empty Runner.
+func NewRunner() *Runner {
+	return &Runner{
+		workloads: make(map[workloadKey]*workloadCell),
+		machines:  make(map[Config][]*Machine),
+	}
+}
+
+// Perf returns a snapshot of the reuse and timing counters.
+func (r *Runner) Perf() Perf {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.perf
+}
+
+// Workload returns the materialized workload for prof truncated to
+// maxEvents, building it on first use and sharing it afterwards.
+// Concurrent callers for the same key block on one materialization.
+func (r *Runner) Workload(prof workload.Profile, maxEvents int) (*Workload, error) {
+	key := workloadKey{prof: prof, maxEvents: maxEvents}
+	r.mu.Lock()
+	cell, ok := r.workloads[key]
+	if !ok {
+		cell = &workloadCell{}
+		r.workloads[key] = cell
+	}
+	r.mu.Unlock()
+
+	built := false
+	cell.once.Do(func() {
+		built = true
+		start := time.Now()
+		cell.w, cell.err = NewWorkload(prof, maxEvents)
+		r.mu.Lock()
+		r.perf.BuildWall += time.Since(start)
+		r.perf.WorkloadBuilds++
+		r.mu.Unlock()
+	})
+	if !built {
+		r.mu.Lock()
+		r.perf.WorkloadReuses++
+		r.mu.Unlock()
+	}
+	return cell.w, cell.err
+}
+
+// acquireMachine pops a pooled machine for cfg or assembles one.
+func (r *Runner) acquireMachine(cfg Config) (*Machine, error) {
+	r.mu.Lock()
+	pool := r.machines[cfg]
+	if n := len(pool); n > 0 {
+		m := pool[n-1]
+		r.machines[cfg] = pool[:n-1]
+		r.perf.MachineReuses++
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+
+	start := time.Now()
+	m, err := NewMachine(cfg)
+	r.mu.Lock()
+	r.perf.BuildWall += time.Since(start)
+	if err == nil {
+		r.perf.MachineBuilds++
+	}
+	r.mu.Unlock()
+	return m, err
+}
+
+// releaseMachine returns a healthy machine to its configuration's pool.
+func (r *Runner) releaseMachine(m *Machine) {
+	r.mu.Lock()
+	r.machines[m.cfg] = append(r.machines[m.cfg], m)
+	r.mu.Unlock()
+}
+
+// RunCell simulates one (profile, configuration) cell: the workload is
+// materialized once per (profile, MaxEvents) and shared, the machine
+// comes from the per-configuration pool. label names the cell in panic
+// and timeout errors. A non-positive timeout runs inline; otherwise the
+// cell is abandoned with an error after timeout (the worker goroutine
+// still returns its machine to the pool when it eventually finishes —
+// reuse is safe because Run resets first). A panicking machine is
+// dropped, never pooled.
+func (r *Runner) RunCell(label string, prof workload.Profile, cfg Config, timeout time.Duration) (Result, error) {
+	w, err := r.Workload(prof, cfg.MaxEvents)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.RunWorkload(label, w, cfg, timeout)
+}
+
+// RunWorkload is RunCell for an already-materialized workload (e.g. one
+// built from a generic source).
+func (r *Runner) RunWorkload(label string, w *Workload, cfg Config, timeout time.Duration) (Result, error) {
+	m, err := r.acquireMachine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if timeout <= 0 {
+		return r.simulate(label, m, w)
+	}
+	type cellOut struct {
+		res Result
+		err error
+	}
+	ch := make(chan cellOut, 1)
+	go func() {
+		res, err := r.simulate(label, m, w)
+		ch <- cellOut{res: res, err: err}
+	}()
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-time.After(timeout):
+		return Result{}, fmt.Errorf("esp: run %s: exceeded %v timeout", label, timeout)
+	}
+}
+
+// simulate replays w on m with panic containment and timing accounting.
+func (r *Runner) simulate(label string, m *Machine, w *Workload) (res Result, err error) {
+	start := time.Now()
+	defer func() {
+		elapsed := time.Since(start)
+		if p := recover(); p != nil {
+			// The machine may hold corrupt state: drop it.
+			err = fmt.Errorf("esp: run %s: panic: %v", label, p)
+			return
+		}
+		r.releaseMachine(m)
+		r.mu.Lock()
+		r.perf.SimWall += elapsed
+		r.perf.Cells++
+		r.mu.Unlock()
+	}()
+	res = m.Run(w)
+	return res, nil
+}

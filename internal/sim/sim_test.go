@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"espsim/internal/eventq"
+	"espsim/internal/workload"
+)
+
+func testProfile(t *testing.T) workload.Profile {
+	t.Helper()
+	prof := workload.Amazon()
+	prof.Events = 60
+	return prof
+}
+
+func espConfig() Config {
+	return Config{Name: "esp-nl", NLI: true, NLD: true, Assist: AssistESP}
+}
+
+// TestWorkloadMatchesSessionSource checks that a materialized workload's
+// Source view is observationally identical to the on-demand
+// eventq.SessionSource it replaces, including speculative streams beyond
+// the executed prefix and MaxPending trimming.
+func TestWorkloadMatchesSessionSource(t *testing.T) {
+	prof := testProfile(t)
+	sess, err := workload.NewSession(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxEvents = 48
+	w, err := NewWorkload(prof, maxEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxPending := range []int{0, 5} {
+		ss := eventq.SessionSource{S: sess, MaxPending: maxPending}
+		view := w.Source(maxPending)
+		if got := view.Len(); got != maxEvents {
+			t.Fatalf("Len() = %d, want %d", got, maxEvents)
+		}
+		for i := 0; i < view.Len(); i++ {
+			if got, want := view.Event(i), ss.Event(i); got != want {
+				t.Fatalf("Event(%d) = %+v, want %+v", i, got, want)
+			}
+			if got, want := view.Insts(i, false), ss.Insts(i, false); !reflect.DeepEqual(got, want) {
+				t.Fatalf("Insts(%d, false) differs", i)
+			}
+			if got, want := view.Insts(i, true), ss.Insts(i, true); !reflect.DeepEqual(got, want) {
+				t.Fatalf("Insts(%d, true) differs", i)
+			}
+			got, want := view.Pending(i), ss.Pending(i)
+			if len(got) != len(want) {
+				t.Fatalf("Pending(%d) len = %d, want %d (maxPending %d)", i, len(got), len(want), maxPending)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("Pending(%d)[%d] = %+v, want %+v", i, j, got[j], want[j])
+				}
+			}
+			// Every pending event must have a speculative stream.
+			for _, ev := range got {
+				if s, wantS := view.Insts(ev.ID, true), ss.Insts(ev.ID, true); !reflect.DeepEqual(s, wantS) {
+					t.Fatalf("spec Insts(%d) for pending event differs", ev.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestMachineReuseBitIdentical checks the Reset contract: a machine that
+// already ran a workload replays it with results identical to a freshly
+// assembled machine's.
+func TestMachineReuseBitIdentical(t *testing.T) {
+	prof := testProfile(t)
+	w, err := NewWorkload(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Name: "base"},
+		{Name: "nls", NLI: true, NLD: true, StridePF: true},
+		{Name: "ra", NLI: true, NLD: true, Assist: AssistRunahead},
+		espConfig(),
+	} {
+		fresh, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		want := fresh.Run(w)
+
+		reused, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		reused.Run(w) // dirty the machine
+		if got := reused.Run(w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: reused machine diverged from fresh machine\ngot  %+v\nwant %+v", cfg.Name, got, want)
+		}
+	}
+}
+
+// TestRunnerSharesWorkloadsAndMachines checks the reuse counters: two
+// configs over one profile materialize the workload once, and repeated
+// cells of one config reuse its pooled machine.
+func TestRunnerSharesWorkloadsAndMachines(t *testing.T) {
+	prof := testProfile(t)
+	r := NewRunner()
+	cfgs := []Config{{Name: "base"}, espConfig()}
+	for round := 0; round < 2; round++ {
+		for _, cfg := range cfgs {
+			if _, err := r.RunCell("test", prof, cfg, time.Minute); err != nil {
+				t.Fatalf("round %d, %s: %v", round, cfg.Name, err)
+			}
+		}
+	}
+	p := r.Perf()
+	if p.Cells != 4 {
+		t.Fatalf("Cells = %d, want 4", p.Cells)
+	}
+	if p.WorkloadBuilds != 1 || p.WorkloadReuses != 3 {
+		t.Fatalf("workloads = %d built/%d reused, want 1/3", p.WorkloadBuilds, p.WorkloadReuses)
+	}
+	if p.MachineBuilds != 2 || p.MachineReuses != 2 {
+		t.Fatalf("machines = %d built/%d reused, want 2/2", p.MachineBuilds, p.MachineReuses)
+	}
+}
+
+// TestRunnerIdenticalAcrossPaths checks that a pooled Runner cell equals
+// a one-shot machine run.
+func TestRunnerIdenticalAcrossPaths(t *testing.T) {
+	prof := testProfile(t)
+	cfg := espConfig()
+	w, err := NewWorkload(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Run(w)
+
+	r := NewRunner()
+	for i := 0; i < 2; i++ {
+		got, err := r.RunCell("cell", prof, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("runner cell %d diverged from direct machine run", i)
+		}
+	}
+}
+
+// TestMaterializeGenericSource checks the copy path: a multi-queue
+// source replays identically whether driven directly or materialized.
+func TestMaterializeGenericSource(t *testing.T) {
+	profs := []workload.Profile{workload.Amazon(), workload.Bing()}
+	var sessions []*workload.Session
+	for _, p := range profs {
+		p.Events = 40
+		s, err := workload.NewSession(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	src, err := eventq.NewMultiQueueSource(sessions, 7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := espConfig()
+
+	direct, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := MaterializeSource("mq", src, 0)
+	got := direct.Run(w)
+
+	view := w.Source(0)
+	for i := 0; i < view.Len(); i++ {
+		if !reflect.DeepEqual(view.Insts(i, false), src.Insts(i, false)) {
+			t.Fatalf("normal stream %d differs from source", i)
+		}
+		if !reflect.DeepEqual(view.Pending(i), src.Pending(i)) {
+			t.Fatalf("pending %d differs from source", i)
+		}
+	}
+	if got.Insts == 0 || got.Cycles == 0 {
+		t.Fatalf("implausible result: %+v", got)
+	}
+}
+
+// TestRunnerPanicDropsMachine checks panic containment: the error names
+// the cell and the poisoned machine is not pooled.
+func TestRunnerPanicDropsMachine(t *testing.T) {
+	r := NewRunner()
+	m, err := NewMachine(Config{Name: "base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.simulate("boom-cell", m, nil) // nil workload panics in Run
+	if err == nil || !strings.Contains(err.Error(), "boom-cell") || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want panic error naming the cell", err)
+	}
+	r.mu.Lock()
+	pooled := len(r.machines[m.cfg])
+	r.mu.Unlock()
+	if pooled != 0 {
+		t.Fatalf("panicked machine was returned to the pool")
+	}
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"fmt"
+
+	"espsim/internal/eventq"
+	"espsim/internal/trace"
+	"espsim/internal/workload"
+)
+
+// specLookahead bounds how far past the executed prefix speculative
+// streams must exist: the hardware event queue exposes at most 8 future
+// events (workload sessions cap VisibleDepth there, matching the paper's
+// deepest jump-ahead study). The actual horizon is computed exactly from
+// the pending lists; this constant only sizes the session fast path.
+const specLookahead = 8
+
+// Workload is one application session materialized once: every event's
+// metadata, pending-queue view, and normal + speculative instruction
+// streams, with all instructions laid out in a single contiguous arena.
+// A Workload is immutable after construction — replays only read it — so
+// one Workload can be shared by any number of Machines across goroutines.
+type Workload struct {
+	// App names the application (profile name or caller-chosen label).
+	App string
+
+	events []trace.Event
+	// nExec is the number of events a replay executes (the session
+	// truncated by MaxEvents). Speculative streams extend further, to
+	// every event the pending lists can reference.
+	nExec int
+
+	// normal[i] is event i's committed instruction stream (i < nExec);
+	// spec[i] the pre-execution variant (i < len(spec), the speculative
+	// horizon). When an event does not diverge, both share one arena
+	// span.
+	normal [][]trace.Inst
+	spec   [][]trace.Inst
+
+	// pending[i] is the queue view when event i starts. For
+	// session-built workloads it is the untrimmed visible window (views
+	// into events) and trim is true: Source applies MaxPending at view
+	// time, like eventq.SessionSource did. For generic sources the
+	// source's own Pending result is stored verbatim and trim is false,
+	// matching the old RunSource path, which never applied MaxPending.
+	pending [][]trace.Event
+	trim    bool
+
+	// arena backs every materialized instruction span. Spans are handed
+	// out with full-capacity slice expressions, so even an appending
+	// consumer cannot clobber a neighbour.
+	arena []trace.Inst
+}
+
+// NewWorkload materializes prof's session, truncated to maxEvents when
+// positive. The result replays bit-identically to driving the session
+// through eventq.SessionSource, for any MaxPending.
+func NewWorkload(prof workload.Profile, maxEvents int) (*Workload, error) {
+	sess, err := workload.NewSession(prof)
+	if err != nil {
+		return nil, fmt.Errorf("esp: building session: %w", err)
+	}
+	w := &Workload{App: prof.Name, trim: true}
+	w.fromSession(sess, maxEvents)
+	return w, nil
+}
+
+// MaterializeSource snapshots an arbitrary eventq.Source into a
+// Workload. A workload.Session behind eventq.SessionSource takes the
+// arena fast path; other sources (recorded traces, multi-queue merges)
+// are copied stream by stream. Pending views are stored as the source
+// returned them, so replays match the old direct-source path exactly.
+func MaterializeSource(app string, src eventq.Source, maxEvents int) *Workload {
+	w := &Workload{App: app}
+	if ss, ok := src.(eventq.SessionSource); ok && ss.MaxPending <= 0 {
+		// Default queue view: identical to the session path, which keeps
+		// the untrimmed window and trims per machine at view time.
+		w.trim = true
+		w.fromSession(ss.S, maxEvents)
+		return w
+	}
+	w.fromSource(src, maxEvents)
+	return w
+}
+
+// execCount truncates a session of n events by maxEvents.
+func execCount(n, maxEvents int) int {
+	if maxEvents > 0 && maxEvents < n {
+		return maxEvents
+	}
+	return n
+}
+
+// specHorizon returns how many events need speculative streams: the
+// executed prefix plus every future event a pending list references,
+// clamped to the session length.
+func specHorizon(n, nExec int, pending [][]trace.Event) int {
+	h := nExec
+	for _, ps := range pending {
+		for _, ev := range ps {
+			if ev.ID >= h {
+				h = ev.ID + 1
+			}
+		}
+	}
+	if h > n {
+		h = n
+	}
+	return h
+}
+
+// record drains s into the arena (at most max instructions, matching
+// trace.Record) and returns the span with capacity pinned to its length.
+func (w *Workload) record(s trace.Stream, max int) []trace.Inst {
+	start := len(w.arena)
+	for {
+		if max > 0 && len(w.arena)-start >= max {
+			break
+		}
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		w.arena = append(w.arena, in)
+	}
+	return w.arena[start:len(w.arena):len(w.arena)]
+}
+
+// copyInsts copies a stream obtained from a generic source into the
+// arena and returns the pinned span.
+func (w *Workload) copyInsts(insts []trace.Inst) []trace.Inst {
+	start := len(w.arena)
+	w.arena = append(w.arena, insts...)
+	return w.arena[start:len(w.arena):len(w.arena)]
+}
+
+// fromSession materializes a synthetic session. Streams are generated in
+// event order exactly as eventq.SessionSource would have on demand; the
+// generator reseeds per event, so generation order cannot change a
+// stream.
+func (w *Workload) fromSession(sess *workload.Session, maxEvents int) {
+	n := len(sess.Events)
+	w.events = sess.Events
+	w.nExec = execCount(n, maxEvents)
+
+	w.pending = make([][]trace.Event, w.nExec)
+	for i := 0; i < w.nExec; i++ {
+		d := sess.VisibleDepth[i]
+		if rest := n - 1 - i; d > rest {
+			d = rest
+		}
+		w.pending[i] = sess.Events[i+1 : i+1+d]
+	}
+	nSpec := specHorizon(n, w.nExec, w.pending)
+
+	// Pre-size the arena: one normal stream per executed event, plus a
+	// separate speculative stream for diverging and beyond-prefix events.
+	total := 0
+	for i := 0; i < w.nExec; i++ {
+		total += sess.Events[i].Len
+		if sess.Events[i].Diverge >= 0 {
+			total += sess.Events[i].Len
+		}
+	}
+	for i := w.nExec; i < nSpec; i++ {
+		total += sess.Events[i].Len
+	}
+	w.arena = make([]trace.Inst, 0, total)
+
+	w.normal = make([][]trace.Inst, w.nExec)
+	w.spec = make([][]trace.Inst, nSpec)
+	for i := 0; i < w.nExec; i++ {
+		ev := sess.Events[i]
+		w.normal[i] = w.record(sess.Gen.Stream(ev, false), ev.Len)
+		if ev.Diverge < 0 {
+			// Pre-execution matches normal execution: share the span.
+			w.spec[i] = w.normal[i]
+		} else {
+			w.spec[i] = w.record(sess.Gen.Stream(ev, true), ev.Len)
+		}
+	}
+	for i := w.nExec; i < nSpec; i++ {
+		ev := sess.Events[i]
+		w.spec[i] = w.record(sess.Gen.Stream(ev, true), ev.Len)
+	}
+}
+
+// fromSource materializes a generic source by copying its streams. When
+// a source hands back the same backing array for both variants (recorded
+// traces do), the arena span is shared the same way.
+func (w *Workload) fromSource(src eventq.Source, maxEvents int) {
+	n := src.Len()
+	w.nExec = execCount(n, maxEvents)
+
+	w.pending = make([][]trace.Event, w.nExec)
+	for i := 0; i < w.nExec; i++ {
+		w.pending[i] = src.Pending(i)
+	}
+	nSpec := specHorizon(n, w.nExec, w.pending)
+
+	w.events = make([]trace.Event, w.nExec)
+	w.normal = make([][]trace.Inst, w.nExec)
+	w.spec = make([][]trace.Inst, nSpec)
+	for i := 0; i < w.nExec; i++ {
+		w.events[i] = src.Event(i)
+		norm := src.Insts(i, false)
+		spec := src.Insts(i, true)
+		w.normal[i] = w.copyInsts(norm)
+		if sameSlice(norm, spec) {
+			w.spec[i] = w.normal[i]
+		} else {
+			w.spec[i] = w.copyInsts(spec)
+		}
+	}
+	for i := w.nExec; i < nSpec; i++ {
+		w.spec[i] = w.copyInsts(src.Insts(i, true))
+	}
+}
+
+func sameSlice(a, b []trace.Inst) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// Events returns the number of events a replay of this workload executes.
+func (w *Workload) Events() int { return w.nExec }
+
+// Insts returns the total committed instruction count of a replay.
+func (w *Workload) Insts() int64 {
+	var total int64
+	for _, s := range w.normal {
+		total += int64(len(s))
+	}
+	return total
+}
+
+// Source returns a read-only eventq.Source view of the workload.
+// maxPending widens the queue view past the default two entries for
+// session-built workloads (generic-source workloads keep the pending
+// lists their source reported). Views are stateless: any number may be
+// used concurrently.
+func (w *Workload) Source(maxPending int) eventq.Source {
+	return wsource{w: w, maxPending: maxPending}
+}
+
+type wsource struct {
+	w          *Workload
+	maxPending int
+}
+
+// Len implements eventq.Source.
+func (s wsource) Len() int { return s.w.nExec }
+
+// Event implements eventq.Source.
+func (s wsource) Event(i int) trace.Event { return s.w.events[i] }
+
+// Insts implements eventq.Source. Speculative streams exist beyond the
+// executed prefix, covering every event the pending lists can name.
+func (s wsource) Insts(i int, speculative bool) []trace.Inst {
+	if speculative {
+		return s.w.spec[i]
+	}
+	return s.w.normal[i]
+}
+
+// Pending implements eventq.Source.
+func (s wsource) Pending(i int) []trace.Event {
+	p := s.w.pending[i]
+	if s.w.trim {
+		n := s.maxPending
+		if n <= 0 {
+			n = 2
+		}
+		if len(p) > n {
+			p = p[:n]
+		}
+	}
+	return p
+}

@@ -45,20 +45,23 @@ type Sweep struct {
 	// Cells aggregates per-cell failures across all produced figures,
 	// keyed "figureID/app/config".
 	Cells map[string]error
+	// Perf snapshots the engine's reuse and timing counters at the end
+	// of the sweep: cells run, workloads and machines reused versus
+	// rebuilt, and the wall-clock split between building and simulating.
+	Perf Perf
 }
 
 // OK reports whether every requested figure was produced with no
 // degraded cells.
 func (s *Sweep) OK() bool { return len(s.Failed) == 0 && len(s.Cells) == 0 }
 
-// Summary renders a human-readable account of what was skipped, or ""
-// when the sweep was fully healthy. Keys are sorted so the summary is
-// deterministic.
+// Summary renders a human-readable account of the sweep: the engine
+// performance counters, plus what was skipped when the sweep degraded.
+// It is never empty — check OK() for health, not Summary(). Keys are
+// sorted so the summary is deterministic.
 func (s *Sweep) Summary() string {
-	if s.OK() {
-		return ""
-	}
 	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %s\n", s.Perf)
 	if len(s.Failed) > 0 {
 		ids := make([]string, 0, len(s.Failed))
 		for id := range s.Failed {
@@ -122,7 +125,7 @@ func (h *Harness) RunAll(parallelism int, figs ...NamedFigure) *Sweep {
 	}
 	wg.Wait()
 
-	sweep := &Sweep{Failed: make(map[string]error), Cells: make(map[string]error)}
+	sweep := &Sweep{Failed: make(map[string]error), Cells: make(map[string]error), Perf: h.Perf()}
 	for i, nf := range figs {
 		if results[i].err != nil {
 			sweep.Failed[nf.ID] = results[i].err

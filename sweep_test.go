@@ -111,8 +111,25 @@ func TestRunAllAllFiguresHealthy(t *testing.T) {
 	if len(sweep.Figures) != len(StandardFigures()) {
 		t.Fatalf("produced %d figures, want %d", len(sweep.Figures), len(StandardFigures()))
 	}
-	if s := sweep.Summary(); s != "" {
-		t.Fatalf("healthy sweep has summary %q", s)
+	// A healthy sweep's summary carries only the engine perf line: the
+	// reuse counters must show the two-plane engine at work (each
+	// workload materialized once, machines recycled across cells).
+	s := sweep.Summary()
+	if strings.Contains(s, "not produced") || strings.Contains(s, "degraded") {
+		t.Fatalf("healthy sweep reports failures:\n%s", s)
+	}
+	if !strings.Contains(s, "engine:") {
+		t.Fatalf("summary missing engine perf line:\n%s", s)
+	}
+	p := sweep.Perf
+	if p.Cells == 0 {
+		t.Fatal("perf counters empty after full sweep")
+	}
+	if p.WorkloadReuses == 0 || p.MachineReuses == 0 {
+		t.Fatalf("no reuse recorded across the sweep: %+v", p)
+	}
+	if p.WorkloadBuilds >= p.WorkloadReuses {
+		t.Fatalf("workloads rebuilt more than reused: %d built, %d reused", p.WorkloadBuilds, p.WorkloadReuses)
 	}
 }
 
