@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-go fuzz-smoke tier1 clean
+.PHONY: all build vet test race bench bench-go bench-guard fuzz-smoke tier1 clean
 
 all: tier1
 
@@ -27,10 +28,17 @@ bench:
 bench-go:
 	$(GO) test -bench=. -benchmem .
 
-# fuzz-smoke gives the hardened trace decoder a short adversarial
-# shake on every gate run; longer campaigns use -fuzztime by hand.
+# bench-guard re-measures sweep throughput and fails when the two-plane
+# engine's cells/sec fell more than 20% below the committed baseline.
+bench-guard:
+	$(GO) run ./cmd/espperf -out - -guard BENCH_PR3.json -maxloss 0.20
+
+# fuzz-smoke gives every fuzz target a short adversarial shake on each
+# gate run (FUZZTIME per target); longer campaigns raise FUZZTIME.
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=FuzzReadFile -fuzztime=10s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzReadFile -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzRunRequest -fuzztime=$(FUZZTIME) ./internal/serve
 
 # tier1 is the robustness gate: everything must be green before merge.
 tier1: vet build race fuzz-smoke

@@ -1,0 +1,102 @@
+// Command espd is the ESP simulation daemon: the paper's evaluation
+// grid served over HTTP. It executes (application, configuration)
+// cells on a bounded pool of pooled-machine workers with an LRU
+// workload cache, so concurrent requests for the same application share
+// one materialized arena, and degrades gracefully under load (429 past
+// the queue bound, per-cell timeouts, panic isolation, SIGTERM drain).
+//
+// Endpoints:
+//
+//	POST /run      {"app":"amazon","config":"ESP+NL"}           -> one Result
+//	POST /sweep    {"apps":[...],"configs":[...]}               -> a grid, batched by workload
+//	GET  /metrics  cells, cache hits, machine reuse, latencies  -> JSON
+//	GET  /healthz  liveness (503 while draining)
+//
+// Usage:
+//
+//	espd [-addr :8080] [-workers N] [-queue 64] [-cache 32]
+//	     [-timeout 2m] [-log text|json]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"espsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulation workers (0: NumCPU)")
+		queue   = flag.Int("queue", 64, "queued requests beyond the running ones before 429")
+		cache   = flag.Int("cache", 32, "LRU workload-cache capacity (materialized arenas)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "default per-cell simulation timeout")
+		logFmt  = flag.String("log", "text", "log format: text or json")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFmt {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "espd: unknown -log format %q (text or json)\n", *logFmt)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	srv := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		WorkloadCap:    *cache,
+		DefaultTimeout: *timeout,
+		Logger:         log,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGTERM/SIGINT: stop accepting connections, then drain in-flight
+	// simulations, bounded so a wedged cell cannot hold shutdown hostage.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("espd listening", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cache)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error("espd: serve", "err", err.Error())
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Info("espd: signal received, draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Error("espd: shutdown", "err", err.Error())
+		}
+		if err := srv.Drain(shutdownCtx); err != nil {
+			log.Error("espd: drain", "err", err.Error())
+			os.Exit(1)
+		}
+		log.Info("espd: drained cleanly")
+	}
+}

@@ -6,9 +6,13 @@
 // comparison as JSON (ns/op, allocs/op, cells/sec, speedup) for
 // tracking across commits.
 //
+// With -guard it additionally compares the fresh measurement against a
+// committed baseline report and exits nonzero when reuse throughput
+// regressed by more than -maxloss — the CI bench-guard gate.
+//
 // Usage:
 //
-//	espperf [-scale 1] [-out BENCH_PR3.json]
+//	espperf [-scale 1] [-out BENCH_PR3.json] [-guard BASELINE.json] [-maxloss 0.20]
 package main
 
 import (
@@ -86,8 +90,10 @@ func measure(name string, cells int, sweep func() error) (phase, error) {
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 1, "event-count scale factor")
-		out   = flag.String("out", "BENCH_PR3.json", "output JSON path (- for stdout only)")
+		scale   = flag.Float64("scale", 1, "event-count scale factor")
+		out     = flag.String("out", "BENCH_PR3.json", "output JSON path (- for stdout only)")
+		guard   = flag.String("guard", "", "baseline report JSON to guard against (empty: no guard)")
+		maxLoss = flag.Float64("maxloss", 0.20, "max tolerated fractional loss of reuse cells/sec vs -guard baseline")
 	)
 	flag.Parse()
 
@@ -157,6 +163,43 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "espperf: %d cells, reuse %.1f cells/s vs rebuild %.1f cells/s: %.2fx speedup\n",
 		cells, reuse.CellsPerSec, rebuild.CellsPerSec, rep.Speedup)
+
+	if *guard != "" {
+		if err := checkGuard(rep, *guard, *maxLoss); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// checkGuard compares the fresh report against a committed baseline and
+// errors when reuse throughput fell by more than maxLoss. Only the
+// reuse phase is guarded: rebuild throughput is the foil, not the
+// product, and the grid shape must match for the comparison to mean
+// anything.
+func checkGuard(rep report, path string, maxLoss float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("guard baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("guard baseline %s: %w", path, err)
+	}
+	if base.Reuse.CellsPerSec <= 0 {
+		return fmt.Errorf("guard baseline %s: no reuse cells/sec", path)
+	}
+	if base.Apps != rep.Apps || base.Configs != rep.Configs || base.Scale != rep.Scale {
+		return fmt.Errorf("guard baseline %s measured a %dx%d grid at scale %g, this run is %dx%d at scale %g",
+			path, base.Apps, base.Configs, base.Scale, rep.Apps, rep.Configs, rep.Scale)
+	}
+	floor := base.Reuse.CellsPerSec * (1 - maxLoss)
+	if rep.Reuse.CellsPerSec < floor {
+		return fmt.Errorf("reuse throughput regressed: %.2f cells/s vs baseline %.2f (floor %.2f at maxloss %g)",
+			rep.Reuse.CellsPerSec, base.Reuse.CellsPerSec, floor, maxLoss)
+	}
+	fmt.Fprintf(os.Stderr, "espperf: guard ok: %.2f cells/s vs baseline %.2f (floor %.2f)\n",
+		rep.Reuse.CellsPerSec, base.Reuse.CellsPerSec, floor)
+	return nil
 }
 
 func fail(err error) {

@@ -1,6 +1,9 @@
 package esp
 
 import (
+	"fmt"
+	"sort"
+
 	"espsim/internal/core"
 	"espsim/internal/runahead"
 )
@@ -296,4 +299,47 @@ func IdleCoreNLConfig() Config {
 	c := IdleCoreConfig()
 	c.Name, c.NLI, c.NLD = "IdleCore+NL", true, true
 	return c
+}
+
+// NamedConfigs returns every named preset configuration, in figure
+// order. Names are unique; ConfigByName resolves them, which is how the
+// espd service maps request strings onto machine design points.
+func NamedConfigs() []Config {
+	return []Config{
+		BaselineConfig(), NLConfig(), NLSConfig(), NLIOnlyConfig(), NLDOnlyConfig(),
+		EFetchConfig(), PIFConfig(),
+		RunaheadConfig(), RunaheadNLConfig(), RunaheadDConfig(), RunaheadDNLDConfig(),
+		ESPConfig(), ESPNLConfig(),
+		NaiveESPConfig(), NaiveESPNLConfig(),
+		ESPIOnlyNLConfig(), ESPIBNLConfig(), ESPIBDNLConfig(),
+		ESPIOnlyConfig(), ESPIOnlyNLIConfig(), IdealESPINLIConfig(),
+		ESPDOnlyConfig(), ESPDOnlyNLDConfig(), IdealESPDNLDConfig(),
+		ESPBPNoExtraHWConfig(), ESPBPSeparateContextConfig(), ESPBPReplicatedConfig(), ESPBPFullConfig(),
+		PerfectL1DConfig(), PerfectBPConfig(), PerfectL1IConfig(), PerfectAllConfig(),
+		WorkingSetStudyConfig(),
+		IdleCoreConfig(), IdleCoreNLConfig(),
+	}
+}
+
+// ConfigNames returns the preset names, sorted, for error messages and
+// service discovery.
+func ConfigNames() []string {
+	cfgs := NamedConfigs()
+	names := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		names[i] = c.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ConfigByName returns the preset configuration with the given name, or
+// an error listing the valid names.
+func ConfigByName(name string) (Config, error) {
+	for _, c := range NamedConfigs() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("esp: unknown config %q (valid: %v)", name, ConfigNames())
 }

@@ -1,0 +1,151 @@
+// Package metrics is the observability plane of the espd service: the
+// counters that Sweep.Summary tracks per sweep (cells run, workload and
+// machine reuse) promoted into one long-lived, concurrency-safe type,
+// plus the request-layer counters (queue depth, rejections, timeouts)
+// and a per-cell latency histogram that only a daemon needs.
+//
+// Everything is lock-free atomics, so the hot path (one Observe per
+// simulated cell, a few Adds per request) costs nanoseconds; Snapshot
+// assembles a consistent-enough JSON view for GET /metrics.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsMs are the histogram bucket upper bounds in milliseconds;
+// the final implicit bucket is +Inf. They span a sub-millisecond golden
+// cell to a multi-minute full-scale sweep cell.
+var latencyBoundsMs = [15]int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000, 60000}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe calls.
+type Histogram struct {
+	counts [len(latencyBoundsMs) + 1]atomic.Int64
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ms := d.Milliseconds()
+	i := 0
+	for i < len(latencyBoundsMs) && ms > latencyBoundsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is the wire form of a Histogram: parallel bounds and
+// counts (the last count is the +Inf bucket), plus count and mean.
+type HistogramSnapshot struct {
+	BoundsMs []int64 `json:"bounds_ms"`
+	Counts   []int64 `json:"counts"`
+	Count    int64   `json:"count"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// Snapshot renders the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		BoundsMs: latencyBoundsMs[:],
+		Counts:   make([]int64, len(h.counts)),
+		Count:    h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.MeanMs = float64(h.sumNs.Load()) / float64(s.Count) / 1e6
+	}
+	return s
+}
+
+// Metrics holds every service counter. The zero value is not ready;
+// use New.
+type Metrics struct {
+	start time.Time
+
+	// Request layer.
+	RunRequests   atomic.Int64
+	SweepRequests atomic.Int64
+	BadRequests   atomic.Int64
+	Rejected      atomic.Int64 // 429: queue full
+	Draining      atomic.Int64 // 503: shutdown in progress
+	Timeouts      atomic.Int64
+	CellsOK       atomic.Int64
+	CellErrors    atomic.Int64
+	QueueDepth    atomic.Int64 // admitted requests not yet finished
+
+	// CellLatency observes simulated-cell wall times (from the engine
+	// observer, so batched sweep cells are measured individually).
+	CellLatency Histogram
+}
+
+// New returns a Metrics anchored at now (uptime accounting).
+func New() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// Engine mirrors sim.Perf on the wire: the reuse counters the sweep
+// engine tracks, reported cumulatively for the daemon's lifetime.
+type Engine struct {
+	Cells          int64 `json:"cells"`
+	WorkloadBuilds int64 `json:"workload_builds"`
+	WorkloadReuses int64 `json:"workload_cache_hits"`
+	WorkloadEvicts int64 `json:"workload_evictions"`
+	MachineBuilds  int64 `json:"machine_builds"`
+	MachineReuses  int64 `json:"machine_reuses"`
+	BuildWallMs    int64 `json:"build_wall_ms"`
+	SimWallMs      int64 `json:"sim_wall_ms"`
+}
+
+// Snapshot is the GET /metrics document.
+type Snapshot struct {
+	UptimeMs int64 `json:"uptime_ms"`
+
+	Requests struct {
+		Run      int64 `json:"run"`
+		Sweep    int64 `json:"sweep"`
+		Bad      int64 `json:"bad"`
+		Rejected int64 `json:"rejected"`
+		Draining int64 `json:"draining"`
+	} `json:"requests"`
+
+	Cells struct {
+		Completed int64 `json:"completed"`
+		Errors    int64 `json:"errors"`
+		Timeouts  int64 `json:"timeouts"`
+	} `json:"cells"`
+
+	Queue struct {
+		Depth    int64 `json:"depth"`
+		Capacity int   `json:"capacity"`
+		Workers  int   `json:"workers"`
+	} `json:"queue"`
+
+	Engine Engine `json:"engine"`
+
+	CellLatency HistogramSnapshot `json:"cell_latency"`
+}
+
+// Snapshot renders the request-layer counters; the caller fills in
+// Engine (from sim.Perf) and the Queue capacities.
+func (m *Metrics) Snapshot() Snapshot {
+	var s Snapshot
+	s.UptimeMs = time.Since(m.start).Milliseconds()
+	s.Requests.Run = m.RunRequests.Load()
+	s.Requests.Sweep = m.SweepRequests.Load()
+	s.Requests.Bad = m.BadRequests.Load()
+	s.Requests.Rejected = m.Rejected.Load()
+	s.Requests.Draining = m.Draining.Load()
+	s.Cells.Completed = m.CellsOK.Load()
+	s.Cells.Errors = m.CellErrors.Load()
+	s.Cells.Timeouts = m.Timeouts.Load()
+	s.Queue.Depth = m.QueueDepth.Load()
+	s.CellLatency = m.CellLatency.Snapshot()
+	return s
+}

@@ -1,0 +1,255 @@
+// Package serve implements espd, the simulation service: an HTTP API
+// that runs (application, configuration) cells — the paper's Fig 9/10
+// grid shape — on a bounded pool of sim.Runner workers with an LRU
+// workload cache, same-workload request batching, and backpressure.
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	esp "espsim"
+	"espsim/internal/eventq"
+	"espsim/internal/sim"
+	"espsim/internal/trace"
+	"espsim/internal/workload"
+)
+
+// RunRequest is the body of POST /run: one simulation cell. Exactly one
+// of App (a preset application name) or TraceB64 (a base64-encoded ESPT
+// trace file) selects the workload; Config names a preset machine
+// configuration (see esp.ConfigNames).
+type RunRequest struct {
+	App      string `json:"app,omitempty"`
+	TraceB64 string `json:"trace_b64,omitempty"`
+	Config   string `json:"config"`
+
+	// Scale multiplies the preset's event count (0: 1.0). Ignored for
+	// inline traces.
+	Scale float64 `json:"scale,omitempty"`
+	// MaxEvents truncates the session when positive; MaxPending widens
+	// the queue view past the default two entries.
+	MaxEvents  int `json:"max_events,omitempty"`
+	MaxPending int `json:"max_pending,omitempty"`
+	// TimeoutMs bounds the cell's simulation time (0: server default).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest is the body of POST /sweep: a grid of cells. Apps empty
+// means the whole seven-application suite. Cells are batched by
+// workload: every configuration of one application runs back to back on
+// one worker, sharing the materialized arena and pooled machines.
+type SweepRequest struct {
+	Apps    []string `json:"apps,omitempty"`
+	Configs []string `json:"configs"`
+
+	Scale      float64 `json:"scale,omitempty"`
+	MaxEvents  int     `json:"max_events,omitempty"`
+	MaxPending int     `json:"max_pending,omitempty"`
+	TimeoutMs  int     `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the body of a successful POST /run.
+type RunResponse struct {
+	Result esp.Result `json:"result"`
+	WallMs float64    `json:"wall_ms"`
+}
+
+// SweepCell is one cell of a SweepResponse: a result or a per-cell
+// error (one failed cell does not fail the sweep — panic isolation and
+// timeouts degrade exactly like Harness.RunAll).
+type SweepCell struct {
+	App    string      `json:"app"`
+	Config string      `json:"config"`
+	Result *esp.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// SweepResponse is the body of a successful POST /sweep, cells in
+// app-major request order.
+type SweepResponse struct {
+	Cells  []SweepCell `json:"cells"`
+	WallMs float64     `json:"wall_ms"`
+}
+
+// maxScale bounds the event-count multiplier a request may ask for: the
+// largest session at scale 64 is still minutes, not days.
+const maxScale = 64
+
+// decodeStrict unmarshals JSON rejecting unknown fields and trailing
+// garbage, so a typo'd field name is a 400, not a silently ignored knob.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON document")
+	}
+	return nil
+}
+
+// ParseRunRequest decodes and validates a POST /run body. Workload and
+// configuration names are resolved here (so errors are 400s), but the
+// inline trace — if any — is only syntax-checked later, under the
+// server's limits, by resolve.
+func ParseRunRequest(data []byte) (RunRequest, error) {
+	var req RunRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return RunRequest{}, fmt.Errorf("decoding run request: %w", err)
+	}
+	if err := req.validate(); err != nil {
+		return RunRequest{}, err
+	}
+	return req, nil
+}
+
+func (req *RunRequest) validate() error {
+	switch {
+	case req.App == "" && req.TraceB64 == "":
+		return fmt.Errorf("one of \"app\" or \"trace_b64\" is required (apps: %s)", strings.Join(appNames(), ", "))
+	case req.App != "" && req.TraceB64 != "":
+		return fmt.Errorf("\"app\" and \"trace_b64\" are mutually exclusive")
+	case req.Config == "":
+		return fmt.Errorf("\"config\" is required (one of: %s)", strings.Join(esp.ConfigNames(), ", "))
+	case req.Scale < 0 || req.Scale > maxScale:
+		return fmt.Errorf("\"scale\" must be in (0, %d], got %g", maxScale, req.Scale)
+	case req.MaxEvents < 0:
+		return fmt.Errorf("\"max_events\" must be non-negative, got %d", req.MaxEvents)
+	case req.MaxPending < 0:
+		return fmt.Errorf("\"max_pending\" must be non-negative, got %d", req.MaxPending)
+	case req.TimeoutMs < 0:
+		return fmt.Errorf("\"timeout_ms\" must be non-negative, got %d", req.TimeoutMs)
+	}
+	if req.App != "" {
+		if _, err := workload.ByName(req.App); err != nil {
+			return err
+		}
+	}
+	if req.TraceB64 != "" && req.Scale != 0 && req.Scale != 1 {
+		return fmt.Errorf("\"scale\" does not apply to an inline trace")
+	}
+	if _, err := esp.ConfigByName(req.Config); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ParseSweepRequest decodes and validates a POST /sweep body.
+func ParseSweepRequest(data []byte) (SweepRequest, error) {
+	var req SweepRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return SweepRequest{}, fmt.Errorf("decoding sweep request: %w", err)
+	}
+	switch {
+	case len(req.Configs) == 0:
+		return SweepRequest{}, fmt.Errorf("\"configs\" is required (one or more of: %s)", strings.Join(esp.ConfigNames(), ", "))
+	case req.Scale < 0 || req.Scale > maxScale:
+		return SweepRequest{}, fmt.Errorf("\"scale\" must be in (0, %d], got %g", maxScale, req.Scale)
+	case req.MaxEvents < 0:
+		return SweepRequest{}, fmt.Errorf("\"max_events\" must be non-negative, got %d", req.MaxEvents)
+	case req.MaxPending < 0:
+		return SweepRequest{}, fmt.Errorf("\"max_pending\" must be non-negative, got %d", req.MaxPending)
+	case req.TimeoutMs < 0:
+		return SweepRequest{}, fmt.Errorf("\"timeout_ms\" must be non-negative, got %d", req.TimeoutMs)
+	}
+	for _, app := range req.Apps {
+		if _, err := workload.ByName(app); err != nil {
+			return SweepRequest{}, err
+		}
+	}
+	for _, name := range req.Configs {
+		if _, err := esp.ConfigByName(name); err != nil {
+			return SweepRequest{}, err
+		}
+	}
+	return req, nil
+}
+
+// config materializes the machine configuration for one cell: the named
+// preset with the request's truncation and queue-view overrides applied.
+func cellConfig(name string, maxEvents, maxPending int) (esp.Config, error) {
+	cfg, err := esp.ConfigByName(name)
+	if err != nil {
+		return esp.Config{}, err
+	}
+	if maxEvents > 0 {
+		cfg.MaxEvents = maxEvents
+	}
+	if maxPending > 0 {
+		cfg.MaxPending = maxPending
+	}
+	return cfg, nil
+}
+
+// scaledProfile resolves a preset application at the requested scale.
+func scaledProfile(app string, scale float64) (workload.Profile, error) {
+	prof, err := workload.ByName(app)
+	if err != nil {
+		return workload.Profile{}, err
+	}
+	if scale != 0 && scale != 1 {
+		prof = prof.Scale(scale)
+	}
+	return prof, nil
+}
+
+// traceWorkload decodes an inline base64 ESPT trace under lim and
+// materializes it. Inline traces bypass the LRU cache (they have no
+// stable identity), but still share the pooled machines.
+func traceWorkload(traceB64 string, maxEvents int, lim trace.Limits) (*sim.Workload, error) {
+	raw, err := base64.StdEncoding.DecodeString(traceB64)
+	if err != nil {
+		return nil, fmt.Errorf("decoding trace_b64: %w", err)
+	}
+	events, err := trace.ReadFileLimits(bytes.NewReader(raw), lim)
+	if err != nil {
+		return nil, fmt.Errorf("decoding inline trace: %w", err)
+	}
+	return sim.MaterializeSource("trace", eventq.TraceSource{Events: events}, maxEvents), nil
+}
+
+// resolve turns one validated (app-or-trace, config) pair into the two
+// planes a runner needs. Preset workloads go through the runner's LRU
+// cache keyed by (profile, MaxEvents) — which subsumes (app, scale),
+// since scale changes the profile value — so concurrent requests share
+// one materialized arena.
+func resolve(r *sim.Runner, req RunRequest, lim trace.Limits) (*sim.Workload, esp.Config, error) {
+	cfg, err := cellConfig(req.Config, req.MaxEvents, req.MaxPending)
+	if err != nil {
+		return nil, esp.Config{}, err
+	}
+	if req.TraceB64 != "" {
+		w, err := traceWorkload(req.TraceB64, cfg.MaxEvents, lim)
+		return w, cfg, err
+	}
+	prof, err := scaledProfile(req.App, req.Scale)
+	if err != nil {
+		return nil, esp.Config{}, err
+	}
+	w, err := r.Workload(prof, cfg.MaxEvents)
+	return w, cfg, err
+}
+
+// appNames lists the preset applications.
+func appNames() []string {
+	ps := workload.Suite()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// timeoutOf resolves a per-request timeout against the server default.
+func timeoutOf(ms int, def time.Duration) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return def
+}

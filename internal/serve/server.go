@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	esp "espsim"
+	"espsim/internal/serve/metrics"
+	"espsim/internal/sim"
+	"espsim/internal/trace"
+)
+
+// Options configures a Server. The zero value gets sensible defaults
+// from withDefaults.
+type Options struct {
+	// Workers bounds how many simulation cells (or sweep batches) run
+	// concurrently (default: NumCPU).
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker beyond the ones running; a request arriving past
+	// Workers+QueueDepth is rejected with 429 (default: 64).
+	QueueDepth int
+	// WorkloadCap bounds the runner's LRU workload cache (default: 32
+	// materialized arenas; < 0 means unbounded).
+	WorkloadCap int
+	// DefaultTimeout bounds one cell's simulation when the request does
+	// not set timeout_ms (default: 2 minutes).
+	DefaultTimeout time.Duration
+	// MaxRequestBytes bounds a request body (default: 8 MiB).
+	MaxRequestBytes int64
+	// TraceLimits bounds inline ESPT traces (default: 4 MiB encoded,
+	// 64Ki events, 4Mi instructions).
+	TraceLimits trace.Limits
+	// Logger receives structured request logs (default: slog.Default).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	}
+	if o.WorkloadCap == 0 {
+		o.WorkloadCap = 32
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 2 * time.Minute
+	}
+	if o.MaxRequestBytes <= 0 {
+		o.MaxRequestBytes = 8 << 20
+	}
+	if o.TraceLimits == (trace.Limits{}) {
+		o.TraceLimits = trace.Limits{MaxTraceBytes: 4 << 20, MaxEvents: 64 << 10, MaxInsts: 4 << 20}
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Server is the espd simulation service. One Server owns one sim.Runner
+// — so every request shares the LRU workload cache and the per-config
+// machine pools — plus the admission machinery (worker slots, queue
+// tickets) and the metrics the runner's observer feeds.
+//
+// Create with New, mount anywhere via http.Handler, stop with Drain.
+type Server struct {
+	opt    Options
+	log    *slog.Logger
+	runner *sim.Runner
+	met    *metrics.Metrics
+
+	// tickets is admission control: capacity Workers+QueueDepth. A
+	// request that cannot take a ticket without blocking is rejected
+	// with 429. work is the execution bound: capacity Workers.
+	tickets chan struct{}
+	work    chan struct{}
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	mux *http.ServeMux
+}
+
+// New assembles a Server.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		log:     opt.Logger,
+		runner:  sim.NewRunner(),
+		met:     metrics.New(),
+		tickets: make(chan struct{}, opt.Workers+opt.QueueDepth),
+		work:    make(chan struct{}, opt.Workers),
+		mux:     http.NewServeMux(),
+	}
+	if opt.WorkloadCap > 0 {
+		s.runner.SetWorkloadCap(opt.WorkloadCap)
+	}
+	// Thread the observability layer through the engine: every replayed
+	// cell — including cells inside sweep batches and abandoned
+	// (timed-out) cells finishing late — lands in the histogram.
+	s.runner.SetObserver(func(ev sim.CellEvent) {
+		s.met.CellLatency.Observe(ev.Wall)
+		if ev.Err != nil {
+			s.met.CellErrors.Add(1)
+		} else {
+			s.met.CellsOK.Add(1)
+		}
+	})
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Runner exposes the engine, so an embedding process can pre-warm the
+// cache or read Perf directly.
+func (s *Server) Runner() *sim.Runner { return s.runner }
+
+// ServeHTTP implements http.Handler with panic isolation: a panic that
+// escapes a handler (the runner already contains simulation panics) is
+// answered with 500 instead of killing the daemon's connection.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.log.Error("handler panic", "path", r.URL.Path, "panic", fmt.Sprint(p))
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting work (every endpoint but /healthz and /metrics
+// answers 503) and waits for in-flight requests, bounded by ctx. Call
+// after http.Server.Shutdown has stopped accepting connections.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// admit takes a queue ticket without blocking. The returned release
+// must be called exactly once.
+func (s *Server) admit() (release func(), ok bool) {
+	select {
+	case s.tickets <- struct{}{}:
+		s.met.QueueDepth.Add(1)
+		return func() {
+			<-s.tickets
+			s.met.QueueDepth.Add(-1)
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// acquireWorker blocks until a worker slot frees up or the client goes
+// away.
+func (s *Server) acquireWorker(ctx context.Context) (release func(), err error) {
+	select {
+	case s.work <- struct{}{}:
+		return func() { <-s.work }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// enter gates every mutating endpoint: it registers the request with
+// the drain group and rejects when draining. exit must be called when
+// the handler returns (iff ok).
+func (s *Server) enter(w http.ResponseWriter) (exit func(), ok bool) {
+	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.inflight.Done()
+		s.met.Draining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+		return nil, false
+	}
+	return func() { s.inflight.Done() }, true
+}
+
+// readBody slurps a bounded request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opt.MaxRequestBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	return body, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	s.met.RunRequests.Add(1)
+	exit, ok := s.enter(w)
+	if !ok {
+		return
+	}
+	defer exit()
+
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := ParseRunRequest(body)
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	release, ok := s.admit()
+	if !ok {
+		s.met.Rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("queue full (%d in flight)", cap(s.tickets)))
+		return
+	}
+	defer release()
+	releaseWorker, err := s.acquireWorker(r.Context())
+	if err != nil {
+		writeError(w, statusClientGone, fmt.Errorf("client went away: %w", err))
+		return
+	}
+	defer releaseWorker()
+
+	start := time.Now()
+	wl, cfg, err := resolve(s.runner, req, s.opt.TraceLimits)
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	label := "run/" + wl.App + "/" + cfg.Name
+	res, err := s.runner.RunWorkload(label, wl, cfg, timeoutOf(req.TimeoutMs, s.opt.DefaultTimeout))
+	wall := time.Since(start)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, sim.ErrTimeout) {
+			status = http.StatusGatewayTimeout
+			s.met.Timeouts.Add(1)
+		}
+		s.log.Error("run", "app", wl.App, "config", cfg.Name, "status", status, "wall_ms", wall.Milliseconds(), "err", err.Error())
+		writeError(w, status, err)
+		return
+	}
+	s.log.Info("run", "app", wl.App, "config", cfg.Name, "status", http.StatusOK, "wall_ms", wall.Milliseconds())
+	writeJSON(w, http.StatusOK, RunResponse{Result: res, WallMs: float64(wall.Microseconds()) / 1e3})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	s.met.SweepRequests.Add(1)
+	exit, ok := s.enter(w)
+	if !ok {
+		return
+	}
+	defer exit()
+
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := ParseSweepRequest(body)
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	apps := req.Apps
+	if len(apps) == 0 {
+		apps = appNames()
+	}
+
+	// The whole sweep is one admission unit; each application is one
+	// batch that holds a worker slot while its configurations run back
+	// to back, so they share the materialized workload and reuse pooled
+	// machines with no interleaving cells evicting them.
+	release, ok := s.admit()
+	if !ok {
+		s.met.Rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("queue full (%d in flight)", cap(s.tickets)))
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	timeout := timeoutOf(req.TimeoutMs, s.opt.DefaultTimeout)
+	cells := make([]SweepCell, len(apps)*len(req.Configs))
+	var wg sync.WaitGroup
+	for ai, app := range apps {
+		wg.Add(1)
+		go func(ai int, app string) {
+			defer wg.Done()
+			batch := cells[ai*len(req.Configs) : (ai+1)*len(req.Configs)]
+			for ci, name := range req.Configs {
+				batch[ci] = SweepCell{App: app, Config: name}
+			}
+			releaseWorker, err := s.acquireWorker(r.Context())
+			if err != nil {
+				for ci := range batch {
+					batch[ci].Error = fmt.Sprintf("batch canceled: %v", err)
+				}
+				return
+			}
+			defer releaseWorker()
+			s.runBatch(app, req, batch, timeout)
+		}(ai, app)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := 0
+	for i := range cells {
+		if cells[i].Error != "" {
+			failed++
+		}
+	}
+	s.log.Info("sweep", "apps", len(apps), "configs", len(req.Configs),
+		"cells", len(cells), "failed", failed, "wall_ms", wall.Milliseconds())
+	writeJSON(w, http.StatusOK, SweepResponse{Cells: cells, WallMs: float64(wall.Microseconds()) / 1e3})
+}
+
+// runBatch executes one application's cells sequentially on the calling
+// worker. The workload is materialized (or LRU-hit) once for the whole
+// batch; cell failures — timeouts, panics — degrade per cell, exactly
+// like Harness.RunAll's sweeps.
+func (s *Server) runBatch(app string, req SweepRequest, batch []SweepCell, timeout time.Duration) {
+	prof, err := scaledProfile(app, req.Scale)
+	if err != nil {
+		for ci := range batch {
+			batch[ci].Error = err.Error()
+		}
+		return
+	}
+	for ci := range batch {
+		cfg, err := cellConfig(batch[ci].Config, req.MaxEvents, req.MaxPending)
+		if err == nil {
+			// Every cell goes through the runner's cache: the first call
+			// materializes, the rest of the batch hits the same arena (the
+			// lookup is a map access, so per-cell accounting costs nothing).
+			var res esp.Result
+			res, err = s.runner.RunCell("sweep/"+app+"/"+cfg.Name, prof, cfg, timeout)
+			if err == nil {
+				batch[ci].Result = &res
+				continue
+			}
+			if errors.Is(err, sim.ErrTimeout) {
+				s.met.Timeouts.Add(1)
+			}
+		}
+		batch[ci].Error = err.Error()
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	snap := s.met.Snapshot()
+	perf := s.runner.Perf()
+	snap.Engine = metrics.Engine{
+		Cells:          perf.Cells,
+		WorkloadBuilds: perf.WorkloadBuilds,
+		WorkloadReuses: perf.WorkloadReuses,
+		WorkloadEvicts: perf.WorkloadEvicts,
+		MachineBuilds:  perf.MachineBuilds,
+		MachineReuses:  perf.MachineReuses,
+		BuildWallMs:    perf.BuildWall.Milliseconds(),
+		SimWallMs:      perf.SimWall.Milliseconds(),
+	}
+	snap.Queue.Capacity = cap(s.tickets)
+	snap.Queue.Workers = cap(s.work)
+	writeJSON(w, http.StatusOK, snap)
+}
+
+type healthResponse struct {
+	Status   string `json:"status"`
+	UptimeMs int64  `json:"uptime_ms"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	h := healthResponse{Status: "ok", UptimeMs: s.met.Snapshot().UptimeMs}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// statusClientGone is the nginx-convention 499 "client closed request":
+// the client's context died while the request waited for a worker.
+const statusClientGone = 499
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is gone; nothing left to signal
+}

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	esp "espsim"
+	"espsim/internal/eventq"
+	"espsim/internal/serve/metrics"
+	"espsim/internal/trace"
+	"espsim/internal/workload"
+)
+
+// quietLogger keeps request logs out of test output.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func testServer(t *testing.T, opt Options) *Server {
+	t.Helper()
+	if opt.Logger == nil {
+		opt.Logger = quietLogger()
+	}
+	return New(opt)
+}
+
+// post sends a JSON body and returns the recorded response.
+func post(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return postRaw(t, h, path, data)
+}
+
+func postRaw(t *testing.T, h http.Handler, path string, data []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// decodeResult unpacks a RunResponse body.
+func decodeResult(t *testing.T, rec *httptest.ResponseRecorder) esp.Result {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding run response: %v", err)
+	}
+	return resp.Result
+}
+
+// jsonRoundTrip normalizes an in-memory Result through JSON so it is
+// comparable with one decoded off the wire (both sides shortest-form
+// float encoding; exact for float64).
+func jsonRoundTrip(t *testing.T, res esp.Result) esp.Result {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out esp.Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunMatchesDirect: the service path must be bit-identical to a
+// direct esp.Run of the same cell.
+func TestRunMatchesDirect(t *testing.T) {
+	s := testServer(t, Options{Workers: 2})
+	got := decodeResult(t, post(t, s, "/run", RunRequest{App: "amazon", Config: "base", MaxEvents: 32}))
+
+	cfg := esp.BaselineConfig()
+	cfg.MaxEvents = 32
+	want, err := esp.Run(workload.Amazon(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want = jsonRoundTrip(t, want); !reflect.DeepEqual(got, want) {
+		t.Fatalf("service result deviates from esp.Run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunScaledWorkload: scale shrinks the session the same way
+// Profile.Scale does.
+func TestRunScaledWorkload(t *testing.T) {
+	s := testServer(t, Options{Workers: 1})
+	got := decodeResult(t, post(t, s, "/run", RunRequest{App: "pixlr", Config: "NL", Scale: 0.25}))
+
+	prof := workload.Pixlr().Scale(0.25)
+	want, err := esp.Run(prof, esp.NLConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want = jsonRoundTrip(t, want); !reflect.DeepEqual(got, want) {
+		t.Fatalf("scaled service result deviates from esp.Run")
+	}
+}
+
+// TestRunInlineTrace: a base64 ESPT trace replays identically to
+// esp.RunSource over the same events.
+func TestRunInlineTrace(t *testing.T) {
+	prof := workload.Bing()
+	prof.Events = 16
+	sess, err := workload.NewSession(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make([]trace.EventTrace, len(sess.Events))
+	for i, ev := range sess.Events {
+		events[i] = trace.EventTrace{Event: ev, Insts: trace.Record(sess.Gen.Stream(ev, false), ev.Len)}
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteFile(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+
+	s := testServer(t, Options{Workers: 1})
+	got := decodeResult(t, post(t, s, "/run", RunRequest{
+		TraceB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+		Config:   "NL+S",
+	}))
+
+	want, err := esp.RunSource("trace", eventq.TraceSource{Events: events}, esp.NLSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want = jsonRoundTrip(t, want); !reflect.DeepEqual(got, want) {
+		t.Fatalf("inline-trace service result deviates from esp.RunSource")
+	}
+}
+
+// TestRunRejectsBadRequests: every malformed body is a 400 with a JSON
+// error, never a 500 or a silently defaulted field.
+func TestRunRejectsBadRequests(t *testing.T) {
+	s := testServer(t, Options{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ``},
+		{"not json", `{"app"`},
+		{"unknown field", `{"app":"amazon","config":"base","warp":9}`},
+		{"trailing garbage", `{"app":"amazon","config":"base"} extra`},
+		{"missing workload", `{"config":"base"}`},
+		{"missing config", `{"app":"amazon"}`},
+		{"unknown app", `{"app":"altavista","config":"base"}`},
+		{"unknown config", `{"app":"amazon","config":"warpdrive"}`},
+		{"app and trace", `{"app":"amazon","trace_b64":"aGk=","config":"base"}`},
+		{"negative max_events", `{"app":"amazon","config":"base","max_events":-1}`},
+		{"negative timeout", `{"app":"amazon","config":"base","timeout_ms":-5}`},
+		{"huge scale", `{"app":"amazon","config":"base","scale":1e9}`},
+		{"scaled trace", `{"trace_b64":"aGk=","config":"base","scale":2}`},
+		{"bad base64", `{"trace_b64":"!!!","config":"base"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postRaw(t, s, "/run", []byte(tc.body))
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (body %s)", rec.Code, rec.Body.String())
+			}
+			var e errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("error body %q is not a JSON error", rec.Body.String())
+			}
+		})
+	}
+	if rec := get(t, s, "/run"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run: status %d, want 405", rec.Code)
+	}
+	if got := s.met.BadRequests.Load(); got != int64(len(cases)) {
+		t.Fatalf("bad-request counter %d, want %d", got, len(cases))
+	}
+}
+
+// TestQueueFullReturns429: with every ticket taken, the next request is
+// rejected immediately — backpressure, not unbounded queueing.
+func TestQueueFullReturns429(t *testing.T) {
+	s := testServer(t, Options{Workers: 1, QueueDepth: 1})
+	for i := 0; i < cap(s.tickets); i++ {
+		s.tickets <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(s.tickets); i++ {
+			<-s.tickets
+		}
+	}()
+	rec := post(t, s, "/run", RunRequest{App: "amazon", Config: "base", MaxEvents: 8})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (body %s)", rec.Code, rec.Body.String())
+	}
+	if got := s.met.Rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter %d, want 1", got)
+	}
+	rec = post(t, s, "/sweep", SweepRequest{Apps: []string{"amazon"}, Configs: []string{"base"}})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("sweep during full queue: status %d, want 429", rec.Code)
+	}
+}
+
+// TestTimeoutReturns504: an absurdly small per-request budget times the
+// cell out with 504 and counts it.
+func TestTimeoutReturns504(t *testing.T) {
+	s := testServer(t, Options{Workers: 1})
+	rec := post(t, s, "/run", RunRequest{App: "gmaps", Config: "ESP+NL", TimeoutMs: 1})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", rec.Code, rec.Body.String())
+	}
+	if got := s.met.Timeouts.Load(); got != 1 {
+		t.Fatalf("timeout counter %d, want 1", got)
+	}
+}
+
+// TestSweepBatchesGrid: a sweep returns cells in app-major request
+// order, each bit-identical to direct esp.Run, and the engine counters
+// show the batching shared workloads and machines.
+func TestSweepBatchesGrid(t *testing.T) {
+	s := testServer(t, Options{Workers: 2})
+	apps := []string{"amazon", "bing"}
+	configs := []string{"base", "ESP+NL"}
+	rec := post(t, s, "/sweep", SweepRequest{Apps: apps, Configs: configs, MaxEvents: 32})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != len(apps)*len(configs) {
+		t.Fatalf("%d cells, want %d", len(resp.Cells), len(apps)*len(configs))
+	}
+	i := 0
+	for _, app := range apps {
+		for _, name := range configs {
+			cell := resp.Cells[i]
+			i++
+			if cell.App != app || cell.Config != name {
+				t.Fatalf("cell %d is %s/%s, want %s/%s (app-major order)", i-1, cell.App, cell.Config, app, name)
+			}
+			if cell.Error != "" || cell.Result == nil {
+				t.Fatalf("cell %s/%s failed: %s", app, name, cell.Error)
+			}
+			prof, err := workload.ByName(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := esp.ConfigByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.MaxEvents = 32
+			want, err := esp.Run(prof, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want = jsonRoundTrip(t, want); !reflect.DeepEqual(*cell.Result, want) {
+				t.Fatalf("cell %s/%s deviates from esp.Run", app, name)
+			}
+		}
+	}
+	perf := s.runner.Perf()
+	if perf.WorkloadBuilds != int64(len(apps)) {
+		t.Fatalf("workload builds %d, want one per app (%d)", perf.WorkloadBuilds, len(apps))
+	}
+	if perf.WorkloadReuses == 0 {
+		t.Fatalf("batching produced no workload cache hits: %+v", perf)
+	}
+}
+
+// TestSweepIsolatesCellFailures: a cell that times out degrades alone;
+// the rest of the grid still answers.
+func TestSweepIsolatesCellFailures(t *testing.T) {
+	s := testServer(t, Options{Workers: 1})
+	// gmaps at full scale cannot finish in 1ms; amazon at 8 events can.
+	rec := post(t, s, "/sweep", SweepRequest{Apps: []string{"gmaps"}, Configs: []string{"ESP+NL"}, TimeoutMs: 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 with degraded cells", rec.Code)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != 1 || resp.Cells[0].Error == "" || resp.Cells[0].Result != nil {
+		t.Fatalf("expected a per-cell timeout error, got %+v", resp.Cells)
+	}
+}
+
+// TestHealthzAndDrain: a draining server fails health checks and
+// rejects new work, and Drain returns once in-flight requests finish.
+func TestHealthzAndDrain(t *testing.T) {
+	s := testServer(t, Options{Workers: 1})
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthy healthz: status %d", rec.Code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", rec.Code)
+	}
+	if rec := post(t, s, "/run", RunRequest{App: "amazon", Config: "base", MaxEvents: 8}); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /run: status %d, want 503", rec.Code)
+	}
+	if rec := get(t, s, "/metrics"); rec.Code != http.StatusOK {
+		t.Fatalf("metrics must stay readable while draining: status %d", rec.Code)
+	}
+}
+
+// TestMetricsEndpoint: after traffic, every layer of the snapshot is
+// populated — request counters, engine reuse counters, the histogram.
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t, Options{Workers: 2, QueueDepth: 4, WorkloadCap: 8})
+	for i := 0; i < 3; i++ {
+		if rec := post(t, s, "/run", RunRequest{App: "amazon", Config: "base", MaxEvents: 16}); rec.Code != http.StatusOK {
+			t.Fatalf("run %d: status %d", i, rec.Code)
+		}
+	}
+	rec := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v", err)
+	}
+	if snap.Requests.Run != 3 {
+		t.Fatalf("run requests %d, want 3", snap.Requests.Run)
+	}
+	if snap.Engine.Cells != 3 || snap.Engine.WorkloadBuilds != 1 || snap.Engine.WorkloadReuses != 2 {
+		t.Fatalf("engine counters %+v, want 3 cells over 1 build + 2 cache hits", snap.Engine)
+	}
+	if snap.Engine.MachineReuses != 2 {
+		t.Fatalf("machine reuses %d, want 2", snap.Engine.MachineReuses)
+	}
+	if snap.Cells.Completed != 3 || snap.CellLatency.Count != 3 {
+		t.Fatalf("cell counters: %+v / latency count %d, want 3", snap.Cells, snap.CellLatency.Count)
+	}
+	if snap.Queue.Capacity != 6 || snap.Queue.Workers != 2 {
+		t.Fatalf("queue geometry %+v, want capacity 6 / workers 2", snap.Queue)
+	}
+	var total int64
+	for _, c := range snap.CellLatency.Counts {
+		total += c
+	}
+	if total != snap.CellLatency.Count {
+		t.Fatalf("histogram counts sum %d != count %d", total, snap.CellLatency.Count)
+	}
+}
+
+// TestWorkloadCacheEviction: a cache capped below the distinct-workload
+// count evicts and the service keeps answering correctly.
+func TestWorkloadCacheEviction(t *testing.T) {
+	s := testServer(t, Options{Workers: 1, WorkloadCap: 1})
+	for _, app := range []string{"amazon", "bing", "amazon"} {
+		if rec := post(t, s, "/run", RunRequest{App: app, Config: "base", MaxEvents: 16}); rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", app, rec.Code)
+		}
+	}
+	perf := s.runner.Perf()
+	if perf.WorkloadEvicts == 0 {
+		t.Fatalf("cap-1 cache over 2 apps never evicted: %+v", perf)
+	}
+	if perf.WorkloadBuilds != 3 {
+		t.Fatalf("workload builds %d, want 3 (amazon rebuilt after eviction)", perf.WorkloadBuilds)
+	}
+}
+
+// TestOversizeBodyRejected: a body past MaxRequestBytes is refused.
+func TestOversizeBodyRejected(t *testing.T) {
+	s := testServer(t, Options{Workers: 1, MaxRequestBytes: 128})
+	big := fmt.Sprintf(`{"app":"amazon","config":"base","trace_b64":%q}`, bytes.Repeat([]byte{'A'}, 256))
+	rec := postRaw(t, s, "/run", []byte(big))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for oversize body", rec.Code)
+	}
+}

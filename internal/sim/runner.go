@@ -1,12 +1,19 @@
 package sim
 
 import (
+	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"espsim/internal/workload"
 )
+
+// ErrTimeout marks a cell abandoned because it exceeded its time
+// budget; errors.Is(err, ErrTimeout) classifies it (the espd service
+// maps it to 504).
+var ErrTimeout = errors.New("timeout")
 
 // Perf aggregates what the two-plane split saved across a Runner's
 // lifetime: how often workloads and machines were reused instead of
@@ -16,9 +23,11 @@ type Perf struct {
 	// Cells counts completed simulations.
 	Cells int64
 	// WorkloadBuilds counts sessions materialized; WorkloadReuses counts
-	// cells that replayed an already-materialized workload.
+	// cells that replayed an already-materialized workload (cache hits);
+	// WorkloadEvicts counts materializations dropped by the LRU cap.
 	WorkloadBuilds int64
 	WorkloadReuses int64
+	WorkloadEvicts int64
 	// MachineBuilds counts machines assembled; MachineReuses counts
 	// cells that reset and reused a pooled machine.
 	MachineBuilds int64
@@ -31,9 +40,20 @@ type Perf struct {
 
 // String renders the counters as a one-line summary.
 func (p Perf) String() string {
-	return fmt.Sprintf("%d cells: workloads %d built/%d reused, machines %d built/%d reused, %v building, %v simulating",
-		p.Cells, p.WorkloadBuilds, p.WorkloadReuses, p.MachineBuilds, p.MachineReuses,
+	return fmt.Sprintf("%d cells: workloads %d built/%d reused/%d evicted, machines %d built/%d reused, %v building, %v simulating",
+		p.Cells, p.WorkloadBuilds, p.WorkloadReuses, p.WorkloadEvicts, p.MachineBuilds, p.MachineReuses,
 		p.BuildWall.Round(time.Millisecond), p.SimWall.Round(time.Millisecond))
+}
+
+// CellEvent describes one completed simulation, delivered to the
+// observer installed with SetObserver. Wall is replay time only (build
+// time is in Perf.BuildWall); Err is non-nil when the replay panicked.
+type CellEvent struct {
+	Label  string
+	App    string
+	Config string
+	Wall   time.Duration
+	Err    error
 }
 
 // workloadKey identifies one materialization: the full profile value
@@ -48,6 +68,9 @@ type workloadCell struct {
 	once sync.Once
 	w    *Workload
 	err  error
+	// elem is the cell's position in the Runner's LRU list (front =
+	// most recently used); nil once evicted.
+	elem *list.Element
 }
 
 // Runner joins the planes for sweeps: it materializes each workload once
@@ -56,14 +79,23 @@ type workloadCell struct {
 // All methods are safe for concurrent use; results are bit-identical to
 // building a fresh machine per cell because Machine.Run resets to cold
 // state first.
+//
+// The workload cache is unbounded by default; a long-lived Runner (the
+// espd service) should SetWorkloadCap so distinct (profile, MaxEvents)
+// keys evict least-recently-used arenas instead of accumulating.
+// Eviction only drops the cache entry — workloads are immutable, so a
+// goroutine still replaying an evicted workload is unaffected.
 type Runner struct {
-	mu        sync.Mutex
-	workloads map[workloadKey]*workloadCell
-	machines  map[Config][]*Machine
-	perf      Perf
+	mu          sync.Mutex
+	workloads   map[workloadKey]*workloadCell
+	lru         list.List // of workloadKey, front = most recent
+	workloadCap int
+	machines    map[Config][]*Machine
+	perf        Perf
+	observer    func(CellEvent)
 }
 
-// NewRunner returns an empty Runner.
+// NewRunner returns an empty Runner with an unbounded workload cache.
 func NewRunner() *Runner {
 	return &Runner{
 		workloads: make(map[workloadKey]*workloadCell),
@@ -71,11 +103,48 @@ func NewRunner() *Runner {
 	}
 }
 
+// SetWorkloadCap bounds the workload cache to n materializations,
+// evicting least-recently-used entries past it (n < 1: unbounded). The
+// cap applies to future insertions and trims the cache immediately.
+func (r *Runner) SetWorkloadCap(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.workloadCap = n
+	r.evictLocked()
+}
+
+// SetObserver installs fn to be called after every completed replay
+// (successful or panicking), from the replaying goroutine. A nil fn
+// removes the observer.
+func (r *Runner) SetObserver(fn func(CellEvent)) {
+	r.mu.Lock()
+	r.observer = fn
+	r.mu.Unlock()
+}
+
 // Perf returns a snapshot of the reuse and timing counters.
 func (r *Runner) Perf() Perf {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.perf
+}
+
+// evictLocked drops least-recently-used workload cells until the cache
+// respects the cap. Callers hold r.mu.
+func (r *Runner) evictLocked() {
+	if r.workloadCap < 1 {
+		return
+	}
+	for r.lru.Len() > r.workloadCap {
+		oldest := r.lru.Back()
+		key := oldest.Value.(workloadKey)
+		r.lru.Remove(oldest)
+		if cell, ok := r.workloads[key]; ok {
+			cell.elem = nil
+			delete(r.workloads, key)
+			r.perf.WorkloadEvicts++
+		}
+	}
 }
 
 // Workload returns the materialized workload for prof truncated to
@@ -88,6 +157,10 @@ func (r *Runner) Workload(prof workload.Profile, maxEvents int) (*Workload, erro
 	if !ok {
 		cell = &workloadCell{}
 		r.workloads[key] = cell
+		cell.elem = r.lru.PushFront(key)
+		r.evictLocked()
+	} else if cell.elem != nil {
+		r.lru.MoveToFront(cell.elem)
 	}
 	r.mu.Unlock()
 
@@ -179,11 +252,12 @@ func (r *Runner) RunWorkload(label string, w *Workload, cfg Config, timeout time
 	case out := <-ch:
 		return out.res, out.err
 	case <-time.After(timeout):
-		return Result{}, fmt.Errorf("esp: run %s: exceeded %v timeout", label, timeout)
+		return Result{}, fmt.Errorf("esp: run %s: exceeded %v %w", label, timeout, ErrTimeout)
 	}
 }
 
-// simulate replays w on m with panic containment and timing accounting.
+// simulate replays w on m with panic containment and timing accounting,
+// notifying the observer (if any) about the completed cell.
 func (r *Runner) simulate(label string, m *Machine, w *Workload) (res Result, err error) {
 	start := time.Now()
 	defer func() {
@@ -191,13 +265,19 @@ func (r *Runner) simulate(label string, m *Machine, w *Workload) (res Result, er
 		if p := recover(); p != nil {
 			// The machine may hold corrupt state: drop it.
 			err = fmt.Errorf("esp: run %s: panic: %v", label, p)
-			return
+		} else {
+			r.releaseMachine(m)
 		}
-		r.releaseMachine(m)
 		r.mu.Lock()
 		r.perf.SimWall += elapsed
-		r.perf.Cells++
+		if err == nil {
+			r.perf.Cells++
+		}
+		obs := r.observer
 		r.mu.Unlock()
+		if obs != nil {
+			obs(CellEvent{Label: label, App: w.App, Config: m.cfg.Name, Wall: elapsed, Err: err})
+		}
 	}()
 	res = m.Run(w)
 	return res, nil

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"hash/fnv"
+	"reflect"
+	"sync"
+	"testing"
+
+	"espsim/internal/workload"
+)
+
+// smallSuite returns three distinct small profiles, for cache tests.
+func smallSuite() []workload.Profile {
+	out := []workload.Profile{workload.Amazon(), workload.Bing(), workload.Pixlr()}
+	for i := range out {
+		out[i].Events = 24
+	}
+	return out
+}
+
+// TestRunnerWorkloadLRU exercises the cap: with room for two workloads,
+// touching a third evicts the least recently used, and re-requesting the
+// evicted key rebuilds it (a build, not a reuse).
+func TestRunnerWorkloadLRU(t *testing.T) {
+	profs := smallSuite()
+	r := NewRunner()
+	r.SetWorkloadCap(2)
+
+	wa, err := r.Workload(profs[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Workload(profs[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	// Touch A so B becomes the LRU entry, then insert C: B is evicted.
+	if again, err := r.Workload(profs[0], 0); err != nil || again != wa {
+		t.Fatalf("re-request of cached workload: got (%p, %v), want the shared %p", again, err, wa)
+	}
+	if _, err := r.Workload(profs[2], 0); err != nil {
+		t.Fatal(err)
+	}
+	p := r.Perf()
+	if p.WorkloadBuilds != 3 || p.WorkloadReuses != 1 || p.WorkloadEvicts != 1 {
+		t.Fatalf("after insert past cap: perf %+v, want 3 builds / 1 reuse / 1 evict", p)
+	}
+	// A stayed resident (it was freshened); B was evicted and rebuilds.
+	if again, err := r.Workload(profs[0], 0); err != nil || again != wa {
+		t.Fatalf("A should still be cached, got (%p, %v)", again, err)
+	}
+	if _, err := r.Workload(profs[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	p = r.Perf()
+	if p.WorkloadBuilds != 4 || p.WorkloadEvicts != 2 {
+		t.Fatalf("evicted key must rebuild: perf %+v, want 4 builds / 2 evicts", p)
+	}
+}
+
+// TestRunnerSetWorkloadCapTrims checks that lowering the cap on a warm
+// cache evicts immediately, and that cap < 1 means unbounded.
+func TestRunnerSetWorkloadCapTrims(t *testing.T) {
+	profs := smallSuite()
+	r := NewRunner()
+	for _, p := range profs {
+		if _, err := r.Workload(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Perf().WorkloadEvicts; got != 0 {
+		t.Fatalf("unbounded cache evicted %d workloads", got)
+	}
+	r.SetWorkloadCap(1)
+	if got := r.Perf().WorkloadEvicts; got != 2 {
+		t.Fatalf("trim to cap 1: %d evictions, want 2", got)
+	}
+}
+
+// TestRunnerObserver checks that the observer sees every completed cell
+// with its label, app, config and a sane duration.
+func TestRunnerObserver(t *testing.T) {
+	prof := testProfile(t)
+	r := NewRunner()
+	var (
+		mu     sync.Mutex
+		events []CellEvent
+	)
+	r.SetObserver(func(ev CellEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	cfg := espConfig()
+	for i := 0; i < 2; i++ {
+		if _, err := r.RunCell("cell", prof, cfg, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(events) != 2 {
+		t.Fatalf("observer saw %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev.Label != "cell" || ev.App != prof.Name || ev.Config != cfg.Name {
+			t.Fatalf("event %+v: wrong identity", ev)
+		}
+		if ev.Err != nil || ev.Wall <= 0 {
+			t.Fatalf("event %+v: want nil error and positive wall time", ev)
+		}
+	}
+}
+
+// workloadDigest hashes every observable byte of a workload: events,
+// pending views, and the normal and speculative instruction streams.
+func workloadDigest(w *Workload) uint64 {
+	h := fnv.New64a()
+	put := func(v uint64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	src := w.Source(0)
+	for i := 0; i < src.Len(); i++ {
+		ev := src.Event(i)
+		put(uint64(ev.ID))
+		put(uint64(ev.Len))
+		put(uint64(ev.Handler))
+		for _, p := range src.Pending(i) {
+			put(uint64(p.ID))
+		}
+		for _, spec := range []bool{false, true} {
+			for _, in := range src.Insts(i, spec) {
+				put(in.PC)
+				put(in.Addr)
+				put(uint64(in.Kind))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// TestWorkloadImmutableUnderConcurrentReplay is the engine half of the
+// service soak: many machines replaying one cached workload concurrently
+// must leave it bit-identical (the serve layer relies on this to hand
+// cache hits to every request) and must all produce the same result.
+func TestWorkloadImmutableUnderConcurrentReplay(t *testing.T) {
+	prof := testProfile(t)
+	r := NewRunner()
+	w, err := r.Workload(prof, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := workloadDigest(w)
+
+	cfgs := []Config{
+		{Name: "base", MaxEvents: 48},
+		{Name: "esp-nl", NLI: true, NLD: true, Assist: AssistESP, MaxEvents: 48},
+		{Name: "ra", Assist: AssistRunahead, MaxEvents: 48},
+	}
+	want := make([]Result, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := r.RunWorkload("ref", w, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	const lapsPerConfig = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cfgs)*lapsPerConfig)
+	for i, cfg := range cfgs {
+		for lap := 0; lap < lapsPerConfig; lap++ {
+			wg.Add(1)
+			go func(i int, cfg Config) {
+				defer wg.Done()
+				res, err := r.RunWorkload("soak", w, cfg, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res, want[i]) {
+					t.Errorf("%s: concurrent replay deviates from reference", cfg.Name)
+				}
+			}(i, cfg)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if after := workloadDigest(w); after != before {
+		t.Fatalf("workload mutated by concurrent replays: digest %x -> %x", before, after)
+	}
+}

@@ -1,0 +1,123 @@
+package esp
+
+import (
+	"math"
+	"testing"
+
+	"espsim/internal/core"
+	"espsim/internal/workload"
+)
+
+// Metamorphic invariants: relations between configurations that must
+// hold on every application regardless of the exact cycle counts. They
+// catch modelling regressions the golden corpus cannot — a change that
+// renumbers everything consistently passes -update but still has to
+// keep ESP profitable, idealized structures beneficial, and deeper
+// jump-ahead no worse than shallow.
+//
+// invariantTolerance absorbs second-order modelling noise (queue-view
+// boundary effects at truncated session lengths). Empirically the
+// relations hold with large margins; 1% keeps the test meaningful
+// without flaking on a legitimate one-cycle wobble.
+const invariantTolerance = 0.01
+
+// invariantMaxEvents matches the golden corpus truncation: long enough
+// for warm-up plus steady state, short enough to sweep every preset.
+const invariantMaxEvents = 48
+
+func invariantConfig(c Config) Config {
+	c.MaxEvents = invariantMaxEvents
+	return c
+}
+
+// runInvariantCell runs one cell through the shared harness so every
+// subtest of one application reuses the materialized workload.
+func runInvariantCell(t *testing.T, h *Harness, prof workload.Profile, c Config) Result {
+	t.Helper()
+	res, err := h.Run(prof, invariantConfig(c))
+	if err != nil {
+		t.Fatalf("Run(%s, %s): %v", prof.Name, c.Name, err)
+	}
+	return res
+}
+
+// atLeast asserts got >= want within the invariant tolerance.
+func atLeast(t *testing.T, got, want float64, format string, args ...any) {
+	t.Helper()
+	if got < want*(1-invariantTolerance) {
+		args = append(args, got, want)
+		t.Errorf(format+": got %.4f, want >= %.4f", args...)
+	}
+}
+
+// TestInvariantESPOrdering asserts the paper's central result as an
+// ordering, per application: adding ESP never hurts the baseline, and
+// adding next-line prefetching on top of ESP never hurts ESP
+// (Figure 9's bars are ESP+NL >= ESP >= base everywhere).
+func TestInvariantESPOrdering(t *testing.T) {
+	h := NewHarness()
+	for _, prof := range workload.Suite() {
+		t.Run(prof.Name, func(t *testing.T) {
+			base := runInvariantCell(t, h, prof, BaselineConfig())
+			espRes := runInvariantCell(t, h, prof, ESPConfig())
+			espNL := runInvariantCell(t, h, prof, ESPNLConfig())
+
+			atLeast(t, espRes.Speedup(base), 1, "%s: ESP vs base", prof.Name)
+			atLeast(t, espNL.Speedup(base), espRes.Speedup(base), "%s: ESP+NL vs ESP", prof.Name)
+		})
+	}
+}
+
+// TestInvariantPerfectStructures asserts the Figure 3 potential study's
+// premise: idealizing the L1-I, L1-D, or branch predictor on top of the
+// NL+S machine can only help, and idealizing all three is at least as
+// good as any single idealization.
+func TestInvariantPerfectStructures(t *testing.T) {
+	h := NewHarness()
+	singles := []Config{PerfectL1DConfig(), PerfectBPConfig(), PerfectL1IConfig()}
+	for _, prof := range workload.Suite() {
+		t.Run(prof.Name, func(t *testing.T) {
+			nls := runInvariantCell(t, h, prof, NLSConfig())
+			all := runInvariantCell(t, h, prof, PerfectAllConfig())
+			for _, cfg := range singles {
+				res := runInvariantCell(t, h, prof, cfg)
+				atLeast(t, res.Speedup(nls), 1, "%s: %s vs NL+S", prof.Name, cfg.Name)
+				atLeast(t, all.Speedup(nls), res.Speedup(nls), "%s: perfectAll vs %s", prof.Name, cfg.Name)
+			}
+		})
+	}
+}
+
+// TestInvariantJumpDepth asserts the relation that justifies the
+// paper's default jump-ahead depth of two: across the suite, peeking
+// two events ahead must not regress the geometric-mean speedup of
+// peeking one. Per application the relation is weaker — splitting a
+// stall window across two pending events dilutes the per-event
+// lookahead, so queue-occupancy-poor applications (facebook, gdocs,
+// gmaps) legitimately lose a few percent — but no application may lose
+// more than jumpDepthPerAppTolerance (empirically the worst is ~3.6%).
+func TestInvariantJumpDepth(t *testing.T) {
+	const jumpDepthPerAppTolerance = 0.05
+
+	// Distinct names: the harness memoizes cells by configuration name.
+	depthCfg := func(depth int) Config {
+		name := "ESP+NL-jd" + string(rune('0'+depth))
+		return espVariant(name, func(o *core.Options) { o.JumpDepth = depth }, true)
+	}
+	h := NewHarness()
+	geo1, geo2 := 1.0, 1.0
+	for _, prof := range workload.Suite() {
+		base := runInvariantCell(t, h, prof, BaselineConfig())
+		d1 := runInvariantCell(t, h, prof, depthCfg(1)).Speedup(base)
+		d2 := runInvariantCell(t, h, prof, depthCfg(2)).Speedup(base)
+		geo1 *= d1
+		geo2 *= d2
+		if d2 < d1*(1-jumpDepthPerAppTolerance) {
+			t.Errorf("%s: jump depth 2 loses %.1f%% over depth 1 (%.4f vs %.4f)",
+				prof.Name, 100*(1-d2/d1), d2, d1)
+		}
+	}
+	n := float64(len(workload.Suite()))
+	g1, g2 := math.Pow(geo1, 1/n), math.Pow(geo2, 1/n)
+	atLeast(t, g2, g1, "suite geomean: jump depth 2 vs 1")
+}
