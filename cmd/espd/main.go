@@ -3,19 +3,22 @@
 // cells on a bounded pool of pooled-machine workers with an LRU
 // workload cache, so concurrent requests for the same application share
 // one materialized arena, and degrades gracefully under load (429 past
-// the queue bound, per-cell timeouts, panic isolation, SIGTERM drain).
+// the queue bound, per-cell timeouts, panic isolation, per-cell retries
+// with a circuit breaker, crash-safe sweep checkpoints, SIGTERM drain).
 //
 // Endpoints:
 //
 //	POST /run      {"app":"amazon","config":"ESP+NL"}           -> one Result
 //	POST /sweep    {"apps":[...],"configs":[...]}               -> a grid, batched by workload
-//	GET  /metrics  cells, cache hits, machine reuse, latencies  -> JSON
-//	GET  /healthz  liveness (503 while draining)
+//	GET  /metrics  cells, cache hits, retries, breakers, ...    -> JSON
+//	GET  /healthz  liveness (always 200 while the process serves)
+//	GET  /readyz   readiness (503 while draining or mostly quarantined)
 //
 // Usage:
 //
 //	espd [-addr :8080] [-workers N] [-queue 64] [-cache 32]
-//	     [-timeout 2m] [-log text|json]
+//	     [-timeout 2m] [-log text|json] [-checkpoint-dir DIR]
+//	     [-retries 3] [-breaker-threshold 5] [-breaker-cooldown 30s]
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"espsim/internal/fault"
 	"espsim/internal/serve"
 )
 
@@ -41,6 +45,11 @@ func main() {
 		cache   = flag.Int("cache", 32, "LRU workload-cache capacity (materialized arenas)")
 		timeout = flag.Duration("timeout", 2*time.Minute, "default per-cell simulation timeout")
 		logFmt  = flag.String("log", "text", "log format: text or json")
+
+		checkpointDir = flag.String("checkpoint-dir", "", "directory for crash-safe sweep journals (empty: disabled)")
+		retries       = flag.Int("retries", 3, "attempts per sweep cell before reporting its error")
+		breakerThresh = flag.Int("breaker-threshold", 5, "consecutive failures that quarantine a cell (negative: disabled)")
+		breakerCool   = flag.Duration("breaker-cooldown", 30*time.Second, "quarantine time before a probe attempt")
 	)
 	flag.Parse()
 
@@ -56,12 +65,23 @@ func main() {
 	}
 	log := slog.New(handler)
 
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			log.Error("espd: checkpoint dir", "err", err.Error())
+			os.Exit(1)
+		}
+	}
+
 	srv := serve.New(serve.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		WorkloadCap:    *cache,
-		DefaultTimeout: *timeout,
-		Logger:         log,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		WorkloadCap:      *cache,
+		DefaultTimeout:   *timeout,
+		Logger:           log,
+		Retry:            fault.RetryPolicy{MaxAttempts: *retries},
+		BreakerThreshold: *breakerThresh,
+		BreakerCooldown:  *breakerCool,
+		CheckpointDir:    *checkpointDir,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -76,7 +96,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Info("espd listening", "addr", *addr, "workers", *workers, "queue", *queue, "cache", *cache)
+		log.Info("espd listening", "addr", *addr, "workers", *workers, "queue", *queue,
+			"cache", *cache, "checkpoint_dir", *checkpointDir)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -88,6 +109,10 @@ func main() {
 		}
 	case <-ctx.Done():
 		log.Info("espd: signal received, draining")
+		// Readiness goes red first, so a load balancer stops routing
+		// while Shutdown still serves the connections it already has;
+		// then wait for in-flight simulations.
+		srv.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

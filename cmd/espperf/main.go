@@ -1,21 +1,27 @@
 // Command espperf measures the simulator's sweep throughput: the full
-// Figure 9 grid (7 applications × 7 configurations) run twice — once
+// Figure 9 grid (7 applications × 7 configurations) run three ways —
 // through the two-plane engine (workloads materialized once, machines
-// reset and reused) and once rebuilding the session and machine for
-// every cell, the way a naive loop over esp.Run does. It writes the
-// comparison as JSON (ns/op, allocs/op, cells/sec, speedup) for
+// reset and reused), through the same engine wrapped in the serving
+// layer's recovery stack (retry executor + circuit breakers, injector
+// disabled), and rebuilding the session and machine for every cell the
+// way a naive loop over esp.Run does. It writes the comparison as JSON
+// (ns/op, allocs/op, cells/sec, speedup, resilience counters) for
 // tracking across commits.
 //
 // With -guard it additionally compares the fresh measurement against a
 // committed baseline report and exits nonzero when reuse throughput
-// regressed by more than -maxloss — the CI bench-guard gate.
+// regressed by more than -maxloss, or when the recovery stack costs
+// more than -maxoverhead of reuse throughput with no faults injected —
+// the CI bench-guard gate.
 //
 // Usage:
 //
-//	espperf [-scale 1] [-out BENCH_PR3.json] [-guard BASELINE.json] [-maxloss 0.20]
+//	espperf [-scale 1] [-out BENCH_PR3.json] [-guard BASELINE.json]
+//	        [-maxloss 0.20] [-maxoverhead 0.02]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"espsim"
+	"espsim/internal/fault"
 	"espsim/internal/workload"
 )
 
@@ -40,12 +47,29 @@ type phase struct {
 	BytesCell   uint64  `json:"alloc_bytes_per_cell"`
 }
 
+// resilience is the recovery-stack activity during the resilient phase.
+// With the injector disabled every counter must be zero — a nonzero
+// value in a committed report means the benchmark itself misbehaved.
+type resilience struct {
+	Retries      int64 `json:"retries"`
+	BreakerTrips int64 `json:"breaker_trips"`
+	BreakerSkips int64 `json:"breaker_skips"`
+	BreakerOpen  int64 `json:"breaker_open"`
+}
+
 type report struct {
 	Scale   float64 `json:"scale"`
 	Apps    int     `json:"apps"`
 	Configs int     `json:"configs"`
 	Reuse   phase   `json:"reuse"`
-	Rebuild phase   `json:"rebuild"`
+	// Resilient is the reuse sweep run through the serving layer's
+	// executor (breaker admission + retry bookkeeping per cell) with no
+	// faults injected; Overhead is the fractional reuse throughput it
+	// costs. The recovery stack must be ~free on the fault-free path.
+	Resilient  phase      `json:"resilient"`
+	Overhead   float64    `json:"resilience_overhead"`
+	Resilience resilience `json:"resilience"`
+	Rebuild    phase      `json:"rebuild"`
 	// Speedup is rebuild wall-clock over reuse wall-clock: the factor
 	// the two-plane engine saves on the Figure 9 sweep.
 	Speedup float64 `json:"speedup"`
@@ -88,12 +112,31 @@ func measure(name string, cells int, sweep func() error) (phase, error) {
 	return p, nil
 }
 
+// measureBest runs sweep rounds times and keeps the fastest round: the
+// reuse-vs-resilient overhead comparison divides two of these, so both
+// sides use the same best-of protocol to shave scheduler noise off a
+// gate as tight as 2%.
+func measureBest(name string, cells, rounds int, sweep func() error) (phase, error) {
+	var best phase
+	for i := 0; i < rounds; i++ {
+		p, err := measure(name, cells, sweep)
+		if err != nil {
+			return phase{}, err
+		}
+		if best.WallNs == 0 || p.WallNs < best.WallNs {
+			best = p
+		}
+	}
+	return best, nil
+}
+
 func main() {
 	var (
-		scale   = flag.Float64("scale", 1, "event-count scale factor")
-		out     = flag.String("out", "BENCH_PR3.json", "output JSON path (- for stdout only)")
-		guard   = flag.String("guard", "", "baseline report JSON to guard against (empty: no guard)")
-		maxLoss = flag.Float64("maxloss", 0.20, "max tolerated fractional loss of reuse cells/sec vs -guard baseline")
+		scale       = flag.Float64("scale", 1, "event-count scale factor")
+		out         = flag.String("out", "BENCH_PR3.json", "output JSON path (- for stdout only)")
+		guard       = flag.String("guard", "", "baseline report JSON to guard against (empty: no guard)")
+		maxLoss     = flag.Float64("maxloss", 0.20, "max tolerated fractional loss of reuse cells/sec vs -guard baseline")
+		maxOverhead = flag.Float64("maxoverhead", 0.02, "max tolerated fractional reuse throughput spent on the fault-free recovery stack")
 	)
 	flag.Parse()
 
@@ -106,12 +149,14 @@ func main() {
 	cfgs := fig9Configs()
 	cells := len(profs) * len(cfgs)
 
-	// Two-plane engine: one Harness memoizes nothing here (every cell is
-	// distinct); its Runner materializes each app's workload once and
-	// resets one pooled machine per configuration.
-	h := esp.NewHarness()
-	h.Scale = *scale
-	reuse, err := measure("reuse", cells, func() error {
+	// Two-plane engine: each round sweeps a fresh Harness (it memoizes
+	// results per cell, so reusing one across rounds would measure map
+	// lookups); within a round its Runner materializes each app's
+	// workload once and resets one pooled machine per configuration.
+	var h *esp.Harness
+	reuse, err := measureBest("reuse", cells, 2, func() error {
+		h = esp.NewHarness()
+		h.Scale = *scale
 		for _, prof := range profs {
 			for _, cfg := range cfgs {
 				if _, err := h.Run(prof, cfg); err != nil {
@@ -125,6 +170,31 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintln(os.Stderr, "espperf: engine:", h.Perf())
+
+	// The same sweep through the recovery stack the daemon wraps around
+	// every cell — breaker admission, retry bookkeeping — with no fault
+	// injector installed. This is what POST /sweep pays per cell even
+	// when nothing ever fails.
+	exec := fault.NewExecutor(fault.RetryPolicy{}, fault.NewBreakerSet(5, 30*time.Second), nil, 1)
+	resilient, err := measureBest("resilient", cells, 2, func() error {
+		h2 := esp.NewHarness()
+		h2.Scale = *scale
+		for _, prof := range profs {
+			for _, cfg := range cfgs {
+				out := exec.Run(context.Background(), prof.Name+"/"+cfg.Name, func(int) error {
+					_, err := h2.Run(prof, cfg)
+					return err
+				})
+				if out.Err != nil {
+					return fmt.Errorf("%s/%s: %w", prof.Name, cfg.Name, out.Err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
 
 	// Naive loop: every cell regenerates the session's instruction
 	// streams and assembles a fresh machine.
@@ -142,11 +212,20 @@ func main() {
 		fail(err)
 	}
 
+	breakers := exec.Breakers()
 	rep := report{
-		Scale:   *scale,
-		Apps:    len(profs),
-		Configs: len(cfgs),
-		Reuse:   reuse,
+		Scale:     *scale,
+		Apps:      len(profs),
+		Configs:   len(cfgs),
+		Reuse:     reuse,
+		Resilient: resilient,
+		Overhead:  1 - resilient.CellsPerSec/reuse.CellsPerSec,
+		Resilience: resilience{
+			Retries:      exec.Retries(),
+			BreakerTrips: breakers.Trips(),
+			BreakerSkips: breakers.Skips(),
+			BreakerOpen:  int64(breakers.OpenCount()),
+		},
 		Rebuild: rebuild,
 		Speedup: float64(rebuild.WallNs) / float64(reuse.WallNs),
 	}
@@ -161,22 +240,24 @@ func main() {
 			fail(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "espperf: %d cells, reuse %.1f cells/s vs rebuild %.1f cells/s: %.2fx speedup\n",
-		cells, reuse.CellsPerSec, rebuild.CellsPerSec, rep.Speedup)
+	fmt.Fprintf(os.Stderr, "espperf: %d cells, reuse %.1f cells/s vs rebuild %.1f cells/s: %.2fx speedup; recovery-stack overhead %.2f%%\n",
+		cells, reuse.CellsPerSec, rebuild.CellsPerSec, rep.Speedup, rep.Overhead*100)
 
 	if *guard != "" {
-		if err := checkGuard(rep, *guard, *maxLoss); err != nil {
+		if err := checkGuard(rep, *guard, *maxLoss, *maxOverhead); err != nil {
 			fail(err)
 		}
 	}
 }
 
 // checkGuard compares the fresh report against a committed baseline and
-// errors when reuse throughput fell by more than maxLoss. Only the
-// reuse phase is guarded: rebuild throughput is the foil, not the
-// product, and the grid shape must match for the comparison to mean
-// anything.
-func checkGuard(rep report, path string, maxLoss float64) error {
+// errors when reuse throughput fell by more than maxLoss, or when the
+// fault-free recovery stack ate more than maxOverhead of it. Only the
+// reuse phase is guarded against the baseline: rebuild throughput is
+// the foil, not the product, and the grid shape must match for the
+// comparison to mean anything. The overhead gate is within-run, so it
+// holds across machines of different speeds.
+func checkGuard(rep report, path string, maxLoss, maxOverhead float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("guard baseline: %w", err)
@@ -197,8 +278,15 @@ func checkGuard(rep report, path string, maxLoss float64) error {
 		return fmt.Errorf("reuse throughput regressed: %.2f cells/s vs baseline %.2f (floor %.2f at maxloss %g)",
 			rep.Reuse.CellsPerSec, base.Reuse.CellsPerSec, floor, maxLoss)
 	}
-	fmt.Fprintf(os.Stderr, "espperf: guard ok: %.2f cells/s vs baseline %.2f (floor %.2f)\n",
-		rep.Reuse.CellsPerSec, base.Reuse.CellsPerSec, floor)
+	if rep.Overhead > maxOverhead {
+		return fmt.Errorf("fault-free recovery stack costs %.2f%% of reuse throughput (%.2f vs %.2f cells/s), budget %.2f%%",
+			rep.Overhead*100, rep.Resilient.CellsPerSec, rep.Reuse.CellsPerSec, maxOverhead*100)
+	}
+	if r := rep.Resilience; r.Retries != 0 || r.BreakerTrips != 0 || r.BreakerSkips != 0 || r.BreakerOpen != 0 {
+		return fmt.Errorf("recovery stack fired with no injector installed: %+v", r)
+	}
+	fmt.Fprintf(os.Stderr, "espperf: guard ok: %.2f cells/s vs baseline %.2f (floor %.2f), overhead %.2f%% <= %.2f%%\n",
+		rep.Reuse.CellsPerSec, base.Reuse.CellsPerSec, floor, rep.Overhead*100, maxOverhead*100)
 	return nil
 }
 

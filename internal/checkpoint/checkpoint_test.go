@@ -1,0 +1,186 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openFresh(t *testing.T, path string, header []byte) *Journal {
+	t.Helper()
+	j, gotHeader, records, err := Open(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotHeader, header) || len(records) != 0 {
+		t.Fatalf("fresh journal: header %q records %d", gotHeader, len(records))
+	}
+	return j
+}
+
+// TestRoundTrip: records written by Append come back on reopen, in
+// order, with the stored header.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.espj")
+	j := openFresh(t, path, []byte("header-v1"))
+	want := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma with a longer payload")}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, header, records, err := Open(path, []byte("ignored on reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if string(header) != "header-v1" {
+		t.Fatalf("stored header %q, want the original", header)
+	}
+	if len(records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(records[i], want[i]) {
+			t.Fatalf("record %d: %q, want %q", i, records[i], want[i])
+		}
+	}
+	// Appends continue after a replay.
+	if err := j2.Append([]byte("delta")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornTailTruncated simulates every crash-mid-append shape: a torn
+// frame header, a torn payload, a corrupted CRC, and an implausible
+// length. Replay must keep the intact prefix, drop the tail, and leave
+// the file appendable.
+func TestTornTailTruncated(t *testing.T) {
+	intact := [][]byte{[]byte("one"), []byte("two")}
+	cases := []struct {
+		name string
+		tear func([]byte) []byte
+	}{
+		{"torn frame header", func(b []byte) []byte { return append(b, 0x03, 0x00) }},
+		{"torn payload", func(b []byte) []byte {
+			return append(b, 0x10, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x', 'y')
+		}},
+		{"corrupt crc", func(b []byte) []byte {
+			return append(b, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 'h', 'i')
+		}},
+		{"implausible length", func(b []byte) []byte {
+			return append(b, 0xff, 0xff, 0xff, 0x7f, 0x00, 0x00, 0x00, 0x00, 'z')
+		}},
+		{"random garbage", func(b []byte) []byte { return append(b, bytes.Repeat([]byte{0xa5}, 37)...) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "sweep.espj")
+			j := openFresh(t, path, []byte("hdr"))
+			for _, rec := range intact {
+				if err := j.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goodSize := len(raw)
+			if err := os.WriteFile(path, tc.tear(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, header, records, err := Open(path, nil)
+			if err != nil {
+				t.Fatalf("torn tail must not fail open: %v", err)
+			}
+			if string(header) != "hdr" || len(records) != len(intact) {
+				t.Fatalf("after tear: header %q, %d records, want hdr/%d", header, len(records), len(intact))
+			}
+			// The tail was physically truncated, and appending resumes
+			// cleanly where the intact prefix ended.
+			if info, err := os.Stat(path); err != nil || info.Size() != int64(goodSize) {
+				t.Fatalf("file size %v after truncate, want %d", info.Size(), goodSize)
+			}
+			if err := j2.Append([]byte("three")); err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+			_, _, records, err = Open(path, nil)
+			if err != nil || len(records) != 3 {
+				t.Fatalf("re-replay after post-tear append: %d records, err %v", len(records), err)
+			}
+		})
+	}
+}
+
+// TestCorruptHeaderRefused: damage before the first record is not
+// recoverable and must be loud.
+func TestCorruptHeaderRefused(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		raw  []byte
+	}{
+		{"bad magic", []byte("NOTAJRNLxxxxxxxx")},
+		{"magic only", []byte("ESPJRNL1")},
+		{"torn header frame", append([]byte("ESPJRNL1"), 0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 'p')},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "sweep.espj")
+			if err := os.WriteFile(path, tc.raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, _, err := Open(path, nil); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("corrupt journal opened: %v", err)
+			}
+		})
+	}
+}
+
+// TestManyRecords keeps framing honest across sizes around buffer
+// boundaries.
+func TestManyRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.espj")
+	j := openFresh(t, path, []byte("h"))
+	var want [][]byte
+	for i := 0; i < 64; i++ {
+		rec := bytes.Repeat([]byte{byte(i)}, i*17%256)
+		want = append(want, rec)
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	_, _, records, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(want) {
+		t.Fatalf("%d records, want %d", len(records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(records[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestOpenRejectsUnreadableDir: the error path is an error, not a
+// panic.
+func TestOpenRejectsUnreadableDir(t *testing.T) {
+	if _, _, _, err := Open(filepath.Join(t.TempDir(), "no", "such", "dir", "x.espj"), nil); err == nil {
+		t.Fatal("open in a missing directory succeeded")
+	} else if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("I/O failure misclassified as corruption: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker states. A cell's breaker opens after threshold consecutive
+// failures; after cooldown it half-opens, letting exactly one probe
+// through — success closes it, failure re-opens it for another
+// cooldown.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+type breakerCell struct {
+	state    int
+	fails    int // consecutive failures
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// BreakerSet is a family of circuit breakers keyed by string — one per
+// (app, config) cell in espd — so a cell that fails persistently is
+// quarantined (reported skipped) instead of burning a worker slot and
+// a retry budget on every sweep. Safe for concurrent use.
+type BreakerSet struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu    sync.Mutex
+	cells map[string]*breakerCell
+	open  int
+	trips int64
+	skips int64
+}
+
+// NewBreakerSet builds a set that opens a key after threshold
+// consecutive failures and half-opens it after cooldown. threshold < 1
+// returns nil: a nil *BreakerSet is valid and never trips.
+func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
+	if threshold < 1 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &BreakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		cells:     make(map[string]*breakerCell),
+	}
+}
+
+// Allow reports whether key may attempt work now. An open breaker past
+// its cooldown admits a single half-open probe; a denied call is
+// counted as a skip.
+func (b *BreakerSet) Allow(key string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.cells[key]
+	if !ok {
+		return true
+	}
+	switch c.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Sub(c.openedAt) >= b.cooldown {
+			c.state = stateHalfOpen
+			c.probing = true
+			return true
+		}
+	case stateHalfOpen:
+		if !c.probing {
+			c.probing = true
+			return true
+		}
+	}
+	b.skips++
+	return false
+}
+
+// Record feeds one attempt's outcome back for key.
+func (b *BreakerSet) Record(key string, ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cells[key]
+	if c == nil {
+		c = &breakerCell{}
+		b.cells[key] = c
+	}
+	if ok {
+		if c.state != stateClosed {
+			b.open--
+		}
+		c.state = stateClosed
+		c.fails = 0
+		c.probing = false
+		return
+	}
+	c.fails++
+	switch c.state {
+	case stateHalfOpen:
+		// The probe failed: back to a full cooldown.
+		c.state = stateOpen
+		c.openedAt = b.now()
+		c.probing = false
+		b.trips++
+	case stateClosed:
+		if c.fails >= b.threshold {
+			c.state = stateOpen
+			c.openedAt = b.now()
+			b.open++
+			b.trips++
+		}
+	}
+}
+
+// OpenCount reports how many keys are currently quarantined (open or
+// half-open) — the readiness probe's signal.
+func (b *BreakerSet) OpenCount() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// Trips reports cumulative closed→open (and failed-probe re-open)
+// transitions; Skips reports attempts denied by an open breaker.
+func (b *BreakerSet) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Skips reports attempts denied by an open breaker.
+func (b *BreakerSet) Skips() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.skips
+}

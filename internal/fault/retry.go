@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds how the Executor re-runs a failed cell:
+// exponential backoff from BaseBackoff doubling up to MaxBackoff, with
+// a uniform ±JitterFrac fraction of jitter so retried cells from
+// concurrent batches do not stampede in lockstep. The zero value means
+// "defaults" (3 attempts, 25ms..1s, 20% jitter); MaxAttempts 1
+// disables retrying without disabling the rest of the machinery.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	JitterFrac  float64
+}
+
+// WithDefaults fills unset fields.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.JitterFrac < 0 || p.JitterFrac >= 1 {
+		p.JitterFrac = 0.2
+	}
+	return p
+}
+
+// backoff computes the sleep before retry number retries (1-based),
+// jittered by rng.
+func (p RetryPolicy) backoff(retries int, rng *rand.Rand) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < retries && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.JitterFrac > 0 && rng != nil {
+		spread := 1 + p.JitterFrac*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * spread)
+	}
+	return d
+}

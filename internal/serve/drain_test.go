@@ -1,0 +1,112 @@
+package serve
+
+// Drain semantics with work in flight: Drain must wait for running
+// sweep cells (not abandon them), new admissions must bounce with 503
+// the moment draining begins, and the journal a drained sweep leaves
+// behind must be replayable by the next daemon.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"espsim/internal/sim"
+)
+
+func TestDrainWaitsForInflightSweep(t *testing.T) {
+	dir := t.TempDir()
+	golden := readGoldenCorpus(t)
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	hook := func(pt sim.FaultPoint) error {
+		if pt.Op == "run" {
+			started <- struct{}{}
+			<-gate
+		}
+		return nil
+	}
+	s := testServer(t, Options{Workers: 2, CheckpointDir: dir, FaultHook: hook})
+
+	req := SweepRequest{
+		Apps:      []string{"amazon", "bing"},
+		Configs:   []string{"base", "ESP+NL"},
+		SweepID:   "drain-test",
+		MaxEvents: goldenMaxEvents,
+	}
+	sweepDone := make(chan SweepResponse, 1)
+	go func() {
+		rec := post(t, s, "/sweep", req)
+		var resp SweepResponse
+		if rec.Code == http.StatusOK {
+			_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+		}
+		sweepDone <- resp
+	}()
+	<-started // a cell is wedged inside the engine
+
+	// Draining begins mid-sweep: new admissions bounce, liveness stays
+	// green, readiness goes red, the sweep keeps running.
+	s.BeginDrain()
+	if rec := post(t, s, "/run", RunRequest{App: "cnn", Config: "base", MaxEvents: 8}); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("new /run during drain: status %d, want 503", rec.Code)
+	}
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz during drain: status %d, want 200", rec.Code)
+	}
+	if rec := get(t, s, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: status %d, want 503", rec.Code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(ctx) }()
+	select {
+	case err := <-drainDone:
+		t.Fatalf("Drain returned (%v) while a sweep cell is still running", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Release the engine: the sweep finishes all four cells, and only
+	// then does Drain return.
+	close(gate)
+	resp := <-sweepDone
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(resp.Cells) != 4 {
+		t.Fatalf("in-flight sweep returned %d cells, want 4", len(resp.Cells))
+	}
+	for _, cell := range resp.Cells {
+		key := cell.App + "/" + cell.Config
+		if cell.Result == nil {
+			t.Fatalf("cell %s: drained away instead of finishing: %+v", key, cell)
+		}
+		if !reflect.DeepEqual(*cell.Result, golden[key]) {
+			t.Errorf("cell %s: result deviates from golden corpus", key)
+		}
+	}
+	assertDrained(t, s)
+
+	// The journal the drained daemon left is complete and replayable:
+	// a successor resumes every cell without simulating anything.
+	s2 := testServer(t, Options{Workers: 2, CheckpointDir: dir})
+	rec := post(t, s2, "/sweep", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resume sweep: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resumeResp SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resumeResp); err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range resumeResp.Cells {
+		key := cell.App + "/" + cell.Config
+		if !cell.Resumed || cell.Result == nil || !reflect.DeepEqual(*cell.Result, golden[key]) {
+			t.Errorf("cell %s: not replayed from the drained daemon's journal: %+v", key, cell)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"sync"
+
+	esp "espsim"
+	"espsim/internal/checkpoint"
+	"espsim/internal/fault"
+	"espsim/internal/sim"
+)
+
+// journalHeader describes the sweep a journal belongs to. Digest pins
+// every request knob that influences results; a journal whose digest
+// does not match the resubmitted request must not be resumed from — it
+// would splice cells from a different grid into this one.
+type journalHeader struct {
+	Version int    `json:"version"`
+	SweepID string `json:"sweep_id"`
+	Digest  string `json:"digest"`
+}
+
+// journalRecord is one completed cell, as journaled. Results travel as
+// JSON exactly like the wire responses, so a resumed cell is
+// bit-identical to the one originally returned (float64 round-trips
+// exactly).
+type journalRecord struct {
+	App    string     `json:"app"`
+	Config string     `json:"config"`
+	Result esp.Result `json:"result"`
+}
+
+// sweepDigest hashes the result-shaping parameters of a sweep request.
+// TimeoutMs and SweepID are deliberately excluded: they change whether
+// cells finish, never what a finished cell contains.
+func sweepDigest(apps []string, req SweepRequest) string {
+	canonical, _ := json.Marshal(struct {
+		Apps       []string `json:"apps"`
+		Configs    []string `json:"configs"`
+		Scale      float64  `json:"scale"`
+		MaxEvents  int      `json:"max_events"`
+		MaxPending int      `json:"max_pending"`
+	}{apps, req.Configs, req.Scale, req.MaxEvents, req.MaxPending})
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])
+}
+
+// errSweepConflict marks a sweep ID reused for a different grid (or
+// already running); the handler maps it to 409.
+var errSweepConflict = errors.New("sweep conflict")
+
+// sweepJournal is the per-sweep checkpoint: a serialized append handle
+// plus the cells replayed at open.
+type sweepJournal struct {
+	mu   sync.Mutex
+	j    *checkpoint.Journal
+	done map[string]*esp.Result // "app/config" -> replayed result
+}
+
+// openSweepJournal opens (or creates) the journal for req under dir and
+// replays completed cells. A header digest mismatch is an
+// errSweepConflict; a record that fails to decode is skipped (the cell
+// simply re-runs), because a journaled record is advisory — the
+// simulator can always recompute it.
+func openSweepJournal(dir string, apps []string, req SweepRequest, log *slog.Logger) (*sweepJournal, error) {
+	header, _ := json.Marshal(journalHeader{Version: 1, SweepID: req.SweepID, Digest: sweepDigest(apps, req)})
+	path := filepath.Join(dir, req.SweepID+".espj")
+	j, storedHeader, records, err := checkpoint.Open(path, header)
+	if err != nil {
+		return nil, err
+	}
+	var stored journalHeader
+	if err := json.Unmarshal(storedHeader, &stored); err != nil || stored.Version != 1 {
+		j.Close()
+		return nil, fmt.Errorf("%w: journal %s has an unreadable header", errSweepConflict, path)
+	}
+	var want journalHeader
+	_ = json.Unmarshal(header, &want)
+	if stored.Digest != want.Digest || stored.SweepID != want.SweepID {
+		j.Close()
+		return nil, fmt.Errorf("%w: sweep_id %q was journaled for a different grid (digest %s, this request %s)",
+			errSweepConflict, req.SweepID, stored.Digest, want.Digest)
+	}
+
+	done := make(map[string]*esp.Result, len(records))
+	for i, raw := range records {
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			log.Warn("sweep journal: skipping undecodable record", "sweep_id", req.SweepID, "record", i, "err", err.Error())
+			continue
+		}
+		res := rec.Result
+		done[rec.App+"/"+rec.Config] = &res
+	}
+	return &sweepJournal{j: j, done: done}, nil
+}
+
+// resumed returns the journaled result for a cell, if any.
+func (sj *sweepJournal) resumed(app, config string) *esp.Result {
+	if sj == nil {
+		return nil
+	}
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	return sj.done[app+"/"+config]
+}
+
+// append journals one completed cell, serialized across the sweep's
+// concurrent app batches.
+func (sj *sweepJournal) append(app, config string, res esp.Result) error {
+	if sj == nil {
+		return nil
+	}
+	raw, err := json.Marshal(journalRecord{App: app, Config: config, Result: res})
+	if err != nil {
+		return err
+	}
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	return sj.j.Append(raw)
+}
+
+// close releases the journal file.
+func (sj *sweepJournal) close() {
+	if sj == nil {
+		return
+	}
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	sj.j.Close()
+}
+
+// errKind classifies a cell error for SweepCell.ErrorKind. Order
+// matters: a timeout wrapping an injected sleep is still a timeout, and
+// a build failure wrapping an injected error is still a build failure.
+func errKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, sim.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, sim.ErrPanic):
+		return "panic"
+	case errors.Is(err, sim.ErrBuild):
+		return "build"
+	case errors.Is(err, fault.ErrInjected):
+		return "injected"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// retryableCellErr decides which failures are worth another attempt:
+// timeouts (an injected or transient stall may clear), panics (the
+// machine was dropped; a fresh one may survive), build failures (the
+// runner un-caches them precisely so retries can rebuild), and injected
+// faults. Validation errors and dead clients are not retryable.
+func retryableCellErr(err error) bool {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, sim.ErrTimeout), errors.Is(err, sim.ErrPanic),
+		errors.Is(err, sim.ErrBuild), errors.Is(err, fault.ErrInjected):
+		return true
+	default:
+		return false
+	}
+}

@@ -80,6 +80,13 @@ type Metrics struct {
 	CellErrors    atomic.Int64
 	QueueDepth    atomic.Int64 // admitted requests not yet finished
 
+	// Resilience layer: cells replayed from a sweep's checkpoint journal
+	// instead of simulated, and journal appends that failed (the cell
+	// still succeeded; only its crash-safety record is missing).
+	ResumedCells  atomic.Int64
+	JournalErrors atomic.Int64
+	SweepConflict atomic.Int64 // 409: sweep_id reused for a different grid or still running
+
 	// CellLatency observes simulated-cell wall times (from the engine
 	// observer, so batched sweep cells are measured individually).
 	CellLatency Histogram
@@ -127,6 +134,20 @@ type Snapshot struct {
 		Workers  int   `json:"workers"`
 	} `json:"queue"`
 
+	// Resilience reports the recovery machinery: retry and breaker
+	// activity (filled by the server from its executor), plus
+	// checkpoint/resume traffic. BreakerOpen is a gauge; the rest are
+	// cumulative.
+	Resilience struct {
+		Retries       int64 `json:"retries"`
+		BreakerTrips  int64 `json:"breaker_trips"`
+		BreakerSkips  int64 `json:"breaker_skips"`
+		BreakerOpen   int64 `json:"breaker_open"`
+		ResumedCells  int64 `json:"resumed_cells"`
+		JournalErrors int64 `json:"journal_errors"`
+		SweepConflict int64 `json:"sweep_conflicts"`
+	} `json:"resilience"`
+
 	Engine Engine `json:"engine"`
 
 	CellLatency HistogramSnapshot `json:"cell_latency"`
@@ -146,6 +167,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Cells.Errors = m.CellErrors.Load()
 	s.Cells.Timeouts = m.Timeouts.Load()
 	s.Queue.Depth = m.QueueDepth.Load()
+	s.Resilience.ResumedCells = m.ResumedCells.Load()
+	s.Resilience.JournalErrors = m.JournalErrors.Load()
+	s.Resilience.SweepConflict = m.SweepConflict.Load()
 	s.CellLatency = m.CellLatency.Snapshot()
 	return s
 }

@@ -43,9 +43,15 @@ type RunRequest struct {
 // means the whole seven-application suite. Cells are batched by
 // workload: every configuration of one application runs back to back on
 // one worker, sharing the materialized arena and pooled machines.
+//
+// SweepID (optional) makes the sweep resumable when the server has a
+// checkpoint directory: completed cells are journaled as they finish,
+// and a later sweep with the same ID — after a daemon crash or a client
+// retry — replays them from disk instead of re-simulating.
 type SweepRequest struct {
 	Apps    []string `json:"apps,omitempty"`
 	Configs []string `json:"configs"`
+	SweepID string   `json:"sweep_id,omitempty"`
 
 	Scale      float64 `json:"scale,omitempty"`
 	MaxEvents  int     `json:"max_events,omitempty"`
@@ -59,14 +65,30 @@ type RunResponse struct {
 	WallMs float64    `json:"wall_ms"`
 }
 
-// SweepCell is one cell of a SweepResponse: a result or a per-cell
-// error (one failed cell does not fail the sweep — panic isolation and
-// timeouts degrade exactly like Harness.RunAll).
+// SweepCell is one cell of a SweepResponse: a result or a structured
+// per-cell error (one failed cell does not fail the sweep — panic
+// isolation, retries, and timeouts degrade per cell). The sweep is
+// never all-or-nothing: every requested cell comes back with exactly
+// one of Result, Error, or Skipped.
 type SweepCell struct {
 	App    string      `json:"app"`
 	Config string      `json:"config"`
 	Result *esp.Result `json:"result,omitempty"`
-	Error  string      `json:"error,omitempty"`
+	// Error is the final attempt's message; ErrorKind classifies it
+	// ("timeout", "panic", "build", "injected", "canceled", "config",
+	// "error") so clients can branch without parsing prose.
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
+	// Attempts counts how many times the cell ran (0 when skipped or
+	// resumed).
+	Attempts int `json:"attempts,omitempty"`
+	// Skipped is "breaker_open" when the cell's circuit breaker
+	// quarantined it: the cell was not attempted and did not burn a
+	// retry budget.
+	Skipped string `json:"skipped,omitempty"`
+	// Resumed is true when Result was replayed from the sweep's
+	// checkpoint journal instead of simulated.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // SweepResponse is the body of a successful POST /sweep, cells in
@@ -158,6 +180,9 @@ func ParseSweepRequest(data []byte) (SweepRequest, error) {
 	case req.TimeoutMs < 0:
 		return SweepRequest{}, fmt.Errorf("\"timeout_ms\" must be non-negative, got %d", req.TimeoutMs)
 	}
+	if err := validateSweepID(req.SweepID); err != nil {
+		return SweepRequest{}, err
+	}
 	for _, app := range req.Apps {
 		if _, err := workload.ByName(app); err != nil {
 			return SweepRequest{}, err
@@ -169,6 +194,29 @@ func ParseSweepRequest(data []byte) (SweepRequest, error) {
 		}
 	}
 	return req, nil
+}
+
+// validateSweepID keeps sweep IDs filename-safe: they name the
+// checkpoint journal on disk, so path separators, dots-only names, and
+// unbounded lengths are rejected at the request boundary.
+func validateSweepID(id string) error {
+	if id == "" {
+		return nil
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("\"sweep_id\" must be at most 64 characters, got %d", len(id))
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("\"sweep_id\" may only contain [A-Za-z0-9._-], got %q", id)
+		}
+	}
+	if strings.Trim(id, ".") == "" {
+		return fmt.Errorf("\"sweep_id\" must not be only dots")
+	}
+	return nil
 }
 
 // config materializes the machine configuration for one cell: the named

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	esp "espsim"
+	"espsim/internal/fault"
 	"espsim/internal/serve/metrics"
 	"espsim/internal/sim"
 	"espsim/internal/trace"
@@ -42,6 +43,24 @@ type Options struct {
 	TraceLimits trace.Limits
 	// Logger receives structured request logs (default: slog.Default).
 	Logger *slog.Logger
+
+	// Retry bounds per-cell re-attempts inside a sweep (zero value:
+	// 3 attempts, 25ms..1s exponential backoff, 20% jitter; MaxAttempts
+	// 1 disables retrying).
+	Retry fault.RetryPolicy
+	// BreakerThreshold is how many consecutive failures quarantine one
+	// (app, config) cell (default 5; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a quarantined cell stays open before a
+	// half-open probe is admitted (default 30s).
+	BreakerCooldown time.Duration
+	// CheckpointDir enables crash-safe sweep journaling: sweeps carrying
+	// a sweep_id append completed cells to <dir>/<sweep_id>.espj and
+	// resume from it. Empty disables journaling.
+	CheckpointDir string
+	// FaultHook installs a chaos injector on the runner (see
+	// sim.FaultHook). Testing only; nil in production.
+	FaultHook sim.FaultHook
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +88,13 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
+	o.Retry = o.Retry.WithDefaults()
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 30 * time.Second
+	}
 	return o
 }
 
@@ -90,6 +116,16 @@ type Server struct {
 	tickets chan struct{}
 	work    chan struct{}
 
+	// exec wraps every sweep cell in the recovery stack: breaker
+	// admission, bounded retries with jittered backoff.
+	exec *fault.Executor
+
+	// activeSweeps guards the checkpoint journals: at most one in-flight
+	// sweep per sweep_id, so two concurrent resubmissions cannot
+	// interleave appends into one file.
+	sweepMu      sync.Mutex
+	activeSweeps map[string]struct{}
+
 	draining atomic.Bool
 	inflight sync.WaitGroup
 
@@ -100,16 +136,22 @@ type Server struct {
 func New(opt Options) *Server {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:     opt,
-		log:     opt.Logger,
-		runner:  sim.NewRunner(),
-		met:     metrics.New(),
-		tickets: make(chan struct{}, opt.Workers+opt.QueueDepth),
-		work:    make(chan struct{}, opt.Workers),
-		mux:     http.NewServeMux(),
+		opt:          opt,
+		log:          opt.Logger,
+		runner:       sim.NewRunner(),
+		met:          metrics.New(),
+		tickets:      make(chan struct{}, opt.Workers+opt.QueueDepth),
+		work:         make(chan struct{}, opt.Workers),
+		activeSweeps: make(map[string]struct{}),
+		mux:          http.NewServeMux(),
 	}
+	breakers := fault.NewBreakerSet(opt.BreakerThreshold, opt.BreakerCooldown)
+	s.exec = fault.NewExecutor(opt.Retry, breakers, retryableCellErr, 1)
 	if opt.WorkloadCap > 0 {
 		s.runner.SetWorkloadCap(opt.WorkloadCap)
+	}
+	if opt.FaultHook != nil {
+		s.runner.SetFaultHook(opt.FaultHook)
 	}
 	// Thread the observability layer through the engine: every replayed
 	// cell — including cells inside sweep batches and abandoned
@@ -126,6 +168,7 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
@@ -146,11 +189,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Drain stops admitting work (every endpoint but /healthz and /metrics
-// answers 503) and waits for in-flight requests, bounded by ctx. Call
-// after http.Server.Shutdown has stopped accepting connections.
-func (s *Server) Drain(ctx context.Context) error {
+// BeginDrain flips the server not-ready without waiting: new work gets
+// 503, /readyz fails so load balancers stop routing, in-flight requests
+// keep running. Call it before http.Server.Shutdown so readiness turns
+// false while connections are still being served, then Drain to wait.
+func (s *Server) BeginDrain() {
 	s.draining.Store(true)
+}
+
+// Drain stops admitting work (every endpoint but /healthz and /metrics
+// answers 503, /readyz reports not ready) and waits for in-flight
+// requests, bounded by ctx. Call after http.Server.Shutdown has stopped
+// accepting connections.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -305,6 +357,33 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		apps = appNames()
 	}
 
+	// Checkpoint/resume: a sweep_id on a journaling server replays
+	// completed cells from disk and appends new ones as they finish. The
+	// id is claimed for the duration of the sweep so concurrent
+	// resubmissions cannot interleave appends into one file.
+	var jr *sweepJournal
+	if req.SweepID != "" && s.opt.CheckpointDir != "" {
+		if !s.claimSweep(req.SweepID) {
+			s.met.SweepConflict.Add(1)
+			writeError(w, http.StatusConflict, fmt.Errorf("sweep %q is already running", req.SweepID))
+			return
+		}
+		defer s.releaseSweep(req.SweepID)
+		var err error
+		jr, err = openSweepJournal(s.opt.CheckpointDir, apps, req, s.log)
+		if err != nil {
+			if errors.Is(err, errSweepConflict) {
+				s.met.SweepConflict.Add(1)
+				writeError(w, http.StatusConflict, err)
+				return
+			}
+			s.log.Error("sweep journal", "sweep_id", req.SweepID, "err", err.Error())
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("opening sweep journal: %w", err))
+			return
+		}
+		defer jr.close()
+	}
+
 	// The whole sweep is one admission unit; each application is one
 	// batch that holds a worker slot while its configurations run back
 	// to back, so they share the materialized workload and reuse pooled
@@ -328,61 +407,141 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			batch := cells[ai*len(req.Configs) : (ai+1)*len(req.Configs)]
 			for ci, name := range req.Configs {
 				batch[ci] = SweepCell{App: app, Config: name}
+				if res := jr.resumed(app, name); res != nil {
+					batch[ci].Result = res
+					batch[ci].Resumed = true
+					s.met.ResumedCells.Add(1)
+				}
+			}
+			if allDone(batch) {
+				return // fully resumed: no worker slot needed
 			}
 			releaseWorker, err := s.acquireWorker(r.Context())
 			if err != nil {
 				for ci := range batch {
-					batch[ci].Error = fmt.Sprintf("batch canceled: %v", err)
+					if batch[ci].Result == nil {
+						batch[ci].Error = fmt.Sprintf("batch canceled: %v", err)
+						batch[ci].ErrorKind = "canceled"
+					}
 				}
 				return
 			}
 			defer releaseWorker()
-			s.runBatch(app, req, batch, timeout)
+			s.runBatch(r.Context(), app, req, batch, timeout, jr)
 		}(ai, app)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	failed := 0
+	failed, skipped, resumed := 0, 0, 0
 	for i := range cells {
-		if cells[i].Error != "" {
+		switch {
+		case cells[i].Error != "":
 			failed++
+		case cells[i].Skipped != "":
+			skipped++
+		case cells[i].Resumed:
+			resumed++
 		}
 	}
-	s.log.Info("sweep", "apps", len(apps), "configs", len(req.Configs),
-		"cells", len(cells), "failed", failed, "wall_ms", wall.Milliseconds())
+	s.log.Info("sweep", "apps", len(apps), "configs", len(req.Configs), "cells", len(cells),
+		"failed", failed, "skipped", skipped, "resumed", resumed, "wall_ms", wall.Milliseconds())
 	writeJSON(w, http.StatusOK, SweepResponse{Cells: cells, WallMs: float64(wall.Microseconds()) / 1e3})
 }
 
-// runBatch executes one application's cells sequentially on the calling
-// worker. The workload is materialized (or LRU-hit) once for the whole
-// batch; cell failures — timeouts, panics — degrade per cell, exactly
-// like Harness.RunAll's sweeps.
-func (s *Server) runBatch(app string, req SweepRequest, batch []SweepCell, timeout time.Duration) {
+// claimSweep registers a sweep_id as in flight; false means another
+// request holds it.
+func (s *Server) claimSweep(id string) bool {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if _, busy := s.activeSweeps[id]; busy {
+		return false
+	}
+	s.activeSweeps[id] = struct{}{}
+	return true
+}
+
+func (s *Server) releaseSweep(id string) {
+	s.sweepMu.Lock()
+	delete(s.activeSweeps, id)
+	s.sweepMu.Unlock()
+}
+
+// allDone reports whether every cell of a batch already has a result.
+func allDone(batch []SweepCell) bool {
+	for i := range batch {
+		if batch[i].Result == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// runBatch executes one application's outstanding cells sequentially on
+// the calling worker, each under the full recovery stack: breaker
+// admission (a quarantined cell is skipped, not attempted), bounded
+// retries with backoff for retryable failures, structured per-cell
+// errors, and a journal append for every success. The workload is
+// materialized (or LRU-hit) once for the whole batch.
+func (s *Server) runBatch(ctx context.Context, app string, req SweepRequest, batch []SweepCell, timeout time.Duration, jr *sweepJournal) {
 	prof, err := scaledProfile(app, req.Scale)
 	if err != nil {
 		for ci := range batch {
-			batch[ci].Error = err.Error()
+			if batch[ci].Result == nil {
+				batch[ci].Error = err.Error()
+				batch[ci].ErrorKind = "config"
+			}
 		}
 		return
 	}
 	for ci := range batch {
-		cfg, err := cellConfig(batch[ci].Config, req.MaxEvents, req.MaxPending)
-		if err == nil {
-			// Every cell goes through the runner's cache: the first call
-			// materializes, the rest of the batch hits the same arena (the
-			// lookup is a map access, so per-cell accounting costs nothing).
-			var res esp.Result
-			res, err = s.runner.RunCell("sweep/"+app+"/"+cfg.Name, prof, cfg, timeout)
-			if err == nil {
-				batch[ci].Result = &res
-				continue
-			}
-			if errors.Is(err, sim.ErrTimeout) {
-				s.met.Timeouts.Add(1)
-			}
+		cell := &batch[ci]
+		if cell.Result != nil {
+			continue // resumed from the journal
 		}
-		batch[ci].Error = err.Error()
+		if ctx.Err() != nil {
+			// The client is gone: stop burning worker time. Journaled
+			// cells survive for the resubmission.
+			cell.Error = fmt.Sprintf("batch canceled: %v", ctx.Err())
+			cell.ErrorKind = "canceled"
+			continue
+		}
+		cfg, err := cellConfig(cell.Config, req.MaxEvents, req.MaxPending)
+		if err != nil {
+			cell.Error = err.Error()
+			cell.ErrorKind = "config"
+			continue
+		}
+		key := app + "/" + cfg.Name
+		var res esp.Result
+		out := s.exec.Run(ctx, key, func(attempt int) error {
+			// Every cell goes through the runner's cache: the first call
+			// materializes, the rest of the batch hits the same arena.
+			var rerr error
+			res, rerr = s.runner.RunCell("sweep/"+key, prof, cfg, timeout)
+			if rerr != nil {
+				if errors.Is(rerr, sim.ErrTimeout) {
+					s.met.Timeouts.Add(1)
+				}
+				s.log.Warn("sweep cell", "cell", key, "attempt", attempt, "err", rerr.Error())
+			}
+			return rerr
+		})
+		cell.Attempts = out.Attempts
+		if out.Skipped {
+			cell.Skipped = "breaker_open"
+			continue
+		}
+		if out.Err != nil {
+			cell.Error = out.Err.Error()
+			cell.ErrorKind = errKind(out.Err)
+			continue
+		}
+		cell.Result = &res
+		if err := jr.append(app, cell.Config, res); err != nil {
+			s.met.JournalErrors.Add(1)
+			s.log.Error("sweep journal append", "cell", key, "err", err.Error())
+		}
 	}
 }
 
@@ -405,6 +564,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	snap.Queue.Capacity = cap(s.tickets)
 	snap.Queue.Workers = cap(s.work)
+	breakers := s.exec.Breakers()
+	snap.Resilience.Retries = s.exec.Retries()
+	snap.Resilience.BreakerTrips = breakers.Trips()
+	snap.Resilience.BreakerSkips = breakers.Skips()
+	snap.Resilience.BreakerOpen = int64(breakers.OpenCount())
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -413,18 +577,52 @@ type healthResponse struct {
 	UptimeMs int64  `json:"uptime_ms"`
 }
 
+// handleHealthz is liveness: the process is up and serving — 200 even
+// while draining (a draining daemon is alive; killing it because a
+// probe failed would abort the drain). Routability is /readyz's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 		return
 	}
 	h := healthResponse{Status: "ok", UptimeMs: s.met.Snapshot().UptimeMs}
-	code := http.StatusOK
 	if s.draining.Load() {
 		h.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+type readyResponse struct {
+	Status      string `json:"status"`
+	BreakerOpen int    `json:"breaker_open,omitempty"`
+	PresetCells int    `json:"preset_cells,omitempty"`
+}
+
+// handleReadyz is readiness: 503 while draining, and 503 while the
+// circuit breakers have quarantined more than half the preset
+// (app, config) grid — a daemon whose engine is mostly quarantined
+// should shed traffic to healthier replicas rather than answer sweeps
+// full of breaker_open cells.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	resp := readyResponse{
+		Status:      "ready",
+		BreakerOpen: s.exec.Breakers().OpenCount(),
+		PresetCells: len(appNames()) * len(esp.ConfigNames()),
+	}
+	code := http.StatusOK
+	switch {
+	case s.draining.Load():
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case resp.BreakerOpen*2 > resp.PresetCells:
+		resp.Status = "quarantined"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, h)
+	writeJSON(w, code, resp)
 }
 
 // statusClientGone is the nginx-convention 499 "client closed request":

@@ -309,26 +309,65 @@ func TestSweepIsolatesCellFailures(t *testing.T) {
 	}
 }
 
-// TestHealthzAndDrain: a draining server fails health checks and
-// rejects new work, and Drain returns once in-flight requests finish.
+// TestHealthzAndDrain: liveness stays green while draining (the
+// process is alive; killing it would abort the drain), readiness goes
+// red so load balancers stop routing, new work is rejected, and Drain
+// returns once in-flight requests finish.
 func TestHealthzAndDrain(t *testing.T) {
 	s := testServer(t, Options{Workers: 1})
 	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
 		t.Fatalf("healthy healthz: status %d", rec.Code)
+	}
+	if rec := get(t, s, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthy readyz: status %d", rec.Code)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if rec := get(t, s, "/healthz"); rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz: status %d, want 503", rec.Code)
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("draining healthz (liveness): status %d, want 200", rec.Code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(get(t, s, "/healthz").Body.Bytes(), &h); err != nil || h.Status != "draining" {
+		t.Fatalf("draining healthz body: %+v, %v", h, err)
+	}
+	if rec := get(t, s, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: status %d, want 503", rec.Code)
 	}
 	if rec := post(t, s, "/run", RunRequest{App: "amazon", Config: "base", MaxEvents: 8}); rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("draining /run: status %d, want 503", rec.Code)
 	}
 	if rec := get(t, s, "/metrics"); rec.Code != http.StatusOK {
 		t.Fatalf("metrics must stay readable while draining: status %d", rec.Code)
+	}
+}
+
+// TestReadyzQuarantineThreshold: when breakers quarantine more than
+// half the preset grid, readiness fails even though the process is
+// healthy.
+func TestReadyzQuarantineThreshold(t *testing.T) {
+	s := testServer(t, Options{Workers: 1, BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	preset := len(appNames()) * len(esp.ConfigNames())
+	breakers := s.exec.Breakers()
+	// Trip just over half the preset cells' breakers directly — the
+	// request path to the same state is the chaos soak's job.
+	for i := 0; i <= preset/2; i++ {
+		breakers.Record(fmt.Sprintf("cell-%d", i), false)
+	}
+	rec := get(t, s, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with %d/%d breakers open: status %d, want 503", preset/2+1, preset, rec.Code)
+	}
+	var resp readyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Status != "quarantined" {
+		t.Fatalf("readyz body: %+v, %v", resp, err)
+	}
+	// One recovery flips readiness back.
+	breakers.Record("cell-0", true)
+	if rec := get(t, s, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz after recovery: status %d, want 200", rec.Code)
 	}
 }
 

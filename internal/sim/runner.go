@@ -15,6 +15,33 @@ import (
 // maps it to 504).
 var ErrTimeout = errors.New("timeout")
 
+// ErrPanic marks a cell whose replay panicked; the machine was dropped,
+// never pooled. errors.Is(err, ErrPanic) classifies it (the espd
+// resilience layer treats it as retryable).
+var ErrPanic = errors.New("simulation panicked")
+
+// ErrBuild marks a workload materialization failure. Failed builds are
+// not cached (see Workload), so a retry after a transient failure
+// rebuilds instead of replaying the stale error.
+var ErrBuild = errors.New("workload build failed")
+
+// FaultPoint identifies one injectable operation for a FaultHook:
+// Op is "build" (workload materialization; Config is empty) or "run"
+// (one cell replay).
+type FaultPoint struct {
+	Op     string
+	Label  string
+	App    string
+	Config string
+}
+
+// FaultHook is the runner's chaos-injection seam: when installed with
+// SetFaultHook it is called before every workload build and every cell
+// replay. Returning an error fails the operation; panicking exercises
+// the runner's panic containment; sleeping exercises timeouts. A nil
+// hook (the production default) costs one nil check per operation.
+type FaultHook func(FaultPoint) error
+
 // Perf aggregates what the two-plane split saved across a Runner's
 // lifetime: how often workloads and machines were reused instead of
 // rebuilt, and how wall-clock time divided between building and
@@ -93,6 +120,7 @@ type Runner struct {
 	machines    map[Config][]*Machine
 	perf        Perf
 	observer    func(CellEvent)
+	fault       FaultHook
 }
 
 // NewRunner returns an empty Runner with an unbounded workload cache.
@@ -119,6 +147,16 @@ func (r *Runner) SetWorkloadCap(n int) {
 func (r *Runner) SetObserver(fn func(CellEvent)) {
 	r.mu.Lock()
 	r.observer = fn
+	r.mu.Unlock()
+}
+
+// SetFaultHook installs h to be consulted before every workload build
+// and cell replay (nil removes it). Production servers never set one;
+// chaos tests install a deterministic fault.Plan hook so injected
+// panics, errors, and stalls are reproducible byte-for-byte.
+func (r *Runner) SetFaultHook(h FaultHook) {
+	r.mu.Lock()
+	r.fault = h
 	r.mu.Unlock()
 }
 
@@ -150,6 +188,11 @@ func (r *Runner) evictLocked() {
 // Workload returns the materialized workload for prof truncated to
 // maxEvents, building it on first use and sharing it afterwards.
 // Concurrent callers for the same key block on one materialization.
+//
+// Failed builds are never cached: every waiter on the failing
+// materialization observes the same error (wrapped in ErrBuild), but
+// the cache entry is dropped immediately, so a later call — a retry
+// after a transient failure — materializes from scratch.
 func (r *Runner) Workload(prof workload.Profile, maxEvents int) (*Workload, error) {
 	key := workloadKey{prof: prof, maxEvents: maxEvents}
 	r.mu.Lock()
@@ -162,21 +205,45 @@ func (r *Runner) Workload(prof workload.Profile, maxEvents int) (*Workload, erro
 	} else if cell.elem != nil {
 		r.lru.MoveToFront(cell.elem)
 	}
+	hook := r.fault
 	r.mu.Unlock()
 
 	built := false
 	cell.once.Do(func() {
 		built = true
 		start := time.Now()
-		cell.w, cell.err = NewWorkload(prof, maxEvents)
+		if hook != nil {
+			if herr := hook(FaultPoint{Op: "build", Label: prof.Name, App: prof.Name}); herr != nil {
+				cell.err = fmt.Errorf("esp: workload %s: %w: %w", prof.Name, ErrBuild, herr)
+			}
+		}
+		if cell.err == nil {
+			cell.w, cell.err = NewWorkload(prof, maxEvents)
+			if cell.err != nil {
+				cell.err = fmt.Errorf("esp: workload %s: %w: %w", prof.Name, ErrBuild, cell.err)
+			}
+		}
 		r.mu.Lock()
 		r.perf.BuildWall += time.Since(start)
 		r.perf.WorkloadBuilds++
 		r.mu.Unlock()
 	})
-	if !built {
+	if !built && cell.err == nil {
 		r.mu.Lock()
 		r.perf.WorkloadReuses++
+		r.mu.Unlock()
+	}
+	if cell.err != nil {
+		// Drop the failed materialization so it is not sticky. Guard on
+		// identity: a concurrent retry may already have replaced the entry.
+		r.mu.Lock()
+		if r.workloads[key] == cell {
+			delete(r.workloads, key)
+			if cell.elem != nil {
+				r.lru.Remove(cell.elem)
+				cell.elem = nil
+			}
+		}
 		r.mu.Unlock()
 	}
 	return cell.w, cell.err
@@ -245,8 +312,8 @@ func (r *Runner) RunWorkload(label string, w *Workload, cfg Config, timeout time
 	}
 	ch := make(chan cellOut, 1)
 	go func() {
-		res, err := r.simulate(label, m, w)
-		ch <- cellOut{res: res, err: err}
+		res, serr := r.simulate(label, m, w)
+		ch <- cellOut{res: res, err: serr}
 	}()
 	select {
 	case out := <-ch:
@@ -257,14 +324,20 @@ func (r *Runner) RunWorkload(label string, w *Workload, cfg Config, timeout time
 }
 
 // simulate replays w on m with panic containment and timing accounting,
-// notifying the observer (if any) about the completed cell.
+// notifying the observer (if any) about the completed cell. The fault
+// hook (if any) runs first: an injected error fails the cell with the
+// untouched machine pooled again; an injected panic takes the same
+// containment path as a real simulation panic.
 func (r *Runner) simulate(label string, m *Machine, w *Workload) (res Result, err error) {
+	r.mu.Lock()
+	hook := r.fault
+	r.mu.Unlock()
 	start := time.Now()
 	defer func() {
 		elapsed := time.Since(start)
 		if p := recover(); p != nil {
 			// The machine may hold corrupt state: drop it.
-			err = fmt.Errorf("esp: run %s: panic: %v", label, p)
+			err = fmt.Errorf("esp: run %s: %w: %v", label, ErrPanic, p)
 		} else {
 			r.releaseMachine(m)
 		}
@@ -279,6 +352,11 @@ func (r *Runner) simulate(label string, m *Machine, w *Workload) (res Result, er
 			obs(CellEvent{Label: label, App: w.App, Config: m.cfg.Name, Wall: elapsed, Err: err})
 		}
 	}()
+	if hook != nil {
+		if herr := hook(FaultPoint{Op: "run", Label: label, App: w.App, Config: m.cfg.Name}); herr != nil {
+			return Result{}, fmt.Errorf("esp: run %s: %w", label, herr)
+		}
+	}
 	res = m.Run(w)
 	return res, nil
 }

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"hash/fnv"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -106,6 +109,98 @@ func TestRunnerObserver(t *testing.T) {
 		if ev.Err != nil || ev.Wall <= 0 {
 			t.Fatalf("event %+v: want nil error and positive wall time", ev)
 		}
+	}
+}
+
+// TestFaultHookInjectsRunFaults drives every injection shape through
+// one runner: an injected error fails the cell (machine pooled again),
+// an injected panic takes the containment path (machine dropped, error
+// classified ErrPanic), and removing the hook restores clean runs that
+// match an uninjected reference bit-for-bit.
+func TestFaultHookInjectsRunFaults(t *testing.T) {
+	prof := testProfile(t)
+	cfg := espConfig()
+	r := NewRunner()
+	want, err := r.RunCell("ref", prof, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls []FaultPoint
+	fail := "error"
+	r.SetFaultHook(func(p FaultPoint) error {
+		calls = append(calls, p)
+		if p.Op != "run" {
+			return nil
+		}
+		switch fail {
+		case "error":
+			return fmt.Errorf("injected")
+		case "panic":
+			panic("injected panic")
+		}
+		return nil
+	})
+
+	if _, err := r.RunCell("cell", prof, cfg, 0); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("injected error did not surface: %v", err)
+	} else if errors.Is(err, ErrPanic) {
+		t.Fatalf("plain injected error classified as panic: %v", err)
+	}
+	fail = "panic"
+	if _, err := r.RunCell("cell", prof, cfg, 0); !errors.Is(err, ErrPanic) {
+		t.Fatalf("injected panic not classified ErrPanic: %v", err)
+	}
+	fail = "none"
+	res, err := r.RunCell("cell", prof, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatal("post-fault replay deviates from the uninjected reference")
+	}
+	r.SetFaultHook(nil)
+	if _, err := r.RunCell("cell", prof, cfg, 0); err != nil {
+		t.Fatalf("removed hook still faults: %v", err)
+	}
+	if len(calls) == 0 {
+		t.Fatal("fault hook never called")
+	}
+}
+
+// TestFaultHookBuildFailureNotSticky: an injected workload-build failure
+// surfaces as ErrBuild, and — unlike a cached workload — is dropped from
+// the cache, so the next attempt rebuilds and succeeds.
+func TestFaultHookBuildFailureNotSticky(t *testing.T) {
+	prof := testProfile(t)
+	cfg := espConfig()
+	r := NewRunner()
+	failures := 1
+	r.SetFaultHook(func(p FaultPoint) error {
+		if p.Op == "build" && failures > 0 {
+			failures--
+			return fmt.Errorf("injected build failure")
+		}
+		return nil
+	})
+	if _, err := r.RunCell("cell", prof, cfg, 0); !errors.Is(err, ErrBuild) {
+		t.Fatalf("injected build failure not classified ErrBuild: %v", err)
+	}
+	res, err := r.RunCell("cell", prof, cfg, 0)
+	if err != nil {
+		t.Fatalf("retry after transient build failure: %v", err)
+	}
+	r.SetFaultHook(nil)
+	want, err := NewRunner().RunCell("ref", prof, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatal("rebuilt workload deviates from a fresh runner's result")
+	}
+	p := r.Perf()
+	if p.WorkloadReuses != 0 {
+		t.Fatalf("failed build was reused: %+v", p)
 	}
 }
 
