@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-go bench-guard fuzz-smoke chaos leak tier1 clean
+.PHONY: all build vet test race bench bench-go bench-guard fuzz-smoke chaos cluster-chaos leak tier1 clean
 
 all: tier1
 
@@ -49,18 +49,28 @@ chaos:
 leak:
 	$(GO) test -race -count=1 -run 'TestAdmissionNoLeak|TestErrorPathsNoLeak' ./internal/serve -v
 
+# cluster-chaos is the fleet-level soak under the race detector: a
+# seeded sharded sweep over three in-process workers, one killed
+# mid-shard and one quarantined behind injected network faults, must
+# complete via journal handoff bit-identical to the single-node golden
+# corpus, refuse digest-mismatched journals, and report every
+# quarantine, reschedule, and steal on the coordinator's /metrics.
+cluster-chaos:
+	$(GO) test -race -count=1 -run 'TestClusterChaos|TestHandoffDigestMismatch|TestProbeQuarantines' ./internal/cluster -v
+
 # fuzz-smoke gives every fuzz target a short adversarial shake on each
 # gate run (FUZZTIME per target); longer campaigns raise FUZZTIME.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFile -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzRunRequest -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
 # tier1 is the robustness gate: everything must be green before merge.
 # race already runs the chaos soak and leak tests (they live in the
 # normal test set); leak re-runs them uncached so the gate cannot be
 # satisfied by a stale pass.
-tier1: vet build race fuzz-smoke leak
+tier1: vet build race fuzz-smoke leak cluster-chaos
 
 clean:
 	$(GO) clean ./...

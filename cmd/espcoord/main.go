@@ -1,0 +1,110 @@
+// Command espcoord is the sweep coordinator for a fleet of espd
+// workers: it accepts the same POST /sweep as a single daemon, shards
+// the grid application-by-application with affinity placement (every
+// configuration of one application goes to one worker, keeping its
+// workload cache and machine pools hot), quarantines sick or flaky
+// workers behind escalating circuit breakers fed by health probes,
+// lets idle workers steal shards from stragglers, and — when the
+// fleet shares a checkpoint directory — hands a dead worker's journal
+// to a peer so completed cells replay instead of re-simulating.
+//
+// Endpoints:
+//
+//	POST /sweep    {"apps":[...],"configs":[...],"sweep_id":"..."}  -> merged grid
+//	GET  /metrics  shards, steals, reschedules, quarantines, handoffs -> JSON
+//	GET  /workers  app→worker placements + per-worker breaker state
+//	GET  /healthz  coordinator liveness
+//
+// Usage:
+//
+//	espcoord -worker w0=http://host0:8080 -worker w1=http://host1:8080 \
+//	         [-addr :8090] [-checkpoint-dir DIR] [-max-attempts 3] \
+//	         [-breaker-threshold 2] [-breaker-cooldown 15s] [-breaker-max-cooldown 2m] \
+//	         [-probe-interval 5s] [-log text|json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"espsim/internal/cluster"
+)
+
+// workerFlags collects repeated -worker name=url pairs.
+type workerFlags []string
+
+func (w *workerFlags) String() string     { return strings.Join(*w, ",") }
+func (w *workerFlags) Set(v string) error { *w = append(*w, v); return nil }
+
+func main() {
+	var workers workerFlags
+	flag.Var(&workers, "worker", "fleet member as name=url (repeatable)")
+	var (
+		addr          = flag.String("addr", ":8090", "listen address")
+		checkpointDir = flag.String("checkpoint-dir", "", "journal directory the fleet shares (enables handoff; empty: recompute on reschedule)")
+		maxAttempts   = flag.Int("max-attempts", 3, "workers a shard may fail on before its cells are reported failed")
+		breakerThresh = flag.Int("breaker-threshold", 2, "consecutive failures that quarantine a worker (negative: disabled)")
+		breakerCool   = flag.Duration("breaker-cooldown", 15*time.Second, "first quarantine length; re-trips double it")
+		breakerMax    = flag.Duration("breaker-max-cooldown", 2*time.Minute, "escalation cap")
+		probeInterval = flag.Duration("probe-interval", 5*time.Second, "health probe spacing (0: disabled)")
+		logFmt        = flag.String("log", "text", "log format: text or json")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFmt {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "espcoord: unknown -log format %q (text or json)\n", *logFmt)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	if len(workers) == 0 {
+		fmt.Fprintln(os.Stderr, "espcoord: at least one -worker name=url is required")
+		os.Exit(2)
+	}
+	fleet := make([]cluster.Worker, 0, len(workers))
+	for _, spec := range workers {
+		name, url, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || url == "" {
+			fmt.Fprintf(os.Stderr, "espcoord: -worker %q is not name=url\n", spec)
+			os.Exit(2)
+		}
+		fleet = append(fleet, cluster.NewHTTPWorker(name, url, nil))
+	}
+
+	coord, err := cluster.New(cluster.Options{
+		Workers:            fleet,
+		MaxShardAttempts:   *maxAttempts,
+		BreakerThreshold:   *breakerThresh,
+		BreakerCooldown:    *breakerCool,
+		BreakerMaxCooldown: *breakerMax,
+		ProbeInterval:      *probeInterval,
+		CheckpointDir:      *checkpointDir,
+		Logger:             log,
+	})
+	if err != nil {
+		log.Error("espcoord: assembling fleet", "err", err.Error())
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           cluster.NewServer(coord),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Info("espcoord listening", "addr", *addr, "workers", len(fleet), "checkpoint_dir", *checkpointDir)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		log.Error("espcoord: serve", "err", err.Error())
+		os.Exit(1)
+	}
+}

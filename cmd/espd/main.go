@@ -10,13 +10,14 @@
 //
 //	POST /run      {"app":"amazon","config":"ESP+NL"}           -> one Result
 //	POST /sweep    {"apps":[...],"configs":[...]}               -> a grid, batched by workload
+//	GET  /journalz ?sweep_id=ID                                 -> checkpoint journal peek (handoff)
 //	GET  /metrics  cells, cache hits, retries, breakers, ...    -> JSON
 //	GET  /healthz  liveness (always 200 while the process serves)
 //	GET  /readyz   readiness (503 while draining or mostly quarantined)
 //
 // Usage:
 //
-//	espd [-addr :8080] [-workers N] [-queue 64] [-cache 32]
+//	espd [-name espd] [-addr :8080] [-workers N] [-queue 64] [-cache 32]
 //	     [-timeout 2m] [-log text|json] [-checkpoint-dir DIR]
 //	     [-retries 3] [-breaker-threshold 5] [-breaker-cooldown 30s]
 package main
@@ -39,6 +40,7 @@ import (
 
 func main() {
 	var (
+		name    = flag.String("name", "espd", "node name reported in logs and /metrics (espcoord fleet label)")
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "concurrent simulation workers (0: NumCPU)")
 		queue   = flag.Int("queue", 64, "queued requests beyond the running ones before 429")
@@ -73,6 +75,7 @@ func main() {
 	}
 
 	srv := serve.New(serve.Options{
+		Name:             *name,
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		WorkloadCap:      *cache,
@@ -118,8 +121,16 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Error("espd: shutdown", "err", err.Error())
 		}
-		if err := srv.Drain(shutdownCtx); err != nil {
-			log.Error("espd: drain", "err", err.Error())
+		drainErr := srv.Drain(shutdownCtx)
+		// Close after the drain either finished or timed out: any sweep
+		// journal a handler did not release is fsync'd and closed here,
+		// so the files on disk end bit-complete — the whole point of a
+		// drain over a kill for a daemon that checkpoints.
+		if err := srv.Close(); err != nil {
+			log.Error("espd: close", "err", err.Error())
+		}
+		if drainErr != nil {
+			log.Error("espd: drain", "err", drainErr.Error())
 			os.Exit(1)
 		}
 		log.Info("espd: drained cleanly")

@@ -26,6 +26,7 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -48,11 +49,44 @@ const maxRecordBytes = 16 << 20
 // unlike a torn tail, there is nothing safe to resume from.
 var ErrCorrupt = errors.New("checkpoint: journal corrupt")
 
+// ErrClosed reports an Append against a journal that was already
+// closed — a drained daemon must never write past its own shutdown.
+var ErrClosed = errors.New("checkpoint: journal closed")
+
+// Meta is the typed journal header shared by espd sweeps and espcoord
+// shard handoff: which sweep (and, for a coordinator-sharded grid,
+// which shard) the records belong to, and a digest pinning every
+// request knob that shapes results. A journal whose digest does not
+// match the work being resumed must not be replayed — it would splice
+// cells from a different grid.
+type Meta struct {
+	Version int    `json:"version"`
+	SweepID string `json:"sweep_id"`
+	Shard   string `json:"shard,omitempty"`
+	Digest  string `json:"digest"`
+}
+
+// Encode renders the header frame payload.
+func (m Meta) Encode() []byte {
+	b, _ := json.Marshal(m) // no unmarshalable fields
+	return b
+}
+
+// DecodeMeta parses a header frame payload.
+func DecodeMeta(raw []byte) (Meta, error) {
+	var m Meta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Meta{}, fmt.Errorf("checkpoint: decoding header: %w", err)
+	}
+	return m, nil
+}
+
 // Journal is an open, append-ready checkpoint file. Not safe for
 // concurrent use; callers serialize Append (espd holds one mutex per
 // sweep journal).
 type Journal struct {
-	f *os.File
+	f      *os.File
+	closed bool
 }
 
 // Open opens the journal at path, creating it (with header) if absent.
@@ -131,6 +165,9 @@ func Open(path string, header []byte) (j *Journal, storedHeader []byte, records 
 // Append writes one record frame and fsyncs, so a record that Append
 // reported written survives a crash.
 func (j *Journal) Append(rec []byte) error {
+	if j.closed {
+		return ErrClosed
+	}
 	if err := writeFrame(j.f, rec); err != nil {
 		return err
 	}
@@ -140,8 +177,68 @@ func (j *Journal) Append(rec []byte) error {
 	return nil
 }
 
-// Close releases the file.
-func (j *Journal) Close() error { return j.f.Close() }
+// Close fsyncs and releases the file, and guards against further
+// appends. Every Append already synced its own frame, so the final
+// sync is belt-and-suspenders for a drained (not crashed) shutdown: a
+// journal a daemon closed on its way out is bit-complete on disk, with
+// no torn tail for the successor to truncate. Idempotent.
+func (j *Journal) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	return nil
+}
+
+// Peek replays a journal read-only: the decoded header, every intact
+// record, and whether a torn tail was found (reported, not truncated —
+// Peek must not mutate a file another process may still own). This is
+// the coordinator's handoff view: when a worker dies mid-shard, Peek
+// on its shard journal tells the coordinator what completed and lets
+// it digest-check the header before resuming the rest on a peer.
+func Peek(path string) (meta Meta, records [][]byte, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, nil, false, fmt.Errorf("checkpoint: peek %s: %w", path, err)
+	}
+	defer f.Close()
+
+	var gotMagic [8]byte
+	if _, rerr := io.ReadFull(f, gotMagic[:]); rerr != nil || gotMagic != magic {
+		return Meta{}, nil, false, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	rawHeader, _, ok, err := readFrame(f)
+	if err != nil {
+		return Meta{}, nil, false, err
+	}
+	if !ok || rawHeader == nil {
+		return Meta{}, nil, false, fmt.Errorf("%w: %s: damaged header frame", ErrCorrupt, path)
+	}
+	meta, err = DecodeMeta(rawHeader)
+	if err != nil {
+		return Meta{}, nil, false, fmt.Errorf("%w: %s: unreadable header", ErrCorrupt, path)
+	}
+	for {
+		rec, _, ok, rerr := readFrame(f)
+		if rerr != nil {
+			return Meta{}, nil, false, rerr
+		}
+		if !ok {
+			return meta, records, true, nil // torn tail
+		}
+		if rec == nil {
+			return meta, records, false, nil // clean EOF
+		}
+		records = append(records, rec)
+	}
+}
 
 // writeFrame emits length + CRC + payload.
 func writeFrame(w io.Writer, payload []byte) error {

@@ -184,3 +184,105 @@ func TestOpenRejectsUnreadableDir(t *testing.T) {
 		t.Fatalf("I/O failure misclassified as corruption: %v", err)
 	}
 }
+
+// TestPeekReadOnly: Peek replays header and records without taking
+// over the file — a torn tail is reported, not truncated.
+func TestPeekReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.espj")
+	meta := Meta{Version: 1, SweepID: "s1", Shard: "amazon", Digest: "abc"}
+	j := openFresh(t, path, meta.Encode())
+	want := [][]byte{[]byte("r0"), []byte("r1"), []byte("r2")}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, records, torn, err := Peek(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("peeked meta %+v, want %+v", got, meta)
+	}
+	if torn {
+		t.Fatal("clean journal reported torn")
+	}
+	if len(records) != len(want) {
+		t.Fatalf("peeked %d records, want %d", len(records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(records[i], want[i]) {
+			t.Fatalf("record %d: %q, want %q", i, records[i], want[i])
+		}
+	}
+
+	// Tear the tail: Peek reports it and must not shrink the file.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tornRaw := append(raw, 0x07, 0x00, 0x00)
+	if err := os.WriteFile(path, tornRaw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, records, torn, err = Peek(path)
+	if err != nil || !torn || len(records) != len(want) {
+		t.Fatalf("torn peek: %d records torn=%v err=%v", len(records), torn, err)
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() != int64(len(tornRaw)) {
+		t.Fatalf("Peek mutated the file: size %d, want %d", info.Size(), len(tornRaw))
+	}
+
+	// Missing file and corrupt headers are loud.
+	if _, _, _, err := Peek(filepath.Join(t.TempDir(), "nope.espj")); err == nil {
+		t.Fatal("peek of a missing journal succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.espj")
+	if err := os.WriteFile(bad, []byte("NOTAJRNLxxxxxxxx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Peek(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt peek: %v", err)
+	}
+}
+
+// TestCloseGuardsAppends: Close fsyncs, is idempotent, and a
+// post-close Append is refused with ErrClosed instead of writing
+// through a dead handle.
+func TestCloseGuardsAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.espj")
+	j := openFresh(t, path, []byte("h"))
+	if err := j.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := j.Append([]byte("two")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	_, _, records, err := Open(path, nil)
+	if err != nil || len(records) != 1 {
+		t.Fatalf("journal after close: %d records, err %v", len(records), err)
+	}
+}
+
+// TestMetaRoundTrip: Encode/DecodeMeta are inverses and reject
+// garbage.
+func TestMetaRoundTrip(t *testing.T) {
+	m := Meta{Version: 1, SweepID: "fig9", Shard: "cnn", Digest: "deadbeef"}
+	got, err := DecodeMeta(m.Encode())
+	if err != nil || got != m {
+		t.Fatalf("round trip: %+v, err %v", got, err)
+	}
+	if _, err := DecodeMeta([]byte("not json")); err == nil {
+		t.Fatal("DecodeMeta accepted garbage")
+	}
+}

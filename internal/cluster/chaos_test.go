@@ -1,0 +1,237 @@
+package cluster
+
+// TestClusterChaos is the acceptance gate for the cluster plane: a
+// seeded 4×4 sweep sharded over three in-process workers, where one
+// worker is killed mid-shard (after journaling two cells) and another
+// is quarantined behind an always-failing network link. The sweep
+// must complete via journal handoff — the dead worker's two durable
+// cells replay on the adopting peer, the rest recompute — and the
+// merged grid must be bit-identical to the single-node golden corpus,
+// with the coordinator's metrics accounting for every quarantine,
+// reschedule, steal, and handoff.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"espsim/internal/fault"
+	"espsim/internal/serve"
+	"espsim/internal/sim"
+)
+
+func TestClusterChaos(t *testing.T) {
+	golden := readGoldenCorpus(t)
+	dir := t.TempDir() // the fleet-shared checkpoint volume
+
+	workerOpts := func(name string) serve.Options {
+		return serve.Options{
+			Name:          name,
+			Workers:       2,
+			CheckpointDir: dir,
+			Retry:         fault.RetryPolicy{MaxAttempts: 1},
+			// Node-level quarantine is the coordinator's job here;
+			// per-cell breakers off keeps the failure schedule exact.
+			BreakerThreshold: -1,
+			Logger:           quietLogger(),
+		}
+	}
+
+	// w0 dies mid-shard: its third simulated cell (and every one
+	// after) fails as the process "loses power", with two cells
+	// already durable in the shard journal.
+	var w0 *LocalWorker
+	var w0Runs atomic.Int64
+	opt0 := workerOpts("w0")
+	opt0.FaultHook = func(pt sim.FaultPoint) error {
+		if pt.Op != "run" {
+			return nil
+		}
+		if w0Runs.Add(1) > 2 {
+			w0.Kill()
+			return fmt.Errorf("%w: node lost power", fault.ErrInjected)
+		}
+		return nil
+	}
+	w0 = NewLocalWorker("w0", serve.New(opt0))
+	w1 := newWorker("w1", workerOpts("w1"))
+	w2 := newWorker("w2", workerOpts("w2"))
+
+	// w2 sits behind a dead network link: every sweep, probe, and
+	// journal call fails until healed (it never is).
+	plan := &fault.NetPlan{Seed: 6}
+	plan.Always("w2", fault.NetErr)
+
+	c, err := New(Options{
+		Workers: []Worker{w0, w1, WithNetPlan(w2, plan)},
+		// Deterministic placement: the dying worker owns two shards
+		// (one dies mid-flight, one must be stolen), the quarantined
+		// worker owns one, the survivor owns one and adopts the rest.
+		Pin:              map[string]string{"amazon": "w0", "bing": "w1", "cnn": "w2", "facebook": "w0"},
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour, // no un-quarantine inside the test
+		MaxShardAttempts: 4,
+		ProbeInterval:    10 * time.Millisecond,
+		CheckpointDir:    dir,
+		Logger:           quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Run(context.Background(), gridRequest("chaos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-identical to a single node under this failure schedule.
+	assertGridParity(t, golden, resp)
+
+	// The dead worker's journal was adopted: exactly its two durable
+	// cells replayed instead of re-simulating.
+	resumed := 0
+	for _, cell := range resp.Cells {
+		if cell.Resumed {
+			resumed++
+			if cell.App != "amazon" {
+				t.Errorf("cell %s/%s resumed; only the dead worker's amazon shard had a journal", cell.App, cell.Config)
+			}
+		}
+	}
+	if resumed != 2 {
+		t.Errorf("%d cells resumed from the handoff journal, want the 2 w0 journaled before dying", resumed)
+	}
+
+	// The coordinator's /metrics tells the whole story (served over
+	// the espcoord HTTP facade, as a fleet operator would read it).
+	srv := NewServer(c)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("coordinator /metrics: status %d", rec.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	if snap.Shards.Done != 4 || snap.Shards.Failed != 0 {
+		t.Fatalf("shards done=%d failed=%d, want 4/0", snap.Shards.Done, snap.Shards.Failed)
+	}
+	// Exactly two nodes were quarantined: the dead one and the
+	// partitioned one, each tripping its breaker once.
+	if snap.Quarantine.Trips != 2 {
+		t.Errorf("quarantine trips %d, want exactly 2 (dead w0, faulted w2)", snap.Quarantine.Trips)
+	}
+	states := map[string]string{}
+	for _, ws := range snap.Workers {
+		states[ws.Name] = ws.Breaker
+	}
+	if states["w0"] != "open" || states["w2"] != "open" || states["w1"] != "closed" {
+		t.Errorf("breaker states %v, want w0/w2 open and w1 closed", states)
+	}
+	// Both lost shards were rescheduled at least once, and the
+	// survivor stole every shard it completed beyond its own.
+	if snap.Shards.Reschedules < 2 {
+		t.Errorf("reschedules %d, want >= 2 (amazon off the dead node, cnn off the faulted one)", snap.Shards.Reschedules)
+	}
+	if snap.Shards.Steals < 3 {
+		t.Errorf("steals %d, want >= 3 (w1 completed amazon, cnn, and facebook for their owners)", snap.Shards.Steals)
+	}
+	if snap.Handoff.Journals != 1 {
+		t.Errorf("journal handoffs %d, want exactly 1 (the dead worker's amazon journal)", snap.Handoff.Journals)
+	}
+	if snap.Handoff.ResumedCells != 2 {
+		t.Errorf("resumed cells %d, want 2", snap.Handoff.ResumedCells)
+	}
+	if snap.Handoff.DigestMismatches != 0 {
+		t.Errorf("digest mismatches %d, want 0 — the handoff journal described this very sweep", snap.Handoff.DigestMismatches)
+	}
+	if snap.NetFaults == 0 {
+		t.Error("no network faults counted despite an always-failing link")
+	}
+	if snap.Health.Probes == 0 || snap.Health.Failures == 0 {
+		t.Errorf("prober ran %d probes with %d failures, want both > 0", snap.Health.Probes, snap.Health.Failures)
+	}
+}
+
+// TestHandoffDigestMismatch pins the safety side of handoff: a shard
+// journal whose digest describes different work (here: a different
+// grid scale journaled under the same sweep_id) must not be resumed —
+// the shard reruns journal-less and the conflict is counted.
+func TestHandoffDigestMismatch(t *testing.T) {
+	golden := readGoldenCorpus(t)
+	dir := t.TempDir()
+
+	// Seed a journal for bing under the scoped id, but for a sweep
+	// with different result-shaping knobs (MaxEvents 8, not 48).
+	seeder := newWorker("seed", serve.Options{Workers: 1, CheckpointDir: dir, Logger: quietLogger()})
+	seedReq := serve.SweepRequest{
+		Apps: []string{"bing"}, Configs: gridConfigs,
+		SweepID: "mix.bing", Shard: "bing", MaxEvents: 8,
+	}
+	if _, err := seeder.Sweep(context.Background(), seedReq); err != nil {
+		t.Fatalf("seeding the conflicting journal: %v", err)
+	}
+
+	// The owner's first attempt trips over the conflicting journal
+	// (espd refuses to splice sweeps), which reads as a shard failure;
+	// the reschedule path must then inspect, refuse, and drop the
+	// journal rather than hand it off.
+	owner := newWorker("owner", serve.Options{Workers: 2, CheckpointDir: dir})
+	steady := newWorker("steady", serve.Options{Workers: 2, CheckpointDir: dir})
+
+	c, err := New(Options{
+		Workers:          []Worker{owner, steady},
+		Pin:              map[string]string{"bing": "owner"},
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+		MaxShardAttempts: 3,
+		CheckpointDir:    dir,
+		Logger:           quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := serve.SweepRequest{Apps: []string{"bing"}, Configs: gridConfigs, SweepID: "mix", MaxEvents: goldenMaxEvents}
+	resp, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != len(gridConfigs) {
+		t.Fatalf("merged sweep has %d cells, want %d", len(resp.Cells), len(gridConfigs))
+	}
+	for _, cell := range resp.Cells {
+		key := cell.App + "/" + cell.Config
+		if cell.Result == nil {
+			t.Fatalf("cell %s has no result: %q", key, cell.Error)
+		}
+		if cell.Resumed {
+			t.Errorf("cell %s resumed from a digest-mismatched journal — spliced grids", key)
+		}
+		if got, want := *cell.Result, golden[key]; !jsonEqual(got, want) {
+			t.Errorf("cell %s deviates from the golden corpus", key)
+		}
+	}
+	snap := c.Metrics()
+	if snap.Handoff.DigestMismatches != 1 {
+		t.Errorf("digest mismatches %d, want exactly 1", snap.Handoff.DigestMismatches)
+	}
+	if snap.Handoff.Journals != 0 {
+		t.Errorf("journal handoffs %d, want 0 — the stale journal must not be adopted", snap.Handoff.Journals)
+	}
+}
+
+// jsonEqual compares two values by canonical JSON (the corpus and the
+// wire both round-trip through encoding/json).
+func jsonEqual(a, b any) bool {
+	ra, _ := json.Marshal(a)
+	rb, _ := json.Marshal(b)
+	return string(ra) == string(rb)
+}

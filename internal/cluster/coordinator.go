@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"espsim/internal/checkpoint"
+	"espsim/internal/fault"
+	"espsim/internal/serve"
+	"espsim/internal/workload"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers is the fleet, in a stable order (placement hashes names,
+	// so order only affects log readability). Required, names unique.
+	Workers []Worker
+	// Pin overrides rendezvous placement per application (hot-spot
+	// isolation, deterministic tests). Unknown worker names are
+	// ignored and fall back to hashing.
+	Pin map[string]string
+	// MaxShardAttempts bounds how many workers a shard may burn before
+	// its cells are reported failed (default 3; at least 1).
+	MaxShardAttempts int
+	// BreakerThreshold is how many consecutive failures quarantine a
+	// node (default 2; negative disables node breakers).
+	BreakerThreshold int
+	// BreakerCooldown is the first quarantine's length (default 15s);
+	// consecutive re-trips double it up to BreakerMaxCooldown
+	// (default 2m).
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// ProbeInterval spaces background health probes while a sweep
+	// runs; 0 disables probing (failures still quarantine via the
+	// sweep path).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default 2s).
+	ProbeTimeout time.Duration
+	// CheckpointDir is the journal directory the fleet shares, when it
+	// does (local fleets, network volumes). It enables journal
+	// handoff: a dead worker's shard journal is digest-checked here
+	// and its completed cells replay on whichever peer adopts the
+	// shard. Empty: peers recompute instead (same results, more work).
+	CheckpointDir string
+	// Logger receives scheduling decisions (default slog.Default).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxShardAttempts < 1 {
+		o.MaxShardAttempts = 3
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 2
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 15 * time.Second
+	}
+	if o.BreakerMaxCooldown <= 0 {
+		o.BreakerMaxCooldown = 2 * time.Minute
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// maxCoordSweepID bounds a coordinated sweep_id so the shard-scoped
+// "<id>.<app>" journal names stay within the worker's 64-char limit.
+const maxCoordSweepID = 48
+
+// Coordinator shards sweeps across a fleet of espd workers. One
+// Coordinator serves many Run calls; node breakers and counters are
+// fleet state, shared across sweeps.
+type Coordinator struct {
+	opt      Options
+	log      *slog.Logger
+	names    []string // placement domain, stable order
+	workers  map[string]Worker
+	breakers *fault.BreakerSet
+	met      counters
+}
+
+// New assembles a Coordinator.
+func New(opt Options) (*Coordinator, error) {
+	opt = opt.withDefaults()
+	if len(opt.Workers) == 0 {
+		return nil, errors.New("cluster: at least one worker is required")
+	}
+	c := &Coordinator{
+		opt:      opt,
+		log:      opt.Logger,
+		workers:  make(map[string]Worker, len(opt.Workers)),
+		breakers: fault.NewEscalatingBreakerSet(opt.BreakerThreshold, opt.BreakerCooldown, opt.BreakerMaxCooldown),
+	}
+	for _, w := range opt.Workers {
+		name := w.Name()
+		if name == "" {
+			return nil, errors.New("cluster: worker with an empty name")
+		}
+		if _, dup := c.workers[name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate worker name %q", name)
+		}
+		c.workers[name] = w
+		c.names = append(c.names, name)
+	}
+	return c, nil
+}
+
+// Metrics renders the coordinator's snapshot, one worker row per
+// fleet member in stable order.
+func (c *Coordinator) Metrics() Snapshot {
+	s := c.met.snapshot()
+	for _, name := range c.names {
+		s.Workers = append(s.Workers, WorkerState{Name: name, Breaker: c.breakers.StateOf(name)})
+	}
+	s.Quarantine.Trips = c.breakers.Trips()
+	s.Quarantine.Skips = c.breakers.Skips()
+	s.Quarantine.Open = int64(c.breakers.OpenCount())
+	return s
+}
+
+// Run shards req application-by-application across the fleet and
+// merges the shard responses into one grid, cells in app-major
+// request order — the same shape a single espd answers. Shard
+// failures degrade to per-cell errors; Run itself only fails on an
+// invalid request or a canceled context.
+func (c *Coordinator) Run(ctx context.Context, req serve.SweepRequest) (serve.SweepResponse, error) {
+	if len(req.Configs) == 0 {
+		return serve.SweepResponse{}, errors.New("cluster: configs required")
+	}
+	if len(req.SweepID) > maxCoordSweepID {
+		return serve.SweepResponse{}, fmt.Errorf("cluster: sweep_id must be at most %d characters (shard journals append \".<app>\"), got %d",
+			maxCoordSweepID, len(req.SweepID))
+	}
+	apps := req.Apps
+	if len(apps) == 0 {
+		for _, p := range workload.Suite() {
+			apps = append(apps, p.Name)
+		}
+	}
+
+	shards := make([]*shard, len(apps))
+	for i, app := range apps {
+		preferred := c.opt.Pin[app]
+		if _, ok := c.workers[preferred]; !ok {
+			preferred = Place(app, c.names)
+		}
+		shards[i] = &shard{app: app, preferred: preferred}
+		c.log.Info("cluster placement", "app", app, "worker", preferred)
+	}
+	q := newShardQueue(shards)
+
+	// Cancellation, breaker-cooldown re-checks, and optional health
+	// probing all run beside the worker loops for the sweep's duration.
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	var aux sync.WaitGroup
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		ticker := time.NewTicker(25 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				q.close()
+				return
+			case <-ticker.C:
+				q.poke()
+			}
+		}
+	}()
+	if c.opt.ProbeInterval > 0 {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			c.probeLoop(runCtx)
+		}()
+	}
+
+	start := time.Now()
+	merged := &mergeSet{cells: make(map[string][]serve.SweepCell, len(apps))}
+	var wg sync.WaitGroup
+	for _, name := range c.names {
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			c.runWorker(runCtx, w, q, req, merged)
+		}(c.workers[name])
+	}
+	wg.Wait()
+	stop()
+	aux.Wait()
+	if err := ctx.Err(); err != nil {
+		return serve.SweepResponse{}, fmt.Errorf("cluster: sweep canceled: %w", err)
+	}
+
+	resp := serve.SweepResponse{WallMs: float64(time.Since(start).Microseconds()) / 1e3}
+	for _, app := range apps {
+		resp.Cells = append(resp.Cells, merged.get(app)...)
+	}
+	c.met.SweepsDone.Add(1)
+	return resp, nil
+}
+
+// runWorker is one fleet member's scheduling loop: take a shard
+// (affinity first, steal otherwise), run it, merge or reschedule.
+// The node breaker gates admission — a quarantined worker waits
+// instead of burning shard attempts.
+func (c *Coordinator) runWorker(ctx context.Context, w Worker, q *shardQueue, req serve.SweepRequest, merged *mergeSet) {
+	name := w.Name()
+	allowed := func() bool { return c.breakers.Allow(name) }
+	for {
+		sh := q.take(name, allowed)
+		if sh == nil {
+			return
+		}
+		if sh.preferred != name {
+			c.met.Steals.Add(1)
+			c.log.Info("cluster steal", "app", sh.app, "worker", name, "preferred", sh.preferred)
+		}
+		sh.last = name
+		resp, err := w.Sweep(ctx, shardRequest(req, sh))
+		if err != nil {
+			c.breakers.Record(name, false)
+			if errors.Is(err, fault.ErrNet) {
+				c.met.NetFaults.Add(1)
+			}
+			sh.attempts++
+			c.log.Warn("cluster shard attempt failed", "app", sh.app, "worker", name,
+				"attempt", sh.attempts, "err", err.Error())
+			if sh.attempts >= c.opt.MaxShardAttempts {
+				c.met.ShardsFailed.Add(1)
+				merged.fail(sh.app, req.Configs, err)
+				q.done()
+				continue
+			}
+			c.met.Reschedules.Add(1)
+			c.inspectJournal(sh, req)
+			q.requeue(sh)
+			continue
+		}
+		c.breakers.Record(name, true)
+		for _, cell := range resp.Cells {
+			if cell.Resumed {
+				c.met.ResumedCells.Add(1)
+			}
+		}
+		merged.put(sh.app, resp.Cells)
+		c.met.ShardsDone.Add(1)
+		q.done()
+	}
+}
+
+// shardRequest scopes the sweep request to one shard: a single app,
+// the shard label, and a shard-scoped sweep_id so each worker
+// journals its own slice of the grid (and a handed-off shard resumes
+// the dead worker's journal by name).
+func shardRequest(req serve.SweepRequest, sh *shard) serve.SweepRequest {
+	sreq := req
+	sreq.Apps = []string{sh.app}
+	sreq.Shard = sh.app
+	if req.SweepID != "" && !sh.noJournal {
+		sreq.SweepID = req.SweepID + "." + sh.app
+	} else {
+		sreq.SweepID = ""
+	}
+	return sreq
+}
+
+// inspectJournal is the handoff step between a failed attempt and the
+// reschedule: when the fleet shares a checkpoint directory, peek the
+// shard's journal and digest-check its header. A matching journal
+// with completed cells means the adopting peer will resume them — a
+// handoff, counted once. A mismatched or corrupt journal must not be
+// resumed (it describes different work): the shard reruns journal-less
+// rather than splicing, and the conflict is counted.
+func (c *Coordinator) inspectJournal(sh *shard, req serve.SweepRequest) {
+	if c.opt.CheckpointDir == "" || req.SweepID == "" || sh.noJournal {
+		return
+	}
+	scoped := req.SweepID + "." + sh.app
+	meta, records, _, err := checkpoint.Peek(filepath.Join(c.opt.CheckpointDir, scoped+".espj"))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return // nothing journaled before the failure
+	case errors.Is(err, checkpoint.ErrCorrupt):
+		sh.noJournal = true
+		c.met.DigestMismatches.Add(1)
+		c.log.Warn("cluster handoff: journal unusable", "app", sh.app, "sweep_id", scoped, "err", err.Error())
+		return
+	case err != nil:
+		return // unreadable (transient IO): let the peer's own open decide
+	}
+	want := serve.SweepDigest([]string{sh.app}, req)
+	if meta.SweepID != scoped || meta.Shard != sh.app || meta.Digest != want {
+		sh.noJournal = true
+		c.met.DigestMismatches.Add(1)
+		c.log.Warn("cluster handoff: digest mismatch", "app", sh.app, "sweep_id", scoped,
+			"journal_digest", meta.Digest, "want", want)
+		return
+	}
+	if len(records) > 0 && !sh.handedOff {
+		sh.handedOff = true
+		c.met.JournalHandoffs.Add(1)
+		c.log.Info("cluster handoff: journal adopted", "app", sh.app, "sweep_id", scoped, "cells", len(records))
+	}
+}
+
+// probeLoop health-checks the fleet on the probe interval, feeding
+// outcomes into the node breakers: a worker that stops answering
+// /healthz or /readyz is quarantined without burning a shard attempt,
+// and a recovered worker closes its breaker on the next green probe.
+func (c *Coordinator) probeLoop(ctx context.Context) {
+	ticker := time.NewTicker(c.opt.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		for _, name := range c.names {
+			w := c.workers[name]
+			c.met.Probes.Add(1)
+			pctx, cancel := context.WithTimeout(ctx, c.opt.ProbeTimeout)
+			err := w.Probe(pctx)
+			cancel()
+			if err != nil {
+				c.met.ProbeFailures.Add(1)
+				c.breakers.Record(name, false)
+				c.log.Warn("cluster probe failed", "worker", name, "err", err.Error())
+				continue
+			}
+			c.breakers.Record(name, true)
+		}
+	}
+}
+
+// Placements reports the current owner of every application in the
+// fleet — the map GET /workers serves, sorted by app for stable output.
+func (c *Coordinator) Placements(apps []string) []Placement {
+	if len(apps) == 0 {
+		for _, p := range workload.Suite() {
+			apps = append(apps, p.Name)
+		}
+	}
+	out := make([]Placement, 0, len(apps))
+	for _, app := range apps {
+		preferred := c.opt.Pin[app]
+		if _, ok := c.workers[preferred]; !ok {
+			preferred = Place(app, c.names)
+		}
+		out = append(out, Placement{App: app, Worker: preferred})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}
+
+// Placement is one app→worker affinity assignment.
+type Placement struct {
+	App    string `json:"app"`
+	Worker string `json:"worker"`
+}
+
+// mergeSet collects shard responses keyed by app.
+type mergeSet struct {
+	mu    sync.Mutex
+	cells map[string][]serve.SweepCell
+}
+
+func (m *mergeSet) put(app string, cells []serve.SweepCell) {
+	m.mu.Lock()
+	m.cells[app] = cells
+	m.mu.Unlock()
+}
+
+// fail materializes a terminally failed shard as per-cell errors, the
+// same degraded shape espd itself uses — a lost shard never loses the
+// rest of the grid.
+func (m *mergeSet) fail(app string, configs []string, err error) {
+	cells := make([]serve.SweepCell, len(configs))
+	for i, cfg := range configs {
+		cells[i] = serve.SweepCell{
+			App:       app,
+			Config:    cfg,
+			Error:     err.Error(),
+			ErrorKind: string(fault.Classify(err)),
+		}
+	}
+	m.put(app, cells)
+}
+
+func (m *mergeSet) get(app string) []serve.SweepCell {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cells[app]
+}

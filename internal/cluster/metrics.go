@@ -1,0 +1,80 @@
+package cluster
+
+import "sync/atomic"
+
+// counters is the coordinator's observability plane: lock-free
+// cumulative counters for the scheduling and failure machinery.
+type counters struct {
+	SweepsDone       atomic.Int64
+	ShardsDone       atomic.Int64
+	ShardsFailed     atomic.Int64 // terminally failed after MaxShardAttempts
+	Steals           atomic.Int64 // shard taken by a non-preferred worker
+	Reschedules      atomic.Int64 // failed attempts put back on the queue
+	NetFaults        atomic.Int64 // attempts lost to the network layer
+	Probes           atomic.Int64
+	ProbeFailures    atomic.Int64
+	JournalHandoffs  atomic.Int64 // dead worker's journal adopted by a peer
+	DigestMismatches atomic.Int64 // journal refused: digest described different work
+	ResumedCells     atomic.Int64 // cells replayed from an adopted journal
+}
+
+// WorkerState is one fleet member's row in the snapshot.
+type WorkerState struct {
+	Name    string `json:"name"`
+	Breaker string `json:"breaker"` // closed | open | half_open
+}
+
+// Snapshot is the GET /metrics document of espcoord.
+type Snapshot struct {
+	Workers []WorkerState `json:"workers"`
+
+	Sweeps struct {
+		Done int64 `json:"done"`
+	} `json:"sweeps"`
+
+	Shards struct {
+		Done        int64 `json:"done"`
+		Failed      int64 `json:"failed"`
+		Steals      int64 `json:"steals"`
+		Reschedules int64 `json:"reschedules"`
+	} `json:"shards"`
+
+	// Quarantine mirrors the node breakers: trips is cumulative (how
+	// many times any node was quarantined), open is the gauge.
+	Quarantine struct {
+		Trips int64 `json:"trips"`
+		Skips int64 `json:"skips"`
+		Open  int64 `json:"open"`
+	} `json:"quarantine"`
+
+	Health struct {
+		Probes   int64 `json:"probes"`
+		Failures int64 `json:"failures"`
+	} `json:"health"`
+
+	Handoff struct {
+		Journals         int64 `json:"journals"`
+		DigestMismatches int64 `json:"digest_mismatches"`
+		ResumedCells     int64 `json:"resumed_cells"`
+	} `json:"handoff"`
+
+	NetFaults int64 `json:"net_faults"`
+}
+
+// snapshot renders the counters; the coordinator fills in the
+// breaker-derived fields.
+func (c *counters) snapshot() Snapshot {
+	var s Snapshot
+	s.Sweeps.Done = c.SweepsDone.Load()
+	s.Shards.Done = c.ShardsDone.Load()
+	s.Shards.Failed = c.ShardsFailed.Load()
+	s.Shards.Steals = c.Steals.Load()
+	s.Shards.Reschedules = c.Reschedules.Load()
+	s.Health.Probes = c.Probes.Load()
+	s.Health.Failures = c.ProbeFailures.Load()
+	s.Handoff.Journals = c.JournalHandoffs.Load()
+	s.Handoff.DigestMismatches = c.DigestMismatches.Load()
+	s.Handoff.ResumedCells = c.ResumedCells.Load()
+	s.NetFaults = c.NetFaults.Load()
+	return s
+}

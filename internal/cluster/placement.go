@@ -1,0 +1,24 @@
+package cluster
+
+import "hash/fnv"
+
+// Place picks the worker that owns key by rendezvous (highest random
+// weight) hashing: every coordinator computes the same owner with no
+// shared state, and removing one worker only moves the shards that
+// worker owned — the rest of the fleet keeps its cache-hot
+// assignments. Keys are applications, so every configuration of one
+// application lands on one node and reuses its materialized arena and
+// pooled machines across the whole shard.
+func Place(key string, workers []string) string {
+	best, bestScore := "", uint64(0)
+	for _, w := range workers {
+		h := fnv.New64a()
+		h.Write([]byte(w))
+		h.Write([]byte{'|'})
+		h.Write([]byte(key))
+		if score := h.Sum64(); best == "" || score > bestScore || (score == bestScore && w < best) {
+			best, bestScore = w, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"testing"
+
+	"espsim/internal/workload"
+)
+
+// TestPlacementAffinity pins the rendezvous-hash properties the
+// cluster plane relies on: determinism (every coordinator computes
+// the same owner), membership (the owner is a fleet member), spread
+// (the suite does not all land on one node), and minimal disruption
+// (removing a worker only moves the shards it owned).
+func TestPlacementAffinity(t *testing.T) {
+	fleet := []string{"w0", "w1", "w2"}
+	var apps []string
+	for _, p := range workload.Suite() {
+		apps = append(apps, p.Name)
+	}
+	if len(apps) < 4 {
+		t.Fatalf("suite has %d apps; placement spread needs a few", len(apps))
+	}
+
+	owners := make(map[string]string, len(apps))
+	used := make(map[string]bool)
+	for _, app := range apps {
+		owner := Place(app, fleet)
+		if owner != Place(app, fleet) {
+			t.Fatalf("app %s: placement is not deterministic", app)
+		}
+		found := false
+		for _, w := range fleet {
+			if w == owner {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("app %s placed on %q, not a fleet member", app, owner)
+		}
+		owners[app] = owner
+		used[owner] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("all %d apps landed on one worker; rendezvous spread is broken", len(apps))
+	}
+
+	// Worker order must not matter (no shared state, no config order
+	// dependence between coordinator replicas).
+	for _, app := range apps {
+		if got := Place(app, []string{"w2", "w0", "w1"}); got != owners[app] {
+			t.Errorf("app %s: owner %q under reordered fleet, want %q", app, got, owners[app])
+		}
+	}
+
+	// Removing w1: every app w1 did not own keeps its owner.
+	survivors := []string{"w0", "w2"}
+	for _, app := range apps {
+		moved := Place(app, survivors)
+		if owners[app] != "w1" && moved != owners[app] {
+			t.Errorf("app %s: owner moved %q -> %q though its worker survived", app, owners[app], moved)
+		}
+		if owners[app] == "w1" && moved == "w1" {
+			t.Errorf("app %s: still placed on the removed worker", app)
+		}
+	}
+}

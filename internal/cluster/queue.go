@@ -1,0 +1,113 @@
+package cluster
+
+import "sync"
+
+// shard is one unit of placement: one application, every requested
+// configuration. It carries its scheduling history so rescheduling
+// and steal accounting stay deterministic.
+type shard struct {
+	app       string
+	preferred string // affinity owner chosen at placement, never re-placed
+	attempts  int    // failed attempts so far
+	last      string // worker of the most recent attempt
+	noJournal bool   // digest mismatch found: resume would splice, run journal-less
+	handedOff bool   // journal adoption already counted for this shard
+}
+
+// shardQueue is the coordinator's work pool: a mutex/cond queue that
+// prefers affinity (a worker takes its own shards first) but lets an
+// idle worker steal anyone's shard, so one slow or dead node cannot
+// strand the tail of a sweep. outstanding counts shards not yet
+// merged (queued or in flight); when it hits zero every waiter wakes
+// and drains out.
+type shardQueue struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	ready       []*shard
+	outstanding int
+	closed      bool
+}
+
+func newShardQueue(shards []*shard) *shardQueue {
+	q := &shardQueue{ready: append([]*shard(nil), shards...), outstanding: len(shards)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// take blocks until a shard is available to worker (affinity first,
+// then shards last tried elsewhere, then anything), the queue closes,
+// or all work completes — the latter two return nil. allowed gates
+// admission (the caller's node breaker): while false the worker waits
+// without taking work; poke wakes it to re-check after cooldowns.
+func (q *shardQueue) take(worker string, allowed func() bool) *shard {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed || q.outstanding == 0 {
+			return nil
+		}
+		if allowed == nil || allowed() {
+			if i := q.pick(worker); i >= 0 {
+				sh := q.ready[i]
+				q.ready = append(q.ready[:i], q.ready[i+1:]...)
+				return sh
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// pick returns the index of the best shard for worker, or -1. Order
+// inside each preference class is FIFO, so placement order is honored
+// and reschedules go to the back half only by arrival time.
+func (q *shardQueue) pick(worker string) int {
+	for i, sh := range q.ready {
+		if sh.preferred == worker {
+			return i
+		}
+	}
+	for i, sh := range q.ready {
+		if sh.last != worker {
+			return i
+		}
+	}
+	if len(q.ready) > 0 {
+		return 0
+	}
+	return -1
+}
+
+// requeue puts a failed shard back for another worker; the shard
+// stays outstanding.
+func (q *shardQueue) requeue(sh *shard) {
+	q.mu.Lock()
+	q.ready = append(q.ready, sh)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// done retires one shard (merged or terminally failed).
+func (q *shardQueue) done() {
+	q.mu.Lock()
+	q.outstanding--
+	finished := q.outstanding == 0
+	q.mu.Unlock()
+	if finished {
+		q.cond.Broadcast()
+	}
+}
+
+// close aborts the queue (context cancellation): every waiter drains.
+func (q *shardQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// poke wakes every waiter to re-check its admission gate — the
+// coordinator ticks this so a worker whose breaker cooldown expired
+// starts taking work again without a dedicated timer per worker.
+func (q *shardQueue) poke() {
+	q.cond.Broadcast()
+}

@@ -1,0 +1,279 @@
+// Package cluster is the coordination plane over a fleet of espd
+// workers: espcoord shards a sweep grid application-by-application
+// across nodes (affinity placement keeps every configuration of one
+// application on one worker, so its LRU workload cache and machine
+// pools stay hot), watches node health, quarantines sick or flaky
+// nodes behind escalating circuit breakers, steals shards from
+// stragglers, and — when a worker dies mid-shard — hands its
+// checkpoint journal to a peer so the completed cells replay instead
+// of re-simulating. Results are bit-identical to a single-node sweep
+// under any placement or failure schedule, because every cell is
+// deterministic and the journals are digest-checked before reuse.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+
+	"espsim/internal/checkpoint"
+	"espsim/internal/serve"
+)
+
+// ErrWorkerDown reports a worker that is unreachable or no longer a
+// process: the attempt's outcome is unknown and the shard must be
+// rescheduled (the worker's journal, if shared, says what survived).
+var ErrWorkerDown = errors.New("cluster: worker down")
+
+// JournalView is a worker-agnostic read of one sweep journal: the
+// digest-bearing header plus the "app/config" cells already durable.
+type JournalView struct {
+	Meta  checkpoint.Meta `json:"meta"`
+	Cells []string        `json:"cells"`
+	Torn  bool            `json:"torn,omitempty"`
+}
+
+// Worker is the coordinator's view of one espd node. Implementations:
+// LocalWorker embeds a *serve.Server in-process (tests, single-binary
+// deployments), HTTPWorker fronts a remote daemon.
+type Worker interface {
+	Name() string
+	// Sweep runs one shard. An error means the outcome is unknown or
+	// the node refused; the shard will be rescheduled.
+	Sweep(ctx context.Context, req serve.SweepRequest) (serve.SweepResponse, error)
+	// Probe is the health check: nil means alive and ready.
+	Probe(ctx context.Context) error
+	// PeekJournal reads the node's journal for sweepID without
+	// mutating it; ok is false when the node never journaled that id.
+	PeekJournal(ctx context.Context, sweepID string) (JournalView, bool, error)
+}
+
+// LocalWorker adapts an in-process *serve.Server to the Worker
+// interface by driving its HTTP handlers directly — the same code
+// path a remote daemon serves, minus the socket. Kill simulates
+// process death: every call from then on fails with ErrWorkerDown,
+// including a Sweep already in flight (its response is discarded the
+// way a dying process's unsent response would be; its journal appends
+// up to the kill are already durable, which is the point).
+type LocalWorker struct {
+	name string
+	srv  *serve.Server
+	dead atomic.Bool
+}
+
+// NewLocalWorker wraps srv as the named fleet member.
+func NewLocalWorker(name string, srv *serve.Server) *LocalWorker {
+	return &LocalWorker{name: name, srv: srv}
+}
+
+// Name implements Worker.
+func (lw *LocalWorker) Name() string { return lw.name }
+
+// Server exposes the embedded daemon (tests wire fault hooks to it).
+func (lw *LocalWorker) Server() *serve.Server { return lw.srv }
+
+// Kill marks the worker dead. The embedded server keeps draining
+// whatever it was doing (a real process does not vanish mid-syscall
+// either), but no result reaches the coordinator again.
+func (lw *LocalWorker) Kill() { lw.dead.Store(true) }
+
+// Sweep implements Worker.
+func (lw *LocalWorker) Sweep(ctx context.Context, req serve.SweepRequest) (serve.SweepResponse, error) {
+	if lw.dead.Load() {
+		return serve.SweepResponse{}, fmt.Errorf("%w: %s", ErrWorkerDown, lw.name)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.SweepResponse{}, err
+	}
+	rec := lw.do(ctx, http.MethodPost, "/sweep", body)
+	if lw.dead.Load() {
+		// Died mid-request: the handler finished (journal closed), but
+		// the process is gone before the response made it out.
+		return serve.SweepResponse{}, fmt.Errorf("%w: %s died mid-sweep", ErrWorkerDown, lw.name)
+	}
+	var resp serve.SweepResponse
+	if err := decodeWorkerResponse(lw.name, rec.code, rec.buf.Bytes(), &resp); err != nil {
+		return serve.SweepResponse{}, err
+	}
+	return resp, nil
+}
+
+// Probe implements Worker: liveness and readiness in one check.
+func (lw *LocalWorker) Probe(ctx context.Context) error {
+	if lw.dead.Load() {
+		return fmt.Errorf("%w: %s", ErrWorkerDown, lw.name)
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if rec := lw.do(ctx, http.MethodGet, path, nil); rec.code != http.StatusOK {
+			return fmt.Errorf("%w: %s: %s answered %d", ErrWorkerDown, lw.name, path, rec.code)
+		}
+	}
+	return nil
+}
+
+// PeekJournal implements Worker.
+func (lw *LocalWorker) PeekJournal(ctx context.Context, sweepID string) (JournalView, bool, error) {
+	if lw.dead.Load() {
+		return JournalView{}, false, fmt.Errorf("%w: %s", ErrWorkerDown, lw.name)
+	}
+	rec := lw.do(ctx, http.MethodGet, "/journalz?sweep_id="+url.QueryEscape(sweepID), nil)
+	if rec.code == http.StatusNotFound {
+		return JournalView{}, false, nil
+	}
+	var view JournalView
+	if err := decodeWorkerResponse(lw.name, rec.code, rec.buf.Bytes(), &view); err != nil {
+		return JournalView{}, false, err
+	}
+	return view, true, nil
+}
+
+// do drives one handler call through the server's full middleware
+// stack and captures the response in memory.
+func (lw *LocalWorker) do(ctx context.Context, method, target string, body []byte) *memResponse {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, target, rdr)
+	if err != nil {
+		rec := newMemResponse()
+		rec.code = http.StatusInternalServerError
+		fmt.Fprintf(&rec.buf, `{"error":%q}`, err.Error())
+		return rec
+	}
+	rec := newMemResponse()
+	lw.srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// memResponse is a minimal in-memory http.ResponseWriter.
+type memResponse struct {
+	code int
+	hdr  http.Header
+	buf  bytes.Buffer
+}
+
+func newMemResponse() *memResponse       { return &memResponse{code: http.StatusOK, hdr: http.Header{}} }
+func (m *memResponse) Header() http.Header { return m.hdr }
+func (m *memResponse) WriteHeader(c int)   { m.code = c }
+func (m *memResponse) Write(p []byte) (int, error) { return m.buf.Write(p) }
+
+// HTTPWorker fronts a remote espd daemon. Transport failures surface
+// as ErrWorkerDown (outcome unknown: reschedule); HTTP-level refusals
+// carry the daemon's own error string.
+type HTTPWorker struct {
+	name    string
+	baseURL string
+	client  *http.Client
+}
+
+// NewHTTPWorker wraps the daemon at baseURL (e.g. "http://host:8080")
+// as the named fleet member; client nil means http.DefaultClient.
+func NewHTTPWorker(name, baseURL string, client *http.Client) *HTTPWorker {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPWorker{name: name, baseURL: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// Name implements Worker.
+func (hw *HTTPWorker) Name() string { return hw.name }
+
+// Sweep implements Worker.
+func (hw *HTTPWorker) Sweep(ctx context.Context, req serve.SweepRequest) (serve.SweepResponse, error) {
+	var resp serve.SweepResponse
+	err := hw.do(ctx, http.MethodPost, "/sweep", req, &resp)
+	return resp, err
+}
+
+// Probe implements Worker.
+func (hw *HTTPWorker) Probe(ctx context.Context) error {
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if err := hw.do(ctx, http.MethodGet, path, nil, &struct{}{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PeekJournal implements Worker.
+func (hw *HTTPWorker) PeekJournal(ctx context.Context, sweepID string) (JournalView, bool, error) {
+	var view JournalView
+	err := hw.do(ctx, http.MethodGet, "/journalz?sweep_id="+url.QueryEscape(sweepID), nil, &view)
+	var he *workerHTTPError
+	if errors.As(err, &he) && he.code == http.StatusNotFound {
+		return JournalView{}, false, nil
+	}
+	if err != nil {
+		return JournalView{}, false, err
+	}
+	return view, true, nil
+}
+
+func (hw *HTTPWorker) do(ctx context.Context, method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, hw.baseURL+path, rdr)
+	if err != nil {
+		return err
+	}
+	if rdr != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := hw.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrWorkerDown, hw.name, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("%w: %s: reading response: %v", ErrWorkerDown, hw.name, err)
+	}
+	return decodeWorkerResponse(hw.name, resp.StatusCode, raw, out)
+}
+
+// workerHTTPError is a non-200 a live worker chose to send — the node
+// is up, the request was refused (or the resource absent).
+type workerHTTPError struct {
+	worker string
+	code   int
+	msg    string
+}
+
+func (e *workerHTTPError) Error() string {
+	return fmt.Sprintf("cluster: worker %s answered %d: %s", e.worker, e.code, e.msg)
+}
+
+// decodeWorkerResponse maps one worker reply onto out: 200 decodes,
+// anything else becomes a workerHTTPError carrying the daemon's
+// {"error": ...} message.
+func decodeWorkerResponse(worker string, code int, raw []byte, out any) error {
+	if code != http.StatusOK {
+		var eresp struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &eresp)
+		if eresp.Error == "" {
+			eresp.Error = strings.TrimSpace(string(raw))
+		}
+		return &workerHTTPError{worker: worker, code: code, msg: eresp.Error}
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("cluster: worker %s: undecodable response: %w", worker, err)
+	}
+	return nil
+}

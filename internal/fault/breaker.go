@@ -18,6 +18,7 @@ const (
 type breakerCell struct {
 	state    int
 	fails    int // consecutive failures
+	trips    int // consecutive closed→open (or re-open) transitions; drives escalation
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
 }
@@ -27,9 +28,10 @@ type breakerCell struct {
 // quarantined (reported skipped) instead of burning a worker slot and
 // a retry budget on every sweep. Safe for concurrent use.
 type BreakerSet struct {
-	threshold int
-	cooldown  time.Duration
-	now       func() time.Time
+	threshold   int
+	cooldown    time.Duration
+	maxCooldown time.Duration // 0: no escalation, every quarantine lasts cooldown
+	now         func() time.Time
 
 	mu    sync.Mutex
 	cells map[string]*breakerCell
@@ -56,6 +58,40 @@ func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
 	}
 }
 
+// NewEscalatingBreakerSet builds a set whose quarantine escalates: the
+// first trip of a key lasts cooldown, each consecutive re-trip doubles
+// it, capped at maxCooldown; one success resets the escalation. This
+// is the node-granularity shape the cluster coordinator uses — a flaky
+// worker that keeps failing its half-open probe is quarantined for
+// longer and longer instead of being re-offered work every cooldown.
+func NewEscalatingBreakerSet(threshold int, cooldown, maxCooldown time.Duration) *BreakerSet {
+	b := NewBreakerSet(threshold, cooldown)
+	if b == nil {
+		return nil
+	}
+	if maxCooldown < b.cooldown {
+		maxCooldown = b.cooldown
+	}
+	b.maxCooldown = maxCooldown
+	return b
+}
+
+// cooldownFor is the effective quarantine for a cell given its
+// consecutive-trip count; call with the set's lock held.
+func (b *BreakerSet) cooldownFor(c *breakerCell) time.Duration {
+	cd := b.cooldown
+	if b.maxCooldown <= 0 {
+		return cd
+	}
+	for i := 1; i < c.trips && cd < b.maxCooldown; i++ {
+		cd *= 2
+	}
+	if cd > b.maxCooldown {
+		cd = b.maxCooldown
+	}
+	return cd
+}
+
 // Allow reports whether key may attempt work now. An open breaker past
 // its cooldown admits a single half-open probe; a denied call is
 // counted as a skip.
@@ -73,7 +109,7 @@ func (b *BreakerSet) Allow(key string) bool {
 	case stateClosed:
 		return true
 	case stateOpen:
-		if b.now().Sub(c.openedAt) >= b.cooldown {
+		if b.now().Sub(c.openedAt) >= b.cooldownFor(c) {
 			c.state = stateHalfOpen
 			c.probing = true
 			return true
@@ -106,24 +142,51 @@ func (b *BreakerSet) Record(key string, ok bool) {
 		}
 		c.state = stateClosed
 		c.fails = 0
+		c.trips = 0
 		c.probing = false
 		return
 	}
 	c.fails++
 	switch c.state {
 	case stateHalfOpen:
-		// The probe failed: back to a full cooldown.
+		// The probe failed: back to a (possibly escalated) cooldown.
 		c.state = stateOpen
 		c.openedAt = b.now()
 		c.probing = false
+		c.trips++
 		b.trips++
 	case stateClosed:
 		if c.fails >= b.threshold {
 			c.state = stateOpen
 			c.openedAt = b.now()
+			c.trips++
 			b.open++
 			b.trips++
 		}
+	}
+}
+
+// StateOf reports a key's breaker state — "closed", "open", or
+// "half_open" — without side effects (unlike Allow, it admits no
+// probe and counts no skip). The coordinator's metrics and placement
+// read this.
+func (b *BreakerSet) StateOf(key string) string {
+	if b == nil {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.cells[key]
+	if !ok {
+		return "closed"
+	}
+	switch c.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
 	}
 }
 

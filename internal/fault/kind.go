@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"context"
+	"errors"
+
+	"espsim/internal/sim"
+)
+
+// ErrorKind is the typed, exhaustive classification of a failed
+// operation — the wire value of a sweep cell's "error_kind" and the
+// label the cluster coordinator attaches to a failed shard. Every
+// sentinel the engine or the resilience layer can produce maps to
+// exactly one kind (see Classify); the serving layers never invent
+// ad-hoc strings.
+type ErrorKind string
+
+const (
+	// KindNone classifies a nil error.
+	KindNone ErrorKind = ""
+	// KindTimeout: the cell blew its simulation deadline (sim.ErrTimeout).
+	KindTimeout ErrorKind = "timeout"
+	// KindPanic: the cell panicked and was contained (sim.ErrPanic).
+	KindPanic ErrorKind = "panic"
+	// KindBuild: workload materialization failed (sim.ErrBuild).
+	KindBuild ErrorKind = "build"
+	// KindNet: a node-level network fault — drop, stall-induced
+	// transport failure, 5xx, or partition (ErrNet).
+	KindNet ErrorKind = "net"
+	// KindInjected: a chaos plan manufactured the failure (ErrInjected).
+	KindInjected ErrorKind = "injected"
+	// KindBreakerOpen: the operation was never attempted because its
+	// circuit breaker is quarantining it (ErrBreakerOpen).
+	KindBreakerOpen ErrorKind = "breaker_open"
+	// KindCanceled: the client went away or the deadline passed before
+	// the work ran (context.Canceled / context.DeadlineExceeded).
+	KindCanceled ErrorKind = "canceled"
+	// KindConfig: the request named an unknown workload/configuration or
+	// carried incoherent knobs; assigned at validation sites, never by
+	// Classify (validation errors carry no sentinel).
+	KindConfig ErrorKind = "config"
+	// KindError is the fallback for an unclassified failure.
+	KindError ErrorKind = "error"
+)
+
+// Kinds enumerates every ErrorKind a cell or shard can report,
+// KindNone excluded. Tests iterate this to keep the taxonomy closed:
+// adding a kind without extending Classify (or vice versa) fails them.
+func Kinds() []ErrorKind {
+	return []ErrorKind{
+		KindTimeout, KindPanic, KindBuild, KindNet, KindInjected,
+		KindBreakerOpen, KindCanceled, KindConfig, KindError,
+	}
+}
+
+// Classify maps an error to its ErrorKind. Order matters and is part
+// of the contract: a timeout wrapping an injected stall is still a
+// timeout, a build failure wrapping an injected error is still a build
+// failure, and a network fault manufactured by a NetPlan is a network
+// fault before it is an injection.
+func Classify(err error) ErrorKind {
+	switch {
+	case err == nil:
+		return KindNone
+	case errors.Is(err, sim.ErrTimeout):
+		return KindTimeout
+	case errors.Is(err, sim.ErrPanic):
+		return KindPanic
+	case errors.Is(err, sim.ErrBuild):
+		return KindBuild
+	case errors.Is(err, ErrNet):
+		return KindNet
+	case errors.Is(err, ErrInjected):
+		return KindInjected
+	case errors.Is(err, ErrBreakerOpen):
+		return KindBreakerOpen
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return KindCanceled
+	default:
+		return KindError
+	}
+}
+
+// Retryable reports whether a failure is worth another attempt on the
+// same node: timeouts (a transient stall may clear), panics (the
+// poisoned machine was dropped), build failures (the runner un-caches
+// them so a retry rebuilds), and injected faults. Network faults are
+// deliberately not retryable at cell granularity — the coordinator
+// reschedules the whole shard on a peer instead. Validation errors,
+// dead clients, and breaker skips are final.
+func Retryable(err error) bool {
+	switch Classify(err) {
+	case KindTimeout, KindPanic, KindBuild, KindInjected:
+		return true
+	default:
+		return false
+	}
+}

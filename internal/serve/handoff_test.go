@@ -1,0 +1,202 @@
+package serve
+
+// The drain/handoff contract the cluster plane builds on: a drained
+// (not killed) daemon leaves its sweep journals fsync'd, closed, and
+// torn-tail free even when the drain deadline abandons a wedged
+// handler, and /journalz exposes a read-only peek of any journal so a
+// coordinator can digest-check a dead worker's shard before resuming
+// it on a peer.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"espsim/internal/checkpoint"
+	"espsim/internal/sim"
+)
+
+// smallSweep submits a sweep expected to succeed with wantCells cells
+// (postSweep is pinned to the full chaos grid).
+func smallSweep(t *testing.T, s *Server, req SweepRequest, wantCells int) SweepResponse {
+	t.Helper()
+	rec := post(t, s, "/sweep", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding sweep response: %v", err)
+	}
+	if len(resp.Cells) != wantCells {
+		t.Fatalf("sweep returned %d cells, want %d", len(resp.Cells), wantCells)
+	}
+	return resp
+}
+
+// TestDrainThenResumeJournalIntact wedges a sweep's second cell inside
+// the engine, drains past the deadline (the handler is abandoned), and
+// closes the server. The journal on disk must already hold the first
+// cell, intact and peekable; a successor daemon must replay it and
+// recompute only the wedged cell, bit-identical to the golden corpus.
+func TestDrainThenResumeJournalIntact(t *testing.T) {
+	dir := t.TempDir()
+	golden := readGoldenCorpus(t)
+
+	gate := make(chan struct{})
+	wedged := make(chan struct{})
+	var runs atomic.Int64
+	hook := func(pt sim.FaultPoint) error {
+		if pt.Op == "run" && runs.Add(1) == 2 {
+			close(wedged)
+			<-gate
+		}
+		return nil
+	}
+	s := testServer(t, Options{Workers: 1, CheckpointDir: dir, FaultHook: hook})
+
+	req := SweepRequest{
+		Apps:      []string{"amazon"},
+		Configs:   []string{"base", "ESP+NL"},
+		SweepID:   "drain-resume",
+		Shard:     "amazon",
+		MaxEvents: goldenMaxEvents,
+	}
+	sweepDone := make(chan SweepResponse, 1)
+	go func() {
+		rec := post(t, s, "/sweep", req)
+		var resp SweepResponse
+		if rec.Code == http.StatusOK {
+			_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+		}
+		sweepDone <- resp
+	}()
+	<-wedged // cell 1 journaled, cell 2 stuck inside the engine
+
+	// The drain deadline expires with the handler still wedged; Close
+	// must fsync and release the journal anyway.
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain returned clean with a wedged handler")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// What a successor (or coordinator) sees on disk: a complete,
+	// untorn journal holding exactly the finished cell.
+	meta, records, torn, err := checkpoint.Peek(filepath.Join(dir, req.SweepID+".espj"))
+	if err != nil {
+		t.Fatalf("peeking the drained journal: %v", err)
+	}
+	if torn {
+		t.Fatal("drained journal has a torn tail; Close must leave it bit-complete")
+	}
+	if meta.SweepID != req.SweepID || meta.Shard != req.Shard || meta.Digest != SweepDigest(req.Apps, req) {
+		t.Fatalf("journal meta %+v does not describe the sweep", meta)
+	}
+	if len(records) != 1 {
+		t.Fatalf("journal holds %d records, want exactly the pre-wedge cell", len(records))
+	}
+
+	// Release the engine: the abandoned handler finishes; its append
+	// lands on a closed journal and is counted, not silently dropped,
+	// and the response still carries the computed result.
+	close(gate)
+	resp := <-sweepDone
+	if len(resp.Cells) != 2 || resp.Cells[1].Result == nil {
+		t.Fatalf("wedged sweep response incomplete: %+v", resp.Cells)
+	}
+	if got := s.met.JournalErrors.Load(); got != 1 {
+		t.Fatalf("append after Close counted %d journal errors, want 1", got)
+	}
+
+	// A successor resumes the journaled cell and recomputes the other;
+	// both match the golden corpus.
+	s2 := testServer(t, Options{Workers: 1, CheckpointDir: dir})
+	resumed := smallSweep(t, s2, req, 2)
+	for _, cell := range resumed.Cells {
+		key := cell.App + "/" + cell.Config
+		if cell.Result == nil || !reflect.DeepEqual(*cell.Result, golden[key]) {
+			t.Errorf("cell %s: deviates from golden corpus after handoff: %+v", key, cell)
+		}
+	}
+	if !resumed.Cells[0].Resumed || resumed.Cells[1].Resumed {
+		t.Errorf("want exactly the journaled cell replayed, got resumed=%v,%v",
+			resumed.Cells[0].Resumed, resumed.Cells[1].Resumed)
+	}
+}
+
+// TestJournalzPeek drives the handoff endpoint: a finished sweep's
+// journal is readable over HTTP with the right meta and cell keys, and
+// the error paths (missing id, bad id, unknown sweep, checkpointing
+// disabled) are typed statuses, not 500s.
+func TestJournalzPeek(t *testing.T) {
+	dir := t.TempDir()
+	s := testServer(t, Options{Name: "w7", Workers: 2, CheckpointDir: dir})
+
+	req := SweepRequest{
+		Apps:      []string{"amazon"},
+		Configs:   []string{"base", "ESP+NL"},
+		SweepID:   "peek-me",
+		Shard:     "amazon",
+		MaxEvents: goldenMaxEvents,
+	}
+	smallSweep(t, s, req, 2)
+
+	rec := get(t, s, "/journalz?sweep_id=peek-me")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("journalz: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var jz journalzResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &jz); err != nil {
+		t.Fatal(err)
+	}
+	if jz.Meta.SweepID != "peek-me" || jz.Meta.Shard != "amazon" || jz.Meta.Digest != SweepDigest(req.Apps, req) {
+		t.Fatalf("journalz meta %+v does not describe the sweep", jz.Meta)
+	}
+	if jz.Torn {
+		t.Fatal("journalz reports a torn tail on a cleanly closed journal")
+	}
+	want := map[string]bool{"amazon/base": true, "amazon/ESP+NL": true}
+	if len(jz.Cells) != len(want) {
+		t.Fatalf("journalz cells %v, want both grid cells", jz.Cells)
+	}
+	for _, c := range jz.Cells {
+		if !want[c] {
+			t.Fatalf("journalz yielded unknown cell %q", c)
+		}
+	}
+
+	for path, wantCode := range map[string]int{
+		"/journalz":                   http.StatusBadRequest, // no sweep_id
+		"/journalz?sweep_id=a/b":      http.StatusBadRequest, // path separator
+		"/journalz?sweep_id=no-sweep": http.StatusNotFound,
+	} {
+		if rec := get(t, s, path); rec.Code != wantCode {
+			t.Errorf("GET %s: status %d, want %d", path, rec.Code, wantCode)
+		}
+	}
+	noCkpt := testServer(t, Options{Workers: 1})
+	if rec := get(t, noCkpt, "/journalz?sweep_id=peek-me"); rec.Code != http.StatusNotFound {
+		t.Errorf("journalz without checkpointing: status %d, want 404", rec.Code)
+	}
+
+	snap := metricsSnapshot(t, s)
+	if snap.Node != "w7" {
+		t.Errorf("metrics node %q, want the -name label", snap.Node)
+	}
+	if snap.Requests.Shard != 1 {
+		t.Errorf("shard-labeled sweeps counted %d, want 1", snap.Requests.Shard)
+	}
+	if snap.Requests.JournalPeeks < 1 {
+		t.Error("journal peeks not counted")
+	}
+}

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -14,18 +13,13 @@ import (
 	esp "espsim"
 	"espsim/internal/checkpoint"
 	"espsim/internal/fault"
-	"espsim/internal/sim"
 )
 
-// journalHeader describes the sweep a journal belongs to. Digest pins
-// every request knob that influences results; a journal whose digest
-// does not match the resubmitted request must not be resumed from — it
-// would splice cells from a different grid into this one.
-type journalHeader struct {
-	Version int    `json:"version"`
-	SweepID string `json:"sweep_id"`
-	Digest  string `json:"digest"`
-}
+// The journal header is a checkpoint.Meta: sweep identity, optional
+// shard label, and a digest pinning every request knob that influences
+// results; a journal whose digest does not match the resubmitted
+// request must not be resumed from — it would splice cells from a
+// different grid into this one.
 
 // journalRecord is one completed cell, as journaled. Results travel as
 // JSON exactly like the wire responses, so a resumed cell is
@@ -37,10 +31,12 @@ type journalRecord struct {
 	Result esp.Result `json:"result"`
 }
 
-// sweepDigest hashes the result-shaping parameters of a sweep request.
-// TimeoutMs and SweepID are deliberately excluded: they change whether
-// cells finish, never what a finished cell contains.
-func sweepDigest(apps []string, req SweepRequest) string {
+// SweepDigest hashes the result-shaping parameters of a sweep request.
+// TimeoutMs, SweepID, and Shard are deliberately excluded: they change
+// whether (or where) cells run, never what a finished cell contains.
+// Exported so the espcoord coordinator can digest-check a dead
+// worker's shard journal before handing its cells to a peer.
+func SweepDigest(apps []string, req SweepRequest) string {
 	canonical, _ := json.Marshal(struct {
 		Apps       []string `json:"apps"`
 		Configs    []string `json:"configs"`
@@ -70,23 +66,21 @@ type sweepJournal struct {
 // simply re-runs), because a journaled record is advisory — the
 // simulator can always recompute it.
 func openSweepJournal(dir string, apps []string, req SweepRequest, log *slog.Logger) (*sweepJournal, error) {
-	header, _ := json.Marshal(journalHeader{Version: 1, SweepID: req.SweepID, Digest: sweepDigest(apps, req)})
+	want := checkpoint.Meta{Version: 1, SweepID: req.SweepID, Shard: req.Shard, Digest: SweepDigest(apps, req)}
 	path := filepath.Join(dir, req.SweepID+".espj")
-	j, storedHeader, records, err := checkpoint.Open(path, header)
+	j, storedHeader, records, err := checkpoint.Open(path, want.Encode())
 	if err != nil {
 		return nil, err
 	}
-	var stored journalHeader
-	if err := json.Unmarshal(storedHeader, &stored); err != nil || stored.Version != 1 {
+	stored, derr := checkpoint.DecodeMeta(storedHeader)
+	if derr != nil || stored.Version != 1 {
 		j.Close()
 		return nil, fmt.Errorf("%w: journal %s has an unreadable header", errSweepConflict, path)
 	}
-	var want journalHeader
-	_ = json.Unmarshal(header, &want)
-	if stored.Digest != want.Digest || stored.SweepID != want.SweepID {
+	if stored.Digest != want.Digest || stored.SweepID != want.SweepID || stored.Shard != want.Shard {
 		j.Close()
-		return nil, fmt.Errorf("%w: sweep_id %q was journaled for a different grid (digest %s, this request %s)",
-			errSweepConflict, req.SweepID, stored.Digest, want.Digest)
+		return nil, fmt.Errorf("%w: sweep_id %q was journaled for a different grid (digest %s shard %q, this request %s shard %q)",
+			errSweepConflict, req.SweepID, stored.Digest, stored.Shard, want.Digest, want.Shard)
 	}
 
 	done := make(map[string]*esp.Result, len(records))
@@ -127,51 +121,19 @@ func (sj *sweepJournal) append(app, config string, res esp.Result) error {
 	return sj.j.Append(raw)
 }
 
-// close releases the journal file.
-func (sj *sweepJournal) close() {
+// close fsyncs and releases the journal file; the final sync makes a
+// drained shutdown's journal bit-complete for whoever resumes it.
+func (sj *sweepJournal) close() error {
 	if sj == nil {
-		return
+		return nil
 	}
 	sj.mu.Lock()
 	defer sj.mu.Unlock()
-	sj.j.Close()
+	return sj.j.Close()
 }
 
-// errKind classifies a cell error for SweepCell.ErrorKind. Order
-// matters: a timeout wrapping an injected sleep is still a timeout, and
-// a build failure wrapping an injected error is still a build failure.
+// errKind classifies a cell error for SweepCell.ErrorKind via the
+// shared fault taxonomy, so espd and espcoord agree on every string.
 func errKind(err error) string {
-	switch {
-	case err == nil:
-		return ""
-	case errors.Is(err, sim.ErrTimeout):
-		return "timeout"
-	case errors.Is(err, sim.ErrPanic):
-		return "panic"
-	case errors.Is(err, sim.ErrBuild):
-		return "build"
-	case errors.Is(err, fault.ErrInjected):
-		return "injected"
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return "canceled"
-	default:
-		return "error"
-	}
-}
-
-// retryableCellErr decides which failures are worth another attempt:
-// timeouts (an injected or transient stall may clear), panics (the
-// machine was dropped; a fresh one may survive), build failures (the
-// runner un-caches them precisely so retries can rebuild), and injected
-// faults. Validation errors and dead clients are not retryable.
-func retryableCellErr(err error) bool {
-	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return false
-	case errors.Is(err, sim.ErrTimeout), errors.Is(err, sim.ErrPanic),
-		errors.Is(err, sim.ErrBuild), errors.Is(err, fault.ErrInjected):
-		return true
-	default:
-		return false
-	}
+	return string(fault.Classify(err))
 }

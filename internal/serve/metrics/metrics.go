@@ -72,6 +72,8 @@ type Metrics struct {
 	// Request layer.
 	RunRequests   atomic.Int64
 	SweepRequests atomic.Int64
+	ShardRequests atomic.Int64 // sweeps carrying a coordinator shard label
+	JournalPeeks  atomic.Int64 // GET /journalz handoff inspections
 	BadRequests   atomic.Int64
 	Rejected      atomic.Int64 // 429: queue full
 	Draining      atomic.Int64 // 503: shutdown in progress
@@ -110,16 +112,21 @@ type Engine struct {
 	SimWallMs      int64 `json:"sim_wall_ms"`
 }
 
-// Snapshot is the GET /metrics document.
+// Snapshot is the GET /metrics document. Node is the worker's
+// self-reported name (espd -name), so a coordinator scraping a fleet
+// can label each snapshot without tracking URLs out of band.
 type Snapshot struct {
-	UptimeMs int64 `json:"uptime_ms"`
+	UptimeMs int64  `json:"uptime_ms"`
+	Node     string `json:"node,omitempty"`
 
 	Requests struct {
-		Run      int64 `json:"run"`
-		Sweep    int64 `json:"sweep"`
-		Bad      int64 `json:"bad"`
-		Rejected int64 `json:"rejected"`
-		Draining int64 `json:"draining"`
+		Run          int64 `json:"run"`
+		Sweep        int64 `json:"sweep"`
+		Shard        int64 `json:"shard"`
+		JournalPeeks int64 `json:"journal_peeks"`
+		Bad          int64 `json:"bad"`
+		Rejected     int64 `json:"rejected"`
+		Draining     int64 `json:"draining"`
 	} `json:"requests"`
 
 	Cells struct {
@@ -160,6 +167,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.UptimeMs = time.Since(m.start).Milliseconds()
 	s.Requests.Run = m.RunRequests.Load()
 	s.Requests.Sweep = m.SweepRequests.Load()
+	s.Requests.Shard = m.ShardRequests.Load()
+	s.Requests.JournalPeeks = m.JournalPeeks.Load()
 	s.Requests.Bad = m.BadRequests.Load()
 	s.Requests.Rejected = m.Rejected.Load()
 	s.Requests.Draining = m.Draining.Load()

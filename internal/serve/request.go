@@ -53,6 +53,12 @@ type SweepRequest struct {
 	Configs []string `json:"configs"`
 	SweepID string   `json:"sweep_id,omitempty"`
 
+	// Shard labels this sweep as one shard of a coordinator-sharded
+	// grid (espcoord sets it to the shard's application). It never
+	// shapes results — it tags logs and metrics and scopes the journal
+	// conflict check, so one sweep_id cannot be reused across shards.
+	Shard string `json:"shard,omitempty"`
+
 	Scale      float64 `json:"scale,omitempty"`
 	MaxEvents  int     `json:"max_events,omitempty"`
 	MaxPending int     `json:"max_pending,omitempty"`
@@ -180,7 +186,10 @@ func ParseSweepRequest(data []byte) (SweepRequest, error) {
 	case req.TimeoutMs < 0:
 		return SweepRequest{}, fmt.Errorf("\"timeout_ms\" must be non-negative, got %d", req.TimeoutMs)
 	}
-	if err := validateSweepID(req.SweepID); err != nil {
+	if err := validateID("sweep_id", req.SweepID); err != nil {
+		return SweepRequest{}, err
+	}
+	if err := validateID("shard", req.Shard); err != nil {
 		return SweepRequest{}, err
 	}
 	for _, app := range req.Apps {
@@ -196,25 +205,25 @@ func ParseSweepRequest(data []byte) (SweepRequest, error) {
 	return req, nil
 }
 
-// validateSweepID keeps sweep IDs filename-safe: they name the
-// checkpoint journal on disk, so path separators, dots-only names, and
-// unbounded lengths are rejected at the request boundary.
-func validateSweepID(id string) error {
+// validateID keeps sweep and shard IDs filename-safe: sweep IDs name
+// the checkpoint journal on disk, so path separators, dots-only names,
+// and unbounded lengths are rejected at the request boundary.
+func validateID(field, id string) error {
 	if id == "" {
 		return nil
 	}
 	if len(id) > 64 {
-		return fmt.Errorf("\"sweep_id\" must be at most 64 characters, got %d", len(id))
+		return fmt.Errorf("%q must be at most 64 characters, got %d", field, len(id))
 	}
 	for _, r := range id {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
 		default:
-			return fmt.Errorf("\"sweep_id\" may only contain [A-Za-z0-9._-], got %q", id)
+			return fmt.Errorf("%q may only contain [A-Za-z0-9._-], got %q", field, id)
 		}
 	}
 	if strings.Trim(id, ".") == "" {
-		return fmt.Errorf("\"sweep_id\" must not be only dots")
+		return fmt.Errorf("%q must not be only dots", field)
 	}
 	return nil
 }

@@ -8,12 +8,15 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	esp "espsim"
+	"espsim/internal/checkpoint"
 	"espsim/internal/fault"
 	"espsim/internal/serve/metrics"
 	"espsim/internal/sim"
@@ -23,6 +26,9 @@ import (
 // Options configures a Server. The zero value gets sensible defaults
 // from withDefaults.
 type Options struct {
+	// Name identifies this daemon in logs and /metrics (espd -name); a
+	// coordinator uses it to label fleet members (default "espd").
+	Name string
 	// Workers bounds how many simulation cells (or sweep batches) run
 	// concurrently (default: NumCPU).
 	Workers int
@@ -64,6 +70,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		o.Name = "espd"
+	}
 	if o.Workers < 1 {
 		o.Workers = runtime.NumCPU()
 	}
@@ -122,9 +131,11 @@ type Server struct {
 
 	// activeSweeps guards the checkpoint journals: at most one in-flight
 	// sweep per sweep_id, so two concurrent resubmissions cannot
-	// interleave appends into one file.
+	// interleave appends into one file. openJournals tracks the live
+	// handles so Close can fsync-release any a handler has not yet.
 	sweepMu      sync.Mutex
 	activeSweeps map[string]struct{}
+	openJournals map[string]*sweepJournal
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -143,10 +154,11 @@ func New(opt Options) *Server {
 		tickets:      make(chan struct{}, opt.Workers+opt.QueueDepth),
 		work:         make(chan struct{}, opt.Workers),
 		activeSweeps: make(map[string]struct{}),
+		openJournals: make(map[string]*sweepJournal),
 		mux:          http.NewServeMux(),
 	}
 	breakers := fault.NewBreakerSet(opt.BreakerThreshold, opt.BreakerCooldown)
-	s.exec = fault.NewExecutor(opt.Retry, breakers, retryableCellErr, 1)
+	s.exec = fault.NewExecutor(opt.Retry, breakers, fault.Retryable, 1)
 	if opt.WorkloadCap > 0 {
 		s.runner.SetWorkloadCap(opt.WorkloadCap)
 	}
@@ -166,10 +178,38 @@ func New(opt Options) *Server {
 	})
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/journalz", s.handleJournalz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
+}
+
+// Close fsyncs and releases every sweep journal still open — the last
+// step of a clean shutdown, after Drain has returned (or given up).
+// Handlers normally close their own journals on the way out; Close
+// covers the drain-deadline case where a handler was abandoned mid
+// sweep, so the journal on disk ends bit-complete with no torn tail
+// for the resuming daemon (or a coordinator handoff) to truncate.
+// Journal closes are idempotent, making the handler/Close race safe.
+func (s *Server) Close() error {
+	s.sweepMu.Lock()
+	open := make(map[string]*sweepJournal, len(s.openJournals))
+	for id, jr := range s.openJournals {
+		open[id] = jr
+	}
+	s.sweepMu.Unlock()
+	var first error
+	for id, jr := range open {
+		if err := jr.close(); err != nil {
+			s.met.JournalErrors.Add(1)
+			s.log.Error("closing sweep journal", "sweep_id", id, "err", err.Error())
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // Runner exposes the engine, so an embedding process can pre-warm the
@@ -356,6 +396,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(apps) == 0 {
 		apps = appNames()
 	}
+	if req.Shard != "" {
+		s.met.ShardRequests.Add(1)
+	}
 
 	// Checkpoint/resume: a sweep_id on a journaling server replays
 	// completed cells from disk and appends new ones as they finish. The
@@ -381,7 +424,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("opening sweep journal: %w", err))
 			return
 		}
-		defer jr.close()
+		s.trackJournal(req.SweepID, jr)
+		defer s.untrackJournal(req.SweepID, jr)
 	}
 
 	// The whole sweep is one admission unit; each application is one
@@ -445,7 +489,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.log.Info("sweep", "apps", len(apps), "configs", len(req.Configs), "cells", len(cells),
-		"failed", failed, "skipped", skipped, "resumed", resumed, "wall_ms", wall.Milliseconds())
+		"failed", failed, "skipped", skipped, "resumed", resumed, "shard", req.Shard, "wall_ms", wall.Milliseconds())
 	writeJSON(w, http.StatusOK, SweepResponse{Cells: cells, WallMs: float64(wall.Microseconds()) / 1e3})
 }
 
@@ -465,6 +509,26 @@ func (s *Server) releaseSweep(id string) {
 	s.sweepMu.Lock()
 	delete(s.activeSweeps, id)
 	s.sweepMu.Unlock()
+}
+
+// trackJournal registers a live journal handle for Close.
+func (s *Server) trackJournal(id string, jr *sweepJournal) {
+	s.sweepMu.Lock()
+	s.openJournals[id] = jr
+	s.sweepMu.Unlock()
+}
+
+// untrackJournal closes a sweep's journal (fsync included) and drops it
+// from the registry; append errors already counted, so only the close
+// failure is reported here.
+func (s *Server) untrackJournal(id string, jr *sweepJournal) {
+	s.sweepMu.Lock()
+	delete(s.openJournals, id)
+	s.sweepMu.Unlock()
+	if err := jr.close(); err != nil {
+		s.met.JournalErrors.Add(1)
+		s.log.Error("closing sweep journal", "sweep_id", id, "err", err.Error())
+	}
 }
 
 // allDone reports whether every cell of a batch already has a result.
@@ -545,12 +609,66 @@ func (s *Server) runBatch(ctx context.Context, app string, req SweepRequest, bat
 	}
 }
 
+// journalzResponse is the GET /journalz view of one sweep journal: the
+// header meta plus the "app/config" cells already journaled. This is
+// the coordinator's handoff probe — when a worker dies mid-shard, a
+// peek at its journal (over HTTP here, or straight off a shared
+// checkpoint dir) says which cells are already durable and carries the
+// digest to check before the rest of the shard resumes on a peer.
+type journalzResponse struct {
+	Meta  checkpoint.Meta `json:"meta"`
+	Cells []string        `json:"cells"`
+	Torn  bool            `json:"torn,omitempty"`
+}
+
+func (s *Server) handleJournalz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	id := r.URL.Query().Get("sweep_id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("\"sweep_id\" query parameter is required"))
+		return
+	}
+	if err := validateID("sweep_id", id); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.opt.CheckpointDir == "" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("checkpointing is disabled on this daemon"))
+		return
+	}
+	s.met.JournalPeeks.Add(1)
+	meta, records, torn, err := checkpoint.Peek(filepath.Join(s.opt.CheckpointDir, id+".espj"))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		writeError(w, http.StatusNotFound, fmt.Errorf("no journal for sweep %q", id))
+		return
+	case errors.Is(err, checkpoint.ErrCorrupt):
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := journalzResponse{Meta: meta, Cells: make([]string, 0, len(records)), Torn: torn}
+	for _, raw := range records {
+		var rec journalRecord
+		if json.Unmarshal(raw, &rec) == nil {
+			resp.Cells = append(resp.Cells, rec.App+"/"+rec.Config)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 		return
 	}
 	snap := s.met.Snapshot()
+	snap.Node = s.opt.Name
 	perf := s.runner.Perf()
 	snap.Engine = metrics.Engine{
 		Cells:          perf.Cells,
