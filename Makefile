@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-go bench-guard fuzz-smoke chaos cluster-chaos leak tier1 clean
+.PHONY: all build vet lint test race bench bench-go bench-guard fuzz-smoke chaos cluster-chaos leak tier1 clean
 
 all: tier1
 
@@ -10,6 +10,14 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint is the domain gate: go vet plus esplint, the in-tree analyzer
+# suite that proves the replay/plane/fault contracts (complete pooled
+# resets, an immutable workload plane, a total error taxonomy,
+# wrap-safe sentinel matching). Any diagnostic fails the build; see
+# DESIGN.md §12 for the annotation grammar that governs each check.
+lint: vet
+	$(GO) run ./cmd/esplint ./...
 
 test:
 	$(GO) test ./...
@@ -69,8 +77,9 @@ fuzz-smoke:
 # tier1 is the robustness gate: everything must be green before merge.
 # race already runs the chaos soak and leak tests (they live in the
 # normal test set); leak re-runs them uncached so the gate cannot be
-# satisfied by a stale pass.
-tier1: vet build race fuzz-smoke leak cluster-chaos
+# satisfied by a stale pass. lint subsumes vet and adds the domain
+# analyzers, so a contract violation fails the gate before any test runs.
+tier1: lint build race fuzz-smoke leak cluster-chaos
 
 clean:
 	$(GO) clean ./...

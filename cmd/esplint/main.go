@@ -1,0 +1,109 @@
+// Command esplint is the engine's domain lint gate: it proves the
+// replay, plane, and fault contracts statically, using only the
+// standard library's go/ast + go/types (no third-party analysis
+// framework, so the module stays dependency-free).
+//
+//	esplint ./...                 # everything, human-readable
+//	esplint -json ./... > l.json  # machine-readable (CI artifact)
+//	esplint -sentinelis=false ./internal/sim
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage failure.
+// Each analyzer can be toggled with -<name>=false; see -help for the
+// suite. The annotation grammar (//esp:immutable, //esp:plane,
+// //esp:ctor, //esp:exempt) is documented in DESIGN.md §12.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"espsim/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("esplint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	dir := fs.String("C", ".", "directory to resolve the module root from")
+	enabled := map[string]*bool{}
+	for _, a := range analysis.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: esplint [flags] [patterns...]   (default pattern ./...)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var analyzers []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "esplint: every analyzer is disabled")
+		return 2
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := analysis.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if errs := mod.TypeErrors(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "esplint: type error:", e)
+		}
+		return 2
+	}
+
+	diags := mod.Run(analyzers)
+	for i := range diags {
+		// Report module-relative paths: stable across checkouts, which
+		// keeps the -json artifact diffable between CI runs.
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "esplint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "esplint: %d diagnostic(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

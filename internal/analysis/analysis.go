@@ -1,0 +1,286 @@
+// Package analysis is esplint's engine: a dependency-free (go/ast +
+// go/parser + go/types only) static-analysis suite that proves the
+// engine's replay contracts at compile time instead of waiting for a
+// chaos soak to catch a violation. Three invariants make the two-plane
+// design sound — pooled machines reset completely, workload-plane data
+// is immutable after construction, and the error-kind taxonomy is
+// total — and each has an analyzer here:
+//
+//   - resetcomplete: every field of a type with a pooled Reset() method
+//     is zeroed, delegated to a sub-reset, or annotated //esp:immutable.
+//   - planepurity: fields of //esp:plane types are only written inside
+//     //esp:ctor constructor functions of the defining package.
+//   - kindtotal: every exported Err* sentinel classifies to a
+//     non-unknown fault.ErrorKind, and switches over ErrorKind are
+//     exhaustive.
+//   - sentinelis: err == ErrX comparisons against wrappable sentinels
+//     must use errors.Is.
+//
+// # Annotation grammar
+//
+// Directives are ordinary comments beginning exactly with "esp:" and
+// govern the line they sit on and the line below, so both trailing and
+// standalone placements work:
+//
+//	cfg Config //esp:immutable
+//
+//	//esp:exempt io.ReadFull returns unwrapped io.EOF
+//	if err == io.EOF { ... }
+//
+// Recognized directives:
+//
+//	//esp:immutable           field is configuration/wiring, not run
+//	                          state; resetcomplete does not require
+//	                          Reset to touch it.
+//	//esp:plane <name>        the annotated type is <name>-plane data:
+//	                          immutable after construction (planepurity).
+//	//esp:ctor                the annotated function is a constructor:
+//	                          it may write plane-type fields.
+//	//esp:exempt <reason>     suppress any diagnostic on the governed
+//	                          lines; the reason is mandatory.
+//
+// A misspelled or malformed esp: directive is itself a diagnostic, so
+// a typo cannot silently disable a check.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: where, which analyzer, what is wrong, and
+// how to appease it.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+	Hint     string         `json:"hint,omitempty"`
+}
+
+// String renders the go-vet-style one-line form.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	if d.Hint != "" {
+		s += " (" + d.Hint + ")"
+	}
+	return s
+}
+
+// Analyzer is one domain pass over a type-checked package.
+type Analyzer struct {
+	// Name is the flag/report identifier (e.g. "resetcomplete").
+	Name string
+	// Doc is the one-line description shown by esplint -help.
+	Doc string
+	// Run inspects pass.Pkg and reports via pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass is one (analyzer, package) execution.
+type Pass struct {
+	Module *Module
+	Pkg    *Package
+
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+		Hint:     hint,
+	})
+}
+
+// typeOf returns the type of e in this pass's package (nil if unknown).
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// objOf resolves an identifier or selector to its object (nil if none).
+func (p *Pass) objOf(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := p.Pkg.Info.Uses[e]; o != nil {
+			return o
+		}
+		return p.Pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return p.Pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerResetComplete,
+		AnalyzerPlanePurity,
+		AnalyzerKindTotal,
+		AnalyzerSentinelIs,
+	}
+}
+
+// Run executes the given analyzers over every package loaded from the
+// module's patterns, applies //esp:exempt suppressions, and returns the
+// surviving diagnostics sorted by position. Malformed esp: directives
+// are reported under the pseudo-analyzer "directives".
+func (m *Module) Run(analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, bad := range m.ann.malformed {
+		diags = append(diags, bad)
+	}
+	for _, pkg := range m.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Module: m, Pkg: pkg, analyzer: a, sink: &diags}
+			a.Run(pass)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if _, ok := m.ann.exemptAt(d.File, d.Line); ok {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// ---- esp: directives ----
+
+// directive is one parsed esp: comment.
+type directive struct {
+	kind string // "immutable", "exempt", "plane", "ctor"
+	arg  string
+	pos  token.Position
+}
+
+// annotations indexes every esp: directive in a module by file and the
+// lines it governs (the comment's own line and the one below it).
+type annotations struct {
+	// byLine[file][line] lists directives governing that line.
+	byLine    map[string]map[int][]directive
+	malformed []Diagnostic
+}
+
+func newAnnotations() *annotations {
+	return &annotations{byLine: map[string]map[int][]directive{}}
+}
+
+// directiveKinds maps each directive to whether it requires an argument.
+var directiveKinds = map[string]bool{
+	"immutable": false,
+	"exempt":    true,
+	"plane":     true,
+	"ctor":      false,
+}
+
+// collect parses the esp: directives of one file.
+func (a *annotations) collect(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//esp:")
+			if !ok {
+				// "// esp:" with a space is a classic typo that would
+				// silently disable the directive; catch it.
+				if rest, spaced := strings.CutPrefix(c.Text, "// esp:"); spaced {
+					a.flag(fset, c, "esp: directives must start exactly with //esp: (no space): // esp:"+firstWord(rest))
+				}
+				continue
+			}
+			kind, arg, _ := strings.Cut(text, " ")
+			arg = strings.TrimSpace(arg)
+			needsArg, known := directiveKinds[kind]
+			switch {
+			case !known:
+				a.flag(fset, c, fmt.Sprintf("unknown esp: directive %q (want immutable, exempt, plane, or ctor)", kind))
+				continue
+			case needsArg && arg == "":
+				a.flag(fset, c, fmt.Sprintf("esp:%s requires an argument (e.g. //esp:%s <reason>)", kind, kind))
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			a.add(pos.Filename, pos.Line, directive{kind: kind, arg: arg, pos: pos})
+			a.add(pos.Filename, pos.Line+1, directive{kind: kind, arg: arg, pos: pos})
+		}
+	}
+}
+
+func (a *annotations) add(file string, line int, d directive) {
+	m := a.byLine[file]
+	if m == nil {
+		m = map[int][]directive{}
+		a.byLine[file] = m
+	}
+	m[line] = append(m[line], d)
+}
+
+func (a *annotations) flag(fset *token.FileSet, c *ast.Comment, msg string) {
+	pos := fset.Position(c.Pos())
+	a.malformed = append(a.malformed, Diagnostic{
+		Analyzer: "directives",
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  msg,
+		Hint:     "see DESIGN.md §12 for the annotation grammar",
+	})
+}
+
+// at returns the directives of the given kind governing file:line.
+func (a *annotations) at(file string, line int, kind string) []directive {
+	var out []directive
+	for _, d := range a.byLine[file][line] {
+		if d.kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// has reports whether a directive of kind governs the position.
+func (a *annotations) has(fset *token.FileSet, pos token.Pos, kind string) bool {
+	p := fset.Position(pos)
+	return len(a.at(p.Filename, p.Line, kind)) > 0
+}
+
+// exemptAt reports the reason of an //esp:exempt governing file:line.
+func (a *annotations) exemptAt(file string, line int) (string, bool) {
+	if ds := a.at(file, line, "exempt"); len(ds) > 0 {
+		return ds[0].arg, true
+	}
+	return "", false
+}
+
+func firstWord(s string) string {
+	w, _, _ := strings.Cut(strings.TrimSpace(s), " ")
+	return w
+}

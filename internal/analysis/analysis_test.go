@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture tests: each fixture under testdata/src is a tiny module whose
+// sources carry `// want `+"`regexp`"+` expectations. A trailing want
+// governs its own line; a want on a line of its own governs the line
+// below (for diagnostics anchored to comment lines, like malformed
+// directives). Every diagnostic must match a want and every want must
+// be matched — both unexpected findings and silent regressions fail.
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type wantEntry struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, root string) []*wantEntry {
+	t.Helper()
+	var wants []*wantEntry
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			ms := wantRe.FindAllStringSubmatch(text, -1)
+			if ms == nil {
+				continue
+			}
+			line := i + 1
+			if strings.HasPrefix(strings.TrimSpace(text), "// want") {
+				line++ // standalone want governs the next line
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp: %v", rel, i+1, err)
+				}
+				wants = append(wants, &wantEntry{file: filepath.ToSlash(rel), line: line, re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func runFixture(t *testing.T, fixture string, analyzers []*Analyzer) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := m.TypeErrors(); len(errs) > 0 {
+		t.Fatalf("fixture does not type-check: %v", errs)
+	}
+	wants := collectWants(t, root)
+	diags := m.Run(analyzers)
+outer:
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.File)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = filepath.ToSlash(rel)
+		msg := d.Analyzer + ": " + d.Message
+		for _, w := range wants {
+			if !w.hit && w.file == rel && w.line == d.Line && w.re.MatchString(msg) {
+				w.hit = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic %s:%d:%d: %s", rel, d.Line, d.Col, msg)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestResetComplete(t *testing.T) {
+	runFixture(t, "resetcomplete", []*Analyzer{AnalyzerResetComplete})
+}
+
+func TestPlanePurity(t *testing.T) {
+	runFixture(t, "planepurity", []*Analyzer{AnalyzerPlanePurity})
+}
+
+func TestKindTotal(t *testing.T) {
+	runFixture(t, "kindtotal", []*Analyzer{AnalyzerKindTotal})
+}
+
+func TestSentinelIs(t *testing.T) {
+	runFixture(t, "sentinelis", []*Analyzer{AnalyzerSentinelIs})
+}
+
+func TestDirectives(t *testing.T) {
+	runFixture(t, "directives", All())
+}
+
+// TestCleanTree is the gate the whole suite exists for: the repository
+// itself must lint clean, so every contract the analyzers prove —
+// complete resets, an immutable workload plane, a total error taxonomy,
+// wrap-safe sentinel matching — holds on HEAD.
+func TestCleanTree(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := m.TypeErrors(); len(errs) > 0 {
+		t.Fatalf("type errors: %v", errs)
+	}
+	for _, d := range m.Run(All()) {
+		t.Errorf("%s", d.String())
+	}
+}

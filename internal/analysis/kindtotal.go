@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerKindTotal proves the error-taxonomy contract: every failure
+// the engine can produce maps to exactly one named fault.ErrorKind on
+// the wire, never an ad-hoc string and never the unknown fallback. Two
+// checks enforce it. First, every exported Err* sentinel in the module
+// must be classifiable — referenced in Classify's errors.Is chain,
+// built with the kind-carrying Sentinel constructor, wrapping (via
+// %w) an already-classified sentinel, or explicitly waived with
+// //esp:exempt. Second, a switch over the ErrorKind type must either
+// enumerate every declared kind or carry a default clause, so adding a
+// kind revisits every dispatch site.
+var AnalyzerKindTotal = &Analyzer{
+	Name: "kindtotal",
+	Doc:  "exported Err* sentinels must classify to a non-unknown ErrorKind; switches over ErrorKind must be exhaustive",
+	Run:  runKindTotal,
+}
+
+// kindTaxonomy is the module's error-kind vocabulary, discovered from
+// the package defining `type ErrorKind` + `func Classify(error) ErrorKind`.
+type kindTaxonomy struct {
+	kindType *types.Named
+	// classified holds every sentinel object Classify tests with
+	// errors.Is.
+	classified map[types.Object]bool
+	// unknown holds the kinds that do not count as classification: the
+	// zero kind and whatever the default branch of Classify returns.
+	unknown map[types.Object]bool
+	// allKinds is every declared constant of the kind type.
+	allKinds []types.Object
+	// sentinelCtor is the kind-carrying error constructor (a function
+	// in the taxonomy package with signature func(string, Kind) error),
+	// if one exists.
+	sentinelCtor types.Object
+}
+
+// kindTaxonomyOf discovers (and caches) the module's taxonomy; nil
+// when the module defines none.
+func (m *Module) kindTaxonomyOf() *kindTaxonomy {
+	if m.kindCache != nil {
+		return m.kindCache
+	}
+	for _, pkg := range m.byPath {
+		if pkg == nil || pkg.Types == nil {
+			continue
+		}
+		tax := discoverTaxonomy(pkg)
+		if tax != nil {
+			m.kindCache = tax
+			return tax
+		}
+	}
+	return nil
+}
+
+func discoverTaxonomy(pkg *Package) *kindTaxonomy {
+	scope := pkg.Types.Scope()
+	fn, ok := scope.Lookup("Classify").(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return nil
+	}
+	if !types.Identical(sig.Params().At(0).Type(), types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok || named.Obj().Pkg() != pkg.Types {
+		return nil
+	}
+	if basic, ok := named.Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return nil
+	}
+
+	tax := &kindTaxonomy{
+		kindType:   named,
+		classified: map[types.Object]bool{},
+		unknown:    map[types.Object]bool{},
+	}
+	// Every declared constant of the kind type; the zero ("") kind is
+	// unknown by definition.
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		tax.allKinds = append(tax.allKinds, c)
+		if constant.StringVal(c.Val()) == "" {
+			tax.unknown[c] = true
+		}
+	}
+	sort.Slice(tax.allKinds, func(i, j int) bool {
+		return tax.allKinds[i].Name() < tax.allKinds[j].Name()
+	})
+
+	// Walk Classify: errors.Is(err, X) marks X classified; the default
+	// branch's returned constant is the unknown fallback.
+	decl := funcDeclOf(pkg, "Classify")
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPkgFunc(pkg, n.Fun, "errors", "Is") && len(n.Args) == 2 {
+				if obj := objIn(pkg, n.Args[1]); obj != nil {
+					tax.classified[obj] = true
+				}
+			}
+		case *ast.CaseClause:
+			// A `default:` (or the final fallthrough case) returning a
+			// kind constant marks that kind as the unknown fallback.
+			if n.List == nil {
+				for _, stmt := range n.Body {
+					ret, ok := stmt.(*ast.ReturnStmt)
+					if !ok || len(ret.Results) != 1 {
+						continue
+					}
+					if obj := objIn(pkg, ret.Results[0]); obj != nil {
+						tax.unknown[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// A kind-carrying sentinel constructor: func(string, Kind) error.
+	for _, name := range scope.Names() {
+		f, ok := scope.Lookup(name).(*types.Func)
+		if !ok {
+			continue
+		}
+		s := f.Type().(*types.Signature)
+		if s.Params().Len() == 2 && s.Results().Len() == 1 &&
+			types.Identical(s.Params().At(1).Type(), named) &&
+			types.Identical(s.Results().At(0).Type(), types.Universe.Lookup("error").Type()) {
+			tax.sentinelCtor = f
+			break
+		}
+	}
+	return tax
+}
+
+func runKindTotal(pass *Pass) {
+	tax := pass.Module.kindTaxonomyOf()
+	if tax == nil {
+		return
+	}
+	checkSentinelCoverage(pass, tax)
+	checkKindSwitches(pass, tax)
+}
+
+// checkSentinelCoverage requires every exported Err* package-level
+// error var to be classifiable.
+func checkSentinelCoverage(pass *Pass, tax *kindTaxonomy) {
+	pkg := pass.Pkg
+	inits := sentinelInits(pkg)
+	covered := map[types.Object]int{} // 0 unknown, 1 covered, -1 in progress
+	var isCovered func(obj types.Object) bool
+	isCovered = func(obj types.Object) bool {
+		if tax.classified[obj] {
+			return true
+		}
+		switch covered[obj] {
+		case 1:
+			return true
+		case -1:
+			return false // cycle
+		}
+		// Exempt sentinels (and anything wrapping them) are accounted
+		// for: the waiver says why they never reach Classify raw.
+		p := pass.Module.Fset.Position(obj.Pos())
+		if _, ok := pass.Module.ann.exemptAt(p.Filename, p.Line); ok {
+			covered[obj] = 1
+			return true
+		}
+		init, ok := inits[obj]
+		if !ok {
+			return false
+		}
+		covered[obj] = -1
+		res := initCovers(pass, tax, init, isCovered)
+		if res {
+			covered[obj] = 1
+		} else {
+			covered[obj] = 0
+		}
+		return res
+	}
+
+	for obj := range inits {
+		if !obj.Exported() || !strings.HasPrefix(obj.Name(), "Err") {
+			continue
+		}
+		if isCovered(obj) {
+			continue
+		}
+		pass.Reportf(obj.Pos(),
+			"add an errors.Is case to "+tax.kindType.Obj().Pkg().Name()+".Classify, build it with the kind-carrying constructor, wrap a classified sentinel with %w, or annotate //esp:exempt <reason>",
+			"exported sentinel %s.%s classifies to the unknown fallback %s",
+			pkg.Types.Name(), obj.Name(), tax.kindType.Obj().Name())
+	}
+}
+
+// sentinelInits maps each package-level error-typed var to its
+// initializer expression.
+func sentinelInits(pkg *Package) map[types.Object]ast.Expr {
+	errType := types.Universe.Lookup("error").Type()
+	out := map[types.Object]ast.Expr{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := pkg.Info.Defs[name]
+					if obj == nil || obj.Parent() != pkg.Types.Scope() {
+						continue
+					}
+					if !types.AssignableTo(obj.Type(), errType) {
+						continue
+					}
+					if i < len(vs.Values) {
+						out[obj] = vs.Values[i]
+					} else {
+						out[obj] = nil
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// initCovers reports whether a sentinel initializer yields a
+// classifiable error: the kind constructor with a non-unknown kind, or
+// fmt.Errorf("...%w...", coveredSentinel), or an alias of a covered
+// sentinel.
+func initCovers(pass *Pass, tax *kindTaxonomy, init ast.Expr, isCovered func(types.Object) bool) bool {
+	if init == nil {
+		return false
+	}
+	pkg := pass.Pkg
+	switch e := ast.Unparen(init).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if obj := objIn(pkg, e); obj != nil {
+			return tax.classified[obj] || isCovered(obj)
+		}
+	case *ast.CallExpr:
+		callee := objIn(pkg, e.Fun)
+		if callee != nil && callee == tax.sentinelCtor && len(e.Args) == 2 {
+			kind := objIn(pkg, e.Args[1])
+			return kind != nil && !tax.unknown[kind]
+		}
+		if isPkgFunc(pkg, e.Fun, "fmt", "Errorf") && len(e.Args) >= 2 {
+			tv, ok := pkg.Info.Types[e.Args[0]]
+			if !ok || tv.Value == nil || !strings.Contains(constant.StringVal(tv.Value), "%w") {
+				return false
+			}
+			for _, arg := range e.Args[1:] {
+				if obj := objIn(pkg, arg); obj != nil && (tax.classified[obj] || isCovered(obj)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkKindSwitches requires switches over the kind type to enumerate
+// every declared kind or carry a default clause.
+func checkKindSwitches(pass *Pass, tax *kindTaxonomy) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			t := pass.typeOf(sw.Tag)
+			if t == nil || !types.Identical(t, tax.kindType) {
+				return true
+			}
+			seen := map[types.Object]bool{}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if obj := objIn(pass.Pkg, e); obj != nil {
+						seen[obj] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, k := range tax.allKinds {
+				if !seen[k] {
+					missing = append(missing, k.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"add the missing cases or a default clause so new kinds revisit this dispatch",
+					"switch over %s is not exhaustive: missing %s",
+					tax.kindType.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// ---- shared helpers ----
+
+// funcDeclOf finds the declaration of a package-level function.
+func funcDeclOf(pkg *Package, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// objIn resolves an identifier or selector expression to its object.
+func objIn(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := pkg.Info.Uses[e]; o != nil {
+			return o
+		}
+		return pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fun denotes stdpkg.name (e.g. errors.Is).
+func isPkgFunc(pkg *Package, fun ast.Expr, stdpkg, name string) bool {
+	obj := objIn(pkg, fun)
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == stdpkg && f.Name() == name
+}

@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, comment-bearing package of the module
+// under analysis. Test files (_test.go) are excluded: the contracts
+// govern shipped code, and fixtures/tests legitimately poke invariants.
+type Package struct {
+	// Path is the import path; Dir the directory it was loaded from.
+	Path string
+	Dir  string
+
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects go/types errors; analysis proceeds best-effort
+	// but the driver surfaces them (a package that does not compile
+	// cannot be proven to uphold anything).
+	TypeErrors []error
+}
+
+// Module is a loaded module: the unit esplint analyzes. Loading is
+// source-based and self-contained — in-module imports are resolved by
+// recursive loading, standard-library imports through the toolchain's
+// export data (with a from-source fallback), so the only requirement
+// is a readable GOROOT.
+type Module struct {
+	Fset *token.FileSet
+	// Path is the module path from go.mod; Root its directory.
+	Path string
+	Root string
+
+	// Pkgs are the packages matched by the load patterns, in a stable
+	// (dependency-respecting) order. byPath additionally holds
+	// in-module dependencies pulled in by imports.
+	Pkgs   []*Package
+	byPath map[string]*Package
+
+	ann      *annotations
+	std      types.Importer
+	stdSrc   types.Importer
+	loading  map[string]bool
+	patterns []string
+
+	planeCache map[types.Object]string
+	kindCache  *kindTaxonomy
+}
+
+// Load parses and type-checks the packages of the module rooted at
+// root (the directory containing go.mod) that match patterns.
+// Patterns are directories relative to root; a "/..." suffix matches
+// recursively ("./..." loads the whole module). testdata, vendor, and
+// hidden/underscore directories are always skipped.
+func Load(root string, patterns ...string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	m := &Module{
+		Fset:     fset,
+		Path:     modPath,
+		Root:     root,
+		byPath:   map[string]*Package{},
+		ann:      newAnnotations(),
+		std:      importer.Default(),
+		stdSrc:   importer.ForCompiler(fset, "source", nil),
+		loading:  map[string]bool{},
+		patterns: patterns,
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := m.resolve(patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		pkg, err := m.load(m.importPath(dir))
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil && !containsPkg(m.Pkgs, pkg) {
+			m.Pkgs = append(m.Pkgs, pkg)
+		}
+	}
+	return m, nil
+}
+
+// TypeErrors returns every type-checking error across the loaded
+// packages, in package order.
+func (m *Module) TypeErrors() []error {
+	var errs []error
+	for _, p := range m.Pkgs {
+		errs = append(errs, p.TypeErrors...)
+	}
+	return errs
+}
+
+// modulePath reads the module path out of root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("esplint: %s is not a module root: %w", root, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("esplint: no module line in %s/go.mod", root)
+}
+
+// resolve expands patterns into package directories under the root.
+func (m *Module) resolve(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		dir := filepath.Join(m.Root, filepath.FromSlash(pat))
+		if rel, err := filepath.Rel(m.Root, dir); err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("esplint: pattern %q escapes the module root", pat)
+		}
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("esplint: pattern %q matches no directory", pat)
+		}
+		if !recursive {
+			add(dir)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if skipDir(d.Name()) && path != dir {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// skipDir reports whether a directory never contributes packages.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// hasGoFiles reports whether dir holds at least one non-test .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// importPath maps a directory under the root to its import path.
+func (m *Module) importPath(dir string) string {
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// dirOf inverts importPath.
+func (m *Module) dirOf(ipath string) string {
+	if ipath == m.Path {
+		return m.Root
+	}
+	rel := strings.TrimPrefix(ipath, m.Path+"/")
+	return filepath.Join(m.Root, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks one in-module package (memoized).
+func (m *Module) load(ipath string) (*Package, error) {
+	if pkg, ok := m.byPath[ipath]; ok {
+		return pkg, nil
+	}
+	if m.loading[ipath] {
+		return nil, fmt.Errorf("esplint: import cycle through %s", ipath)
+	}
+	m.loading[ipath] = true
+	defer delete(m.loading, ipath)
+
+	dir := m.dirOf(ipath)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("esplint: %s: %w", ipath, err)
+	}
+	var names []string
+	for _, e := range ents {
+		if isSourceFile(e) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil
+	}
+
+	pkg := &Package{Path: ipath, Dir: dir}
+	for _, name := range names {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("esplint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		m.ann.collect(m.Fset, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: (*moduleImporter)(m),
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check returns an error alongside the collected TypeErrors; the
+	// partial type information is still used for best-effort analysis.
+	pkg.Types, _ = conf.Check(ipath, m.Fset, pkg.Files, pkg.Info)
+	m.byPath[ipath] = pkg
+	return pkg, nil
+}
+
+// moduleImporter resolves imports during type-checking: in-module
+// packages recursively from source, the standard library through the
+// toolchain importer with a from-source fallback.
+type moduleImporter Module
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	m := (*Module)(mi)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil || pkg.Types == nil {
+			return nil, fmt.Errorf("esplint: no package at %s", path)
+		}
+		return pkg.Types, nil
+	}
+	tp, err := m.std.Import(path)
+	if err != nil {
+		tp, err = m.stdSrc.Import(path)
+	}
+	return tp, err
+}
+
+func containsPkg(pkgs []*Package, p *Package) bool {
+	for _, q := range pkgs {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("esplint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

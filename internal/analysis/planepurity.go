@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerPlanePurity proves the workload-plane contract: a type
+// annotated //esp:plane <name> (sim.Workload, the materialized eventq
+// sources) is immutable after construction, which is what makes one
+// instance shareable across every machine goroutine without locks and
+// keeps replays bit-identical. Writes to its fields — assignments,
+// increments, clear(), or taking a field's address — are only legal
+// inside //esp:ctor functions of the defining package; everywhere else
+// the machine plane gets compile-time immutability.
+var AnalyzerPlanePurity = &Analyzer{
+	Name: "planepurity",
+	Doc:  "fields of //esp:plane types may only be written inside //esp:ctor functions of their package",
+	Run:  runPlanePurity,
+}
+
+func runPlanePurity(pass *Pass) {
+	planes := pass.Module.planeTypes()
+	if len(planes) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isCtor := pass.Module.ann.has(pass.Module.Fset, fd.Pos(), "ctor")
+			pp := &planePass{pass: pass, planes: planes, ctor: isCtor}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						pp.checkWrite(lhs, "write to")
+					}
+				case *ast.IncDecStmt:
+					pp.checkWrite(n.X, "write to")
+				case *ast.UnaryExpr:
+					if n.Op.String() == "&" {
+						pp.checkWrite(n.X, "taking the address of")
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "clear" && len(n.Args) == 1 {
+						pp.checkWrite(n.Args[0], "clearing")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// planeTypes collects every //esp:plane-annotated named type in the
+// module, mapped to its plane name.
+func (m *Module) planeTypes() map[types.Object]string {
+	if m.planeCache != nil {
+		return m.planeCache
+	}
+	planes := map[types.Object]string{}
+	for _, pkg := range m.byPath {
+		if pkg == nil || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if ds := m.ann.at(m.Fset.Position(ts.Pos()).Filename, m.Fset.Position(ts.Pos()).Line, "plane"); len(ds) > 0 {
+						if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+							planes[obj] = ds[0].arg
+						}
+					} else if len(gd.Specs) == 1 {
+						// Annotation on the `type` keyword's line (doc
+						// comment above a single-spec decl).
+						p := m.Fset.Position(gd.Pos())
+						if ds := m.ann.at(p.Filename, p.Line, "plane"); len(ds) > 0 {
+							if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+								planes[obj] = ds[0].arg
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	m.planeCache = planes
+	return planes
+}
+
+type planePass struct {
+	pass   *Pass
+	planes map[types.Object]string
+	ctor   bool
+}
+
+// checkWrite descends through the write target looking for a selector
+// whose base is a plane-typed value, or a dereference of a plane
+// pointer.
+func (pp *planePass) checkWrite(e ast.Expr, action string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			if obj, name := pp.planeOf(x.X); obj != nil {
+				pp.report(x, action, name, obj, "the pointed-to value")
+				return
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			if obj, name := pp.planeOf(x.X); obj != nil {
+				pp.report(x, action, name, obj, "field "+x.Sel.Name)
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// planeOf resolves e's type (through one pointer) to an annotated
+// plane type.
+func (pp *planePass) planeOf(e ast.Expr) (types.Object, string) {
+	t := pp.pass.typeOf(e)
+	if t == nil {
+		return nil, ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	if name, ok := pp.planes[named.Obj()]; ok {
+		return named.Obj(), name
+	}
+	return nil, ""
+}
+
+func (pp *planePass) report(at ast.Expr, action, plane string, obj types.Object, what string) {
+	// Constructors of the defining package may write freely.
+	if pp.ctor && obj.Pkg() == pp.pass.Pkg.Types {
+		return
+	}
+	pp.pass.Reportf(at.Pos(),
+		"the "+plane+" plane is immutable after construction; move the write into an //esp:ctor function of "+obj.Pkg().Name()+" or build a new value",
+		"%s %s of %s-plane type %s.%s outside a constructor",
+		action, what, plane, obj.Pkg().Name(), obj.Name())
+}

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerResetComplete proves the pooled-machine contract: a type that
+// exposes a Reset() method is recycled by the machine plane, and a
+// reset instance must be bit-identical to a freshly built one. Every
+// struct field must therefore be accounted for by Reset — assigned,
+// cleared, delegated to a sub-reset, scrubbed through a range loop, or
+// declared out of scope with //esp:immutable (configuration/wiring
+// that never carries run state). A new field that Reset forgets is
+// exactly the bug class that silently corrupts speculative replay
+// until a golden soak catches it; this pass makes it a compile-time
+// error instead.
+var AnalyzerResetComplete = &Analyzer{
+	Name: "resetcomplete",
+	Doc:  "every field of a type with a Reset() method must be reset, delegated, or annotated //esp:immutable",
+	Run:  runResetComplete,
+}
+
+// resetLike reports whether a method name is a state-restoring
+// delegate: calling it on a field accounts for that field.
+func resetLike(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasPrefix(l, "reset") || strings.HasPrefix(l, "clear") ||
+		strings.HasPrefix(l, "scrub") || strings.HasPrefix(l, "free")
+}
+
+func runResetComplete(pass *Pass) {
+	// Index this package's methods by (receiver named type, name) so
+	// Reset bodies can be followed through same-receiver helper calls
+	// (e.g. Cache.Reset -> c.Clear + c.ResetStats).
+	methods := map[types.Object]map[string]*ast.FuncDecl{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			named := recvNamed(pass, fd)
+			if named == nil {
+				continue
+			}
+			obj := named.Obj()
+			if methods[obj] == nil {
+				methods[obj] = map[string]*ast.FuncDecl{}
+			}
+			methods[obj][fd.Name.Name] = fd
+		}
+	}
+
+	for obj, byName := range methods {
+		reset, ok := byName["Reset"]
+		if !ok || reset.Body == nil {
+			continue
+		}
+		if reset.Type.Params.NumFields() != 0 || reset.Type.Results.NumFields() != 0 {
+			continue // not the pooled-reset contract
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		acc := &resetAccounting{
+			pass:    pass,
+			methods: byName,
+			fields:  map[string]bool{},
+			visited: map[*ast.FuncDecl]bool{},
+		}
+		acc.follow(reset)
+
+		if acc.all {
+			continue
+		}
+		typeName := pass.Pkg.Types.Name() + "." + obj.Name()
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if acc.fields[fld.Name()] {
+				continue
+			}
+			if pass.Module.ann.has(pass.Module.Fset, fld.Pos(), "immutable") {
+				continue
+			}
+			pass.Reportf(fld.Pos(),
+				"zero it in Reset, call a Reset/Clear method on it, or annotate //esp:immutable if it is configuration, //esp:exempt <reason> otherwise",
+				"field %s.%s survives (*%s).Reset: a recycled instance would leak it into the next replay",
+				typeName, fld.Name(), obj.Name())
+		}
+	}
+}
+
+// recvNamed resolves a method's receiver to its named type.
+func recvNamed(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	t := pass.typeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// resetAccounting walks reset-path method bodies flow-insensitively,
+// recording which receiver fields are restored.
+type resetAccounting struct {
+	pass    *Pass
+	methods map[string]*ast.FuncDecl
+	fields  map[string]bool
+	all     bool // *recv = T{...} overwrote everything
+	visited map[*ast.FuncDecl]bool
+}
+
+// follow accumulates the accounting of one method body.
+func (a *resetAccounting) follow(fd *ast.FuncDecl) {
+	if a.visited[fd] || fd.Body == nil {
+		return
+	}
+	a.visited[fd] = true
+	recv := a.recvObj(fd)
+	if recv == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				a.account(recv, lhs)
+			}
+		case *ast.IncDecStmt:
+			a.account(recv, n.X)
+		case *ast.CallExpr:
+			a.call(recv, n)
+		case *ast.RangeStmt:
+			a.rangeScrub(recv, n)
+		}
+		return true
+	})
+}
+
+func (a *resetAccounting) recvObj(fd *ast.FuncDecl) types.Object {
+	names := fd.Recv.List[0].Names
+	if len(names) != 1 {
+		return nil
+	}
+	return a.pass.Pkg.Info.Defs[names[0]]
+}
+
+// fieldOf returns the field name when e is recv.f (through parens,
+// indexing, or a star).
+func (a *resetAccounting) fieldOf(recv types.Object, e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && a.pass.Pkg.Info.Uses[id] == recv {
+				return x.Sel.Name, true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// account records an assignment target: recv.f (any shape) marks f;
+// *recv = ... marks every field.
+func (a *resetAccounting) account(recv types.Object, lhs ast.Expr) {
+	if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+		if id, ok := ast.Unparen(star.X).(*ast.Ident); ok && a.pass.Pkg.Info.Uses[id] == recv {
+			a.all = true
+			return
+		}
+	}
+	if f, ok := a.fieldOf(recv, lhs); ok {
+		a.fields[f] = true
+	}
+}
+
+// call handles clear(recv.f), recv.f.ResetLike(), and recursion into
+// same-receiver helper methods.
+func (a *resetAccounting) call(recv types.Object, c *ast.CallExpr) {
+	// clear(recv.f)
+	if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "clear" && len(c.Args) == 1 {
+		if f, ok := a.fieldOf(recv, c.Args[0]); ok {
+			a.fields[f] = true
+		}
+		return
+	}
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// recv.helper(...): follow the helper's own accounting.
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && a.pass.Pkg.Info.Uses[id] == recv {
+		if helper, ok := a.methods[sel.Sel.Name]; ok {
+			sub := &resetAccounting{pass: a.pass, methods: a.methods, fields: a.fields, visited: a.visited}
+			sub.follow(helper)
+			a.all = a.all || sub.all
+		}
+		return
+	}
+	// recv.f.Reset() / recv.f.Clear(): delegated sub-reset.
+	if resetLike(sel.Sel.Name) {
+		if f, ok := a.fieldOf(recv, sel.X); ok {
+			a.fields[f] = true
+		}
+	}
+}
+
+// rangeScrub accounts `for _, v := range recv.f { recv.scrub(v) }` and
+// `for i := range recv.f { recv.f[i] = ... }` — element-wise resets of
+// a pooled collection. The element must actually flow into a call or
+// be overwritten; a read-only range does not count.
+func (a *resetAccounting) rangeScrub(recv types.Object, r *ast.RangeStmt) {
+	f, ok := a.fieldOf(recv, r.X)
+	if !ok || r.Body == nil {
+		return
+	}
+	var valObj types.Object
+	if id, ok := r.Value.(*ast.Ident); ok {
+		valObj = a.pass.Pkg.Info.Defs[id]
+	}
+	used := false
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if valObj == nil {
+				return true
+			}
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && a.pass.Pkg.Info.Uses[id] == valObj {
+					used = true
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && a.pass.Pkg.Info.Uses[id] == valObj {
+					used = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if fn, ok := a.fieldOf(recv, lhs); ok && fn == f {
+					used = true
+				}
+			}
+		}
+		return true
+	})
+	if used {
+		a.fields[f] = true
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerSentinelIs flags identity comparisons against error
+// sentinels: `err == ErrX`, `err != ErrX`, and `switch err { case
+// ErrX: }`. The engine wraps sentinels at every layer boundary
+// (fmt.Errorf("...: %w", sim.ErrTimeout), the retry executor, the
+// cluster coordinator), so an identity comparison that works today
+// silently stops matching the first time a wrapping layer is added —
+// exactly how a breaker or retry policy quietly dies. errors.Is is the
+// contract; the rare deliberate fast path (io.ReadFull returns
+// unwrapped io.EOF) carries an //esp:exempt with its justification.
+var AnalyzerSentinelIs = &Analyzer{
+	Name: "sentinelis",
+	Doc:  "err == ErrX comparisons against wrappable sentinels must use errors.Is",
+	Run:  runSentinelIs,
+}
+
+func runSentinelIs(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if sentinel := sentinelOperand(pass, n.X, n.Y); sentinel != nil {
+					pass.Reportf(n.Pos(),
+						"use errors.Is: sentinels may arrive wrapped by an outer layer, and == stops matching the day one does",
+						"%s comparison against sentinel %s", n.Op, sentinelName(sentinel))
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorExpr(pass, n.Tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc := stmt.(*ast.CaseClause)
+					for _, e := range cc.List {
+						if obj := sentinelVar(pass, e); obj != nil {
+							pass.Reportf(e.Pos(),
+								"rewrite as a switch{case errors.Is(err, ...)} chain: case comparison is ==, which stops matching wrapped sentinels",
+								"switch case compares error against sentinel %s by identity", sentinelName(obj))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinelOperand returns the sentinel object when one side of a
+// comparison is a package-level error var and the other is an error
+// expression (excluding nil checks, which are fine).
+func sentinelOperand(pass *Pass, x, y ast.Expr) types.Object {
+	if obj := sentinelVar(pass, x); obj != nil && isErrorExpr(pass, y) {
+		return obj
+	}
+	if obj := sentinelVar(pass, y); obj != nil && isErrorExpr(pass, x) {
+		return obj
+	}
+	return nil
+}
+
+// sentinelVar resolves e to a package-level variable of type error.
+func sentinelVar(pass *Pass, e ast.Expr) types.Object {
+	obj := pass.objOf(e)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // local, not a sentinel
+	}
+	if !types.AssignableTo(v.Type(), types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return v
+}
+
+// isErrorExpr reports whether e is an error-typed expression (nil
+// checks are identity by design and excluded).
+func isErrorExpr(pass *Pass, e ast.Expr) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	t := pass.typeOf(e)
+	return t != nil && types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}
+
+func sentinelName(obj types.Object) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}

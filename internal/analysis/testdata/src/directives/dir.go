@@ -1,0 +1,18 @@
+// Package dirfix exercises the directive parser's malformed-comment
+// diagnostics: a typo must never silently disable a check.
+package dirfix
+
+// want `unknown esp: directive "bogus"`
+//esp:bogus something
+var A = 1
+
+// want `esp:exempt requires an argument`
+//esp:exempt
+var B = 2
+
+// want `esp: directives must start exactly with //esp:`
+// esp:immutable
+var C = 3
+
+//esp:immutable
+var D = 4

@@ -1,0 +1,70 @@
+// Package consumer declares sentinels against the fixture taxonomy:
+// every way of being covered, and every way of falling through.
+package consumer
+
+import (
+	"errors"
+	"fmt"
+
+	"kindfix/fault"
+)
+
+// Covered: the constructor carries a non-unknown kind.
+var ErrCtor = fault.Sentinel("ctor-built", fault.Boom)
+
+// Covered: wraps a sentinel Classify tests with errors.Is.
+var ErrWrapped = fmt.Errorf("consumer: %w", fault.ErrNet)
+
+// Covered: alias of a covered sentinel.
+var ErrAlias = ErrWrapped
+
+// Covered: waived with a reason.
+//esp:exempt fixture: handled locally, never classified
+var ErrWaived = errors.New("waived")
+
+// Not covered: a bare sentinel falls to the unknown fallback.
+var ErrBare = errors.New("bare") // want `exported sentinel consumer\.ErrBare classifies to the unknown fallback Kind`
+
+// Not covered: constructor-built, but with the unknown fallback kind.
+var ErrWrongKind = fault.Sentinel("wrong", fault.Err) // want `exported sentinel consumer\.ErrWrongKind classifies to the unknown fallback Kind`
+
+// Not covered: wraps only an unclassified sentinel.
+var ErrBadWrap = fmt.Errorf("outer: %w", ErrBare) // want `exported sentinel consumer\.ErrBadWrap classifies to the unknown fallback Kind`
+
+// Unexported sentinels are not part of the wire contract.
+var errLocal = errors.New("local")
+
+// Use reads every sentinel so the fixture type-checks without vet noise.
+func Use() []error {
+	return []error{ErrCtor, ErrAlias, ErrWaived, errLocal}
+}
+
+func dispatch(k fault.Kind) int {
+	switch k { // want `switch over Kind is not exhaustive: missing Boom, Err, None`
+	case fault.Net:
+		return 1
+	}
+	return 0
+}
+
+func dispatchDefault(k fault.Kind) int {
+	switch k {
+	case fault.Net:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func dispatchTotal(k fault.Kind) int {
+	switch k {
+	case fault.None, fault.Net, fault.Boom, fault.Err:
+		return 1
+	}
+	return 0
+}
+
+// Dispatch keeps the switch helpers referenced.
+func Dispatch(k fault.Kind) int {
+	return dispatch(k) + dispatchDefault(k) + dispatchTotal(k)
+}

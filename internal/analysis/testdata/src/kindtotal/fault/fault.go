@@ -1,0 +1,44 @@
+// Package fault is a miniature error taxonomy: the shape kindtotal
+// discovers (a string-backed kind type, Classify, a kind-carrying
+// constructor).
+package fault
+
+import "errors"
+
+// Kind classifies a failure.
+type Kind string
+
+const (
+	None Kind = ""
+	Net  Kind = "net"
+	Boom Kind = "boom"
+	Err  Kind = "error"
+)
+
+// ErrNet is classified below, so it is covered.
+var ErrNet = errors.New("net down")
+
+// Classify maps an error to its Kind.
+func Classify(err error) Kind {
+	var ks *kindErr
+	switch {
+	case err == nil:
+		return None
+	case errors.Is(err, ErrNet):
+		return Net
+	case errors.As(err, &ks):
+		return ks.kind
+	default:
+		return Err
+	}
+}
+
+// Sentinel builds an error that carries its own Kind.
+func Sentinel(msg string, k Kind) error { return &kindErr{msg: msg, kind: k} }
+
+type kindErr struct {
+	msg  string
+	kind Kind
+}
+
+func (e *kindErr) Error() string { return e.msg }

@@ -1,0 +1,3 @@
+module kindfix
+
+go 1.22

@@ -1,0 +1,3 @@
+module planefix
+
+go 1.22

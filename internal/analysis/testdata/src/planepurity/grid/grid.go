@@ -1,0 +1,32 @@
+// Package grid defines this fixture's plane type.
+package grid
+
+// Grid is immutable after construction: one instance is shared by
+// every reader without locks.
+//esp:plane grid
+type Grid struct {
+	Cells []int
+	N     int
+}
+
+// New may write freely: it is a constructor of the defining package.
+//esp:ctor
+func New(n int) *Grid {
+	g := &Grid{}
+	g.N = n
+	g.Cells = make([]int, n)
+	for i := range g.Cells {
+		g.Cells[i] = i
+	}
+	return g
+}
+
+// Mutate is not a constructor, even inside the defining package.
+func Mutate(g *Grid) {
+	g.N = 7 // want `write to field N of grid-plane type grid\.Grid outside a constructor`
+}
+
+// Read-only access is always fine.
+func Read(g *Grid) int {
+	return g.N + g.Cells[0]
+}

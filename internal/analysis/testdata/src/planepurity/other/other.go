@@ -1,0 +1,28 @@
+// Package other consumes the plane type from outside its package:
+// every mutation shape must be flagged.
+package other
+
+import "planefix/grid"
+
+func Fill(g *grid.Grid) {
+	g.Cells[0] = 1 // want `write to field Cells of grid-plane type grid\.Grid outside a constructor`
+	clear(g.Cells) // want `clearing field Cells of grid-plane type grid\.Grid outside a constructor`
+	p := &g.N      // want `taking the address of field N of grid-plane type grid\.Grid outside a constructor`
+	_ = p
+}
+
+func Replace(g *grid.Grid) {
+	*g = grid.Grid{} // want `write to the pointed-to value of grid-plane type grid\.Grid outside a constructor`
+}
+
+// Rebuild is annotated, but a constructor of another package still may
+// not write the plane: only the defining package's constructors count.
+//esp:ctor
+func Rebuild(g *grid.Grid) {
+	g.N = 0 // want `write to field N of grid-plane type grid\.Grid outside a constructor`
+}
+
+// Fresh builds a new value, which is always allowed.
+func Fresh() *grid.Grid {
+	return grid.New(3)
+}

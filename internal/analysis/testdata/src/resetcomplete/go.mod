@@ -1,0 +1,3 @@
+module resetfix
+
+go 1.22

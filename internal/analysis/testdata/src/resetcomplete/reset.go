@@ -1,0 +1,80 @@
+// Package resetfix exercises the resetcomplete analyzer: every
+// accounting shape it accepts, and the leaks it must flag.
+package resetfix
+
+// Good accounts for every field: direct zeroing, clear(), a delegated
+// sub-reset, a same-receiver helper, and an annotated config field.
+type Good struct {
+	cfg  int //esp:immutable
+	n    int
+	m    map[string]int
+	sub  Sub
+	note string
+}
+
+func (g *Good) Reset() {
+	g.n = 0
+	clear(g.m)
+	g.sub.Reset()
+	g.scrub()
+}
+
+func (g *Good) scrub() { g.note = "" }
+
+type Sub struct{ x int }
+
+func (s *Sub) Reset() { s.x = 0 }
+
+// Whole is overwritten wholesale: *w = Whole{} accounts for everything.
+type Whole struct {
+	a int
+	b string
+}
+
+func (w *Whole) Reset() { *w = Whole{} }
+
+// Pool scrubs its pooled elements through a range loop (the element
+// flows into a call) and truncates its free list.
+type Pool struct {
+	slots []*Sub
+	free  []*Sub
+}
+
+func (p *Pool) Reset() {
+	for _, s := range p.slots {
+		s.Reset()
+	}
+	p.free = p.free[:0]
+}
+
+// Bad forgets two fields: a recycled Bad would leak them.
+type Bad struct {
+	ok     int
+	kept   int            // want `field resetfix\.Bad\.kept survives \(\*Bad\)\.Reset`
+	leaked map[string]int // want `field resetfix\.Bad\.leaked survives \(\*Bad\)\.Reset`
+}
+
+func (b *Bad) Reset() { b.ok = 0 }
+
+// ReadOnlyRange shows a range that merely reads does not count as a
+// scrub: the element never flows into a call and the field is never
+// overwritten.
+type ReadOnlyRange struct {
+	slots []int // want `field resetfix\.ReadOnlyRange\.slots survives`
+}
+
+func (r *ReadOnlyRange) Reset() {
+	n := 0
+	for _, s := range r.slots {
+		n += s
+	}
+	_ = n
+}
+
+// NotPooled has a Reset with parameters, which is not the pooled-reset
+// contract; the analyzer must leave it alone.
+type NotPooled struct {
+	stale int
+}
+
+func (n *NotPooled) Reset(to int) { _ = to }

@@ -1,0 +1,55 @@
+// Package sentfix exercises the sentinelis analyzer: identity
+// comparisons against wrappable sentinels, in every shape.
+package sentfix
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrThing = errors.New("thing")
+
+func compare(err error) int {
+	if err == ErrThing { // want `== comparison against sentinel sentfix\.ErrThing`
+		return 1
+	}
+	if err != io.EOF { // want `!= comparison against sentinel io\.EOF`
+		return 2
+	}
+	if ErrThing == err { // want `== comparison against sentinel sentfix\.ErrThing`
+		return 3
+	}
+	return 0
+}
+
+func switches(err error) int {
+	switch err {
+	case ErrThing: // want `switch case compares error against sentinel sentfix\.ErrThing by identity`
+		return 1
+	case nil:
+		return 2
+	}
+	return 0
+}
+
+func fine(err, other error) bool {
+	if err == nil { // nil checks are identity by design
+		return true
+	}
+	if errors.Is(err, ErrThing) { // the contract
+		return true
+	}
+	if err == other { // not a sentinel comparison
+		return true
+	}
+	//esp:exempt fixture: deliberate unwrapped fast path
+	return err == io.EOF
+}
+
+// Compare keeps the helpers referenced.
+func Compare(err error) int {
+	if fine(err, nil) {
+		return compare(err) + switches(err)
+	}
+	return 0
+}

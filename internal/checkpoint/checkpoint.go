@@ -47,10 +47,14 @@ const maxRecordBytes = 16 << 20
 
 // ErrCorrupt reports a journal whose magic or header frame is damaged —
 // unlike a torn tail, there is nothing safe to resume from.
+//
+//esp:exempt local persistence error, matched with errors.Is at the serve/cluster resume sites; never reaches fault.Classify as a cell outcome
 var ErrCorrupt = errors.New("checkpoint: journal corrupt")
 
 // ErrClosed reports an Append against a journal that was already
 // closed — a drained daemon must never write past its own shutdown.
+//
+//esp:exempt daemon-internal lifecycle error; never crosses the sweep wire, so it carries no ErrorKind
 var ErrClosed = errors.New("checkpoint: journal closed")
 
 // Meta is the typed journal header shared by espd sweeps and espcoord
@@ -261,9 +265,11 @@ func writeFrame(w io.Writer, payload []byte) error {
 func readFrame(r io.Reader) (rec []byte, size int64, ok bool, err error) {
 	var hdr [8]byte
 	n, rerr := io.ReadFull(r, hdr[:])
+	//esp:exempt io.ReadFull documents it returns unwrapped io.EOF/ErrUnexpectedEOF; identity is the fast path here
 	if rerr == io.EOF && n == 0 {
 		return nil, 0, true, nil // clean end
 	}
+	//esp:exempt io.ReadFull documents it returns unwrapped io.EOF/ErrUnexpectedEOF; identity is the fast path here
 	if rerr == io.ErrUnexpectedEOF || (rerr == io.EOF && n > 0) {
 		return nil, 0, false, nil // torn frame header
 	}
@@ -277,6 +283,7 @@ func readFrame(r io.Reader) (rec []byte, size int64, ok bool, err error) {
 	}
 	payload := make([]byte, length)
 	if _, rerr := io.ReadFull(r, payload); rerr != nil {
+		//esp:exempt io.ReadFull documents it returns unwrapped io.EOF/ErrUnexpectedEOF; identity is the fast path here
 		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
 			return nil, 0, false, nil // torn payload
 		}

@@ -24,13 +24,18 @@ import (
 	"sync/atomic"
 
 	"espsim/internal/checkpoint"
+	"espsim/internal/fault"
 	"espsim/internal/serve"
 )
 
 // ErrWorkerDown reports a worker that is unreachable or no longer a
 // process: the attempt's outcome is unknown and the shard must be
 // rescheduled (the worker's journal, if shared, says what survived).
-var ErrWorkerDown = errors.New("cluster: worker down")
+// The sentinel carries KindNet so a shard that dies with its worker
+// reports "net" on the wire, not the unclassified fallback — without
+// wrapping fault.ErrNet, which would double-count it in the
+// coordinator's NetFaults breaker accounting.
+var ErrWorkerDown = fault.Sentinel("cluster: worker down", fault.KindNet)
 
 // JournalView is a worker-agnostic read of one sweep journal: the
 // digest-bearing header plus the "app/config" cells already durable.
@@ -161,9 +166,9 @@ type memResponse struct {
 	buf  bytes.Buffer
 }
 
-func newMemResponse() *memResponse       { return &memResponse{code: http.StatusOK, hdr: http.Header{}} }
-func (m *memResponse) Header() http.Header { return m.hdr }
-func (m *memResponse) WriteHeader(c int)   { m.code = c }
+func newMemResponse() *memResponse                 { return &memResponse{code: http.StatusOK, hdr: http.Header{}} }
+func (m *memResponse) Header() http.Header         { return m.hdr }
+func (m *memResponse) WriteHeader(c int)           { m.code = c }
 func (m *memResponse) Write(p []byte) (int, error) { return m.buf.Write(p) }
 
 // HTTPWorker fronts a remote espd daemon. Transport failures surface

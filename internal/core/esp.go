@@ -105,9 +105,9 @@ func (s *slot) listsFull() bool {
 
 // ESP is the Event Sneak Peek engine; it implements cpu.Assist.
 type ESP struct {
-	Opt  Options
-	Hier *mem.Hierarchy
-	BP   *branch.Predictor
+	Opt  Options           //esp:immutable
+	Hier *mem.Hierarchy    //esp:immutable
+	BP   *branch.Predictor //esp:immutable
 	Src  StreamSource
 
 	// Stats accumulates across the run.
@@ -187,6 +187,11 @@ func (e *ESP) Reset() {
 	if e.Opt.MeasureWorkingSets {
 		e.Study = NewWorkingSetStudy(e.Opt.JumpDepth)
 	}
+	// Scratch is rebuilt before every use, but scrub it anyway: a
+	// recycled engine must be field-for-field identical to a fresh one.
+	clear(e.readyAt)
+	clear(e.done)
+	e.lineScratch = e.lineScratch[:0]
 }
 
 // scrubSlot releases a slot's cachelets and replica to the pools and

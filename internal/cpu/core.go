@@ -220,23 +220,23 @@ func (s *Stats) Add(other Stats) {
 // Core executes event instruction streams against the memory hierarchy,
 // branch predictor and optional prefetchers, accumulating Stats.
 type Core struct {
-	Cfg  Config
-	Hier *mem.Hierarchy
-	BP   *branch.Predictor
+	Cfg  Config            //esp:immutable
+	Hier *mem.Hierarchy    //esp:immutable
+	BP   *branch.Predictor //esp:immutable
 
 	// Optional baseline prefetchers (nil disables each).
-	NLI    *prefetch.NextLineI
-	DCU    *prefetch.DCU
-	Stride *prefetch.Stride
+	NLI    *prefetch.NextLineI //esp:immutable
+	DCU    *prefetch.DCU       //esp:immutable
+	Stride *prefetch.Stride    //esp:immutable
 
 	// FetchObs, when non-nil, watches every demand instruction fetch and
 	// event boundary: the hook the event-aware instruction prefetchers
 	// the paper compares against in §7 (EFetch, PIF) attach to.
-	FetchObs FetchObserver
+	FetchObs FetchObserver //esp:immutable
 
 	// Assist receives stall windows and branch-correction queries
 	// (nil for the plain baseline).
-	Assist Assist
+	Assist Assist //esp:immutable
 
 	// Stats accumulates across RunEvent calls.
 	Stats Stats

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"espsim/internal/sim"
+	"espsim/internal/trace"
 )
 
 // ErrorKind is the typed, exhaustive classification of a failed
@@ -59,6 +60,7 @@ func Kinds() []ErrorKind {
 // failure, and a network fault manufactured by a NetPlan is a network
 // fault before it is an injection.
 func Classify(err error) ErrorKind {
+	var ks *kindSentinel
 	switch {
 	case err == nil:
 		return KindNone
@@ -68,6 +70,10 @@ func Classify(err error) ErrorKind {
 		return KindPanic
 	case errors.Is(err, sim.ErrBuild):
 		return KindBuild
+	case errors.Is(err, trace.ErrBadTrace):
+		// A malformed trace is a materialization failure: the workload
+		// never existed, exactly like a build error.
+		return KindBuild
 	case errors.Is(err, ErrNet):
 		return KindNet
 	case errors.Is(err, ErrInjected):
@@ -76,10 +82,29 @@ func Classify(err error) ErrorKind {
 		return KindBreakerOpen
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return KindCanceled
+	case errors.As(err, &ks):
+		return ks.kind
 	default:
 		return KindError
 	}
 }
+
+// Sentinel builds a package-level error that carries its own ErrorKind,
+// for sentinels declared outside this package: Classify recovers the
+// kind with errors.As, so the declaring package never needs an
+// errors.Is case added here. The engine-priority cases above still win
+// when they wrap one of these — a timeout wrapping a kind-carrying
+// sentinel is still a timeout.
+func Sentinel(msg string, k ErrorKind) error {
+	return &kindSentinel{msg: msg, kind: k}
+}
+
+type kindSentinel struct {
+	msg  string
+	kind ErrorKind
+}
+
+func (e *kindSentinel) Error() string { return e.msg }
 
 // Retryable reports whether a failure is worth another attempt on the
 // same node: timeouts (a transient stall may clear), panics (the

@@ -43,10 +43,10 @@ type line struct {
 // kept in recency order (index 0 = MRU), which is exact LRU for the small
 // associativities modelled here.
 type Cache struct {
-	name     string
-	setShift uint
-	setMask  uint64
-	ways     int
+	name     string //esp:immutable
+	setShift uint   //esp:immutable
+	setMask  uint64 //esp:immutable
+	ways     int    //esp:immutable
 	sets     [][]line
 
 	// Stats accumulates demand traffic. Reset with ResetStats.

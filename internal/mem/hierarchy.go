@@ -41,18 +41,18 @@ type Hierarchy struct {
 	L1I *Cache
 	L1D *Cache
 	L2  *Cache
-	Lat Latencies
+	Lat Latencies //esp:immutable
 
 	// PerfectL1I/PerfectL1D short-circuit the corresponding L1 to always
 	// hit (Figure 3's "perfect cache" configurations).
-	PerfectL1I bool
-	PerfectL1D bool
+	PerfectL1I bool //esp:immutable
+	PerfectL1D bool //esp:immutable
 
 	// NearTimelyPct is the percentage of next-line prefetches of
 	// L2-resident lines that complete before the demand fetch reaches
 	// them (an L2 fill takes about as long as crossing one line of
 	// straight-line code, so roughly half arrive in time).
-	NearTimelyPct int
+	NearTimelyPct int //esp:immutable
 }
 
 // DefaultHierarchy builds the Figure 7 configuration: 32 KB 2-way L1s and

@@ -21,14 +21,14 @@ import (
 // structural weakness ESP's pre-execution of the *actual* pending event
 // avoids.
 type EFetch struct {
-	h *mem.Hierarchy
+	h *mem.Hierarchy //esp:immutable
 
 	// Lookahead is how many predicted lines stay prefetched ahead of the
 	// demand stream; MaxLines bounds the total stored lines (hardware
 	// budget); MaxPerEvent bounds one handler's recorded sequence.
-	Lookahead   int
-	MaxLines    int
-	MaxPerEvent int
+	Lookahead   int //esp:immutable
+	MaxLines    int //esp:immutable
+	MaxPerEvent int //esp:immutable
 
 	seqs  map[int][]uint64 // handler -> last execution's line sequence
 	lru   []int            // handlers in recency order (front = MRU)

@@ -17,12 +17,12 @@ import (
 // history interleaves all events' streams, so the fine-grained event
 // interleaving of asynchronous programs dilutes its streams.
 type PIF struct {
-	h *mem.Hierarchy
+	h *mem.Hierarchy //esp:immutable
 
 	// HistorySize bounds the circular history (in line records);
 	// StreamDegree is how many successor lines are replayed per trigger.
-	HistorySize  int
-	StreamDegree int
+	HistorySize  int //esp:immutable
+	StreamDegree int //esp:immutable
 
 	hist  []uint64
 	head  int

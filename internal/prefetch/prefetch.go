@@ -20,7 +20,7 @@ type Stats struct {
 // NextLineI is the next-line instruction prefetcher: every demand fetch of
 // line L triggers a prefetch of line L+1.
 type NextLineI struct {
-	h        *mem.Hierarchy
+	h        *mem.Hierarchy //esp:immutable
 	lastLine uint64
 	// Stats counts issued prefetches.
 	Stats Stats
@@ -51,7 +51,7 @@ func (p *NextLineI) OnFetch(addr uint64) {
 // consecutive accesses to the same data line, then prefetches the next
 // line (§5).
 type DCU struct {
-	h      *mem.Hierarchy
+	h      *mem.Hierarchy //esp:immutable
 	line   uint64
 	streak int
 	// Stats counts issued prefetches.
@@ -96,7 +96,7 @@ type strideEntry struct {
 // Stride is a 256-entry PC-indexed stride data prefetcher (Figure 7 lists
 // a 256-entry stride prefetcher alongside the next-line data prefetcher).
 type Stride struct {
-	h       *mem.Hierarchy
+	h       *mem.Hierarchy //esp:immutable
 	entries [256]strideEntry
 	// Stats counts issued prefetches.
 	Stats Stats

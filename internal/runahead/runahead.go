@@ -102,9 +102,9 @@ type Stats struct {
 
 // Engine implements cpu.Assist.
 type Engine struct {
-	Cfg  Config
-	Hier *mem.Hierarchy
-	BP   *branch.Predictor
+	Cfg  Config            //esp:immutable
+	Hier *mem.Hierarchy    //esp:immutable
+	BP   *branch.Predictor //esp:immutable
 
 	// Stats accumulates across the run.
 	Stats Stats

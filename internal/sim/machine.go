@@ -34,7 +34,7 @@ func (s specSource) SpecInsts(ev trace.Event) []trace.Inst {
 // A Machine is single-threaded; build one per worker and share the
 // (immutable) workloads instead.
 type Machine struct {
-	cfg  Config
+	cfg  Config //esp:immutable
 	hier *mem.Hierarchy
 	bp   *branch.Predictor
 	c    *cpu.Core

@@ -20,6 +20,8 @@ const specLookahead = 8
 // streams, with all instructions laid out in a single contiguous arena.
 // A Workload is immutable after construction — replays only read it — so
 // one Workload can be shared by any number of Machines across goroutines.
+//
+//esp:plane workload
 type Workload struct {
 	// App names the application (profile name or caller-chosen label).
 	App string
@@ -55,6 +57,8 @@ type Workload struct {
 // NewWorkload materializes prof's session, truncated to maxEvents when
 // positive. The result replays bit-identically to driving the session
 // through eventq.SessionSource, for any MaxPending.
+//
+//esp:ctor
 func NewWorkload(prof workload.Profile, maxEvents int) (*Workload, error) {
 	sess, err := workload.NewSession(prof)
 	if err != nil {
@@ -70,6 +74,8 @@ func NewWorkload(prof workload.Profile, maxEvents int) (*Workload, error) {
 // arena fast path; other sources (recorded traces, multi-queue merges)
 // are copied stream by stream. Pending views are stored as the source
 // returned them, so replays match the old direct-source path exactly.
+//
+//esp:ctor
 func MaterializeSource(app string, src eventq.Source, maxEvents int) *Workload {
 	w := &Workload{App: app}
 	if ss, ok := src.(eventq.SessionSource); ok && ss.MaxPending <= 0 {
@@ -111,6 +117,8 @@ func specHorizon(n, nExec int, pending [][]trace.Event) int {
 
 // record drains s into the arena (at most max instructions, matching
 // trace.Record) and returns the span with capacity pinned to its length.
+//
+//esp:ctor
 func (w *Workload) record(s trace.Stream, max int) []trace.Inst {
 	start := len(w.arena)
 	for {
@@ -128,6 +136,8 @@ func (w *Workload) record(s trace.Stream, max int) []trace.Inst {
 
 // copyInsts copies a stream obtained from a generic source into the
 // arena and returns the pinned span.
+//
+//esp:ctor
 func (w *Workload) copyInsts(insts []trace.Inst) []trace.Inst {
 	start := len(w.arena)
 	w.arena = append(w.arena, insts...)
@@ -138,6 +148,8 @@ func (w *Workload) copyInsts(insts []trace.Inst) []trace.Inst {
 // event order exactly as eventq.SessionSource would have on demand; the
 // generator reseeds per event, so generation order cannot change a
 // stream.
+//
+//esp:ctor
 func (w *Workload) fromSession(sess *workload.Session, maxEvents int) {
 	n := len(sess.Events)
 	w.events = sess.Events
@@ -188,6 +200,8 @@ func (w *Workload) fromSession(sess *workload.Session, maxEvents int) {
 // fromSource materializes a generic source by copying its streams. When
 // a source hands back the same backing array for both variants (recorded
 // traces do), the arena span is shared the same way.
+//
+//esp:ctor
 func (w *Workload) fromSource(src eventq.Source, maxEvents int) {
 	n := src.Len()
 	w.nExec = execCount(n, maxEvents)

@@ -119,7 +119,7 @@ type Program interface {
 // SliceStream adapts a materialized instruction slice to the Stream
 // interface.
 type SliceStream struct {
-	insts []Inst
+	insts []Inst //esp:immutable
 	pos   int
 }
 
