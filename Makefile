@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race bench bench-go bench-guard fuzz-smoke chaos cluster-chaos leak tier1 clean
+.PHONY: all build vet lint test race bench bench-go bench-guard flame fuzz-smoke chaos cluster-chaos leak tier1 clean
 
 all: tier1
 
@@ -25,11 +25,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench measures the sweep engine (two-plane reuse vs rebuild-per-cell)
-# on the Figure 9 grid and records ns/op, allocs/op, cells/sec and the
-# speedup factor in BENCH_PR3.json.
+# bench measures the sweep engine (warm two-plane replay vs
+# rebuild-per-cell) on the Figure 9 grid and records ns/cell,
+# steady-state allocs/cell, cells/sec and the speedup factor in
+# BENCH_PR8.json.
 bench:
-	$(GO) run ./cmd/espperf -out BENCH_PR3.json
+	$(GO) run ./cmd/espperf -out BENCH_PR8.json
 
 # bench-go runs the full Go benchmark suite (per-figure regeneration
 # plus raw simulator throughput).
@@ -37,11 +38,20 @@ bench-go:
 	$(GO) test -bench=. -benchmem .
 
 # bench-guard re-measures sweep throughput and fails when the two-plane
-# engine's cells/sec fell more than 20% below the committed baseline, or
-# when the fault-free recovery stack (retries + breakers, no injector)
-# costs more than 2% of reuse throughput.
+# engine's cells/sec fell more than 20% below the committed baseline,
+# when a warm replay cell exceeds the hard allocation ceiling (the
+# hot path is allocation-zero; the ceiling of 40 leaves room only for
+# result assembly), or when the fault-free recovery stack (retries +
+# breakers, no injector) costs more than 5% of reuse throughput.
 bench-guard:
-	$(GO) run ./cmd/espperf -out - -guard BENCH_PR3.json -maxloss 0.20 -maxoverhead 0.02
+	$(GO) run ./cmd/espperf -out - -guard BENCH_PR8.json -maxloss 0.20 -maxallocs 40 -maxoverhead 0.05
+
+# flame captures a CPU profile of the measured sweeps and renders the
+# top of the replay hot path; pass PPROF_FLAGS=-http=:8080 for the
+# interactive flame graph.
+flame:
+	$(GO) run ./cmd/espperf -out - -cpuprofile espperf.cpu.pprof > /dev/null
+	$(GO) tool pprof $(PPROF_FLAGS) -top -nodecount=20 espperf.cpu.pprof
 
 # chaos is the seeded fault-injection soak under the race detector: a
 # sweep with injected panics, stalls, and build failures on >=25% of its

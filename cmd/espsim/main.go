@@ -34,7 +34,7 @@ func replayTrace(path string, cfg esp.Config, lim trace.Limits) (esp.Result, err
 	if err != nil {
 		return esp.Result{}, fmt.Errorf("reading trace %s: %w", path, err)
 	}
-	return esp.RunSource(path, eventq.TraceSource{Events: events}, cfg)
+	return esp.RunSource(path, &eventq.TraceSource{Events: events}, cfg)
 }
 
 func configs() map[string]esp.Config {

@@ -8,7 +8,7 @@ import (
 )
 
 func condBranch(pc uint64, taken bool) trace.Inst {
-	return trace.Inst{PC: pc, Kind: trace.Branch, Taken: taken, Target: pc + 64}
+	return trace.Inst{PC: pc, Kind: trace.Branch, Taken: taken, Addr: pc + 64}
 }
 
 func TestLearnsBiasedBranch(t *testing.T) {
@@ -33,8 +33,8 @@ func TestBTBLearnsTargets(t *testing.T) {
 	in := condBranch(0x2000, true)
 	p.Resolve(in)
 	pred := p.Predict(in)
-	if pred.Target != in.Target {
-		t.Fatalf("BTB did not learn target: got %#x want %#x", pred.Target, in.Target)
+	if pred.Target != in.Addr {
+		t.Fatalf("BTB did not learn target: got %#x want %#x", pred.Target, in.Addr)
 	}
 }
 
@@ -74,7 +74,7 @@ func TestMispredictedSemantics(t *testing.T) {
 	if !Misfetched(Prediction{Taken: true, Target: 0}, in) {
 		t.Fatal("direct-branch BTB miss should be a misfetch")
 	}
-	if Misfetched(Prediction{Taken: true, Target: in.Target}, in) {
+	if Misfetched(Prediction{Taken: true, Target: in.Addr}, in) {
 		t.Fatal("correct target is not a misfetch")
 	}
 	// Indirect branch: wrong target is a full mispredict.
@@ -95,8 +95,8 @@ func TestMispredictedSemantics(t *testing.T) {
 
 func TestRASPredictsReturns(t *testing.T) {
 	p := New()
-	call := trace.Inst{PC: 0x1000, Kind: trace.Branch, Taken: true, Call: true, Target: 0x5000}
-	ret := trace.Inst{PC: 0x5100, Kind: trace.Branch, Taken: true, Ret: true, Target: 0x1004}
+	call := trace.Inst{PC: 0x1000, Kind: trace.Branch, Taken: true, Call: true, Addr: 0x5000}
+	ret := trace.Inst{PC: 0x5100, Kind: trace.Branch, Taken: true, Ret: true, Addr: 0x1004}
 	p.Update(call)
 	pred := p.Predict(ret)
 	if pred.Target != 0x1004 {
@@ -112,12 +112,12 @@ func TestRASPredictsReturns(t *testing.T) {
 func TestRASNesting(t *testing.T) {
 	p := New()
 	for i := uint64(0); i < 3; i++ {
-		p.Update(trace.Inst{PC: 0x1000 + i*0x100, Kind: trace.Branch, Taken: true, Call: true, Target: 0x9000})
+		p.Update(trace.Inst{PC: 0x1000 + i*0x100, Kind: trace.Branch, Taken: true, Call: true, Addr: 0x9000})
 	}
 	for i := int64(2); i >= 0; i-- {
-		ret := trace.Inst{PC: 0x9100, Kind: trace.Branch, Taken: true, Ret: true, Target: uint64(0x1004 + i*0x100)}
-		if got := p.Predict(ret); got.Target != ret.Target {
-			t.Fatalf("nested return %d: got %#x want %#x", i, got.Target, ret.Target)
+		ret := trace.Inst{PC: 0x9100, Kind: trace.Branch, Taken: true, Ret: true, Addr: uint64(0x1004 + i*0x100)}
+		if got := p.Predict(ret); got.Target != ret.Addr {
+			t.Fatalf("nested return %d: got %#x want %#x", i, got.Target, ret.Addr)
 		}
 		p.Update(ret)
 	}
@@ -125,11 +125,11 @@ func TestRASNesting(t *testing.T) {
 
 func TestRASSnapshotRestore(t *testing.T) {
 	p := New()
-	call := trace.Inst{PC: 0x1000, Kind: trace.Branch, Taken: true, Call: true, Target: 0x5000}
+	call := trace.Inst{PC: 0x1000, Kind: trace.Branch, Taken: true, Call: true, Addr: 0x5000}
 	p.Update(call)
 	snap := p.SnapshotRAS()
 	p.ClearRAS()
-	ret := trace.Inst{PC: 0x5100, Kind: trace.Branch, Taken: true, Ret: true, Target: 0x1004}
+	ret := trace.Inst{PC: 0x5100, Kind: trace.Branch, Taken: true, Ret: true, Addr: 0x1004}
 	if p.Predict(ret).Target == 0x1004 {
 		t.Fatal("ClearRAS did not clear")
 	}
@@ -141,7 +141,7 @@ func TestRASSnapshotRestore(t *testing.T) {
 
 func TestIBTBLearnsDominantTarget(t *testing.T) {
 	p := New()
-	ind := trace.Inst{PC: 0x3000, Kind: trace.Branch, Taken: true, Indirect: true, Target: 0x7000}
+	ind := trace.Inst{PC: 0x3000, Kind: trace.Branch, Taken: true, Indirect: true, Addr: 0x7000}
 	p.Resolve(ind)
 	if p.Predict(ind).Target != 0x7000 {
 		t.Fatal("iBTB did not learn the target")
@@ -151,7 +151,7 @@ func TestIBTBLearnsDominantTarget(t *testing.T) {
 func TestLoopPredictorLearnsTripCount(t *testing.T) {
 	p := New()
 	loop := func(taken bool) trace.Inst {
-		return trace.Inst{PC: 0x4000, Kind: trace.Branch, Taken: taken, Target: 0x3F00}
+		return trace.Inst{PC: 0x4000, Kind: trace.Branch, Taken: taken, Addr: 0x3F00}
 	}
 	// Trip count 5: taken 4 times, then not taken. Train three full
 	// iterations to build confidence.
@@ -261,5 +261,52 @@ func TestMispredictRateUnderRandomOutcomes(t *testing.T) {
 	rate := p.Stats.MispredictRate()
 	if rate < 0.4 || rate > 0.6 {
 		t.Fatalf("random branch mispredict rate %.3f, want ~0.5", rate)
+	}
+}
+
+// TestPredictUpdateEquivalence drives two predictors through the same
+// randomized branch stream — one via separate Predict/Update calls, one
+// via the fused PredictUpdate — and requires identical predictions and
+// identical final state at every step.
+func TestPredictUpdateEquivalence(t *testing.T) {
+	split, fused := New(), New()
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 50000; i++ {
+		h := next()
+		in := trace.Inst{
+			PC:     0x1000 + (h%977)*4,
+			Kind:   trace.Branch,
+			Taken:  h>>8&3 != 0,
+			Addr:   0x1000 + (h>>16%4096)*4,
+		}
+		switch h >> 40 % 10 {
+		case 0:
+			in.Call, in.Taken = true, true
+		case 1:
+			in.Ret, in.Taken = true, true
+		case 2:
+			in.Indirect, in.Taken = true, true
+		case 3:
+			in.Call, in.Indirect, in.Taken = true, true, true
+		}
+		if h>>50&31 == 0 {
+			split.LoopReadOnly = !split.LoopReadOnly
+			fused.LoopReadOnly = split.LoopReadOnly
+		}
+		a := split.Predict(in)
+		split.Update(in)
+		b := fused.PredictUpdate(&in)
+		if a != b {
+			t.Fatalf("step %d: prediction diverged: split=%+v fused=%+v (in=%+v)", i, a, b, in)
+		}
+		if *split != *fused {
+			t.Fatalf("step %d: predictor state diverged after %+v", i, in)
+		}
 	}
 }

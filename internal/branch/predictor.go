@@ -213,14 +213,14 @@ func (p *Predictor) Update(in trace.Inst) {
 		}
 	case in.Indirect:
 		e := &p.ibtb[p.indirectIndex(in.PC)]
-		*e = targetEntry{tag: uint32(in.PC >> 2), target: in.Target, valid: true}
+		*e = targetEntry{tag: uint32(in.PC >> 2), target: in.Addr, valid: true}
 		if in.Call && p.rasTop < rasEntries {
 			p.ras[p.rasTop] = in.PC + trace.InstBytes
 			p.rasTop++
 		}
 	default:
 		if in.Taken {
-			p.btbInsert(in.PC, in.Target)
+			p.btbInsert(in.PC, in.Addr)
 		}
 		if in.Call && p.rasTop < rasEntries {
 			p.ras[p.rasTop] = in.PC + trace.InstBytes
@@ -230,7 +230,7 @@ func (p *Predictor) Update(in trace.Inst) {
 	// Path history: mix the branch PC (and target when taken).
 	upd := in.PC >> 2
 	if in.Taken {
-		upd ^= in.Target >> 3
+		upd ^= in.Addr >> 3
 	}
 	p.pir = ((p.pir << 2) ^ upd) & pirMask
 }
@@ -305,6 +305,119 @@ func saturate(c uint8, up bool) uint8 {
 	return c
 }
 
+// PredictUpdate performs Predict followed by Update in one pass, sharing
+// the table index computations between the two calls: the PIR only
+// advances at the very end of Update, so every index the separate calls
+// would derive is identical, and the shared loop/global/BTB pointers are
+// read (for the prediction) strictly before they are written (for the
+// training). It is behaviourally equivalent to Predict(*in) then
+// Update(*in) and exists for the replay hot loops, which resolve tens of
+// millions of branches per run.
+func (p *Predictor) PredictUpdate(in *trace.Inst) Prediction {
+	var pred Prediction
+	pc := in.PC
+	pc2 := pc >> 2
+	key := uint32(pc2)
+	switch {
+	case in.Ret:
+		pred.Taken = true
+		if p.rasTop > 0 {
+			pred.Target = p.ras[p.rasTop-1]
+			p.rasTop--
+		}
+	case in.Indirect:
+		pred.Taken = true
+		e := &p.ibtb[p.indirectIndex(pc)]
+		if e.valid && e.tag == key {
+			pred.Target = e.target
+		}
+		*e = targetEntry{tag: key, target: in.Addr, valid: true}
+		if in.Call && p.rasTop < rasEntries {
+			p.ras[p.rasTop] = pc + trace.InstBytes
+			p.rasTop++
+		}
+	case in.Call:
+		pred.Taken = true
+		set := &p.btb[pc2%btbSets]
+		for i := range set {
+			if set[i].valid && set[i].tag == key {
+				pred.Target = set[i].target
+				break
+			}
+		}
+		if in.Taken {
+			p.btbInsert(pc, in.Addr)
+		}
+		if p.rasTop < rasEntries {
+			p.ras[p.rasTop] = pc + trace.InstBytes
+			p.rasTop++
+		}
+	default:
+		// Conditional or plain jump: predict direction (loop → global →
+		// bimodal priority) and BTB target, then train all three direction
+		// structures and the BTB with the architectural outcome.
+		le := &p.loop[pc2%loopEntries]
+		gIdx, gTag := p.globalIndex(pc)
+		g := &p.global[gIdx]
+		switch {
+		case le.valid && le.tag == key && le.conf >= 2:
+			pred.Taken = le.cur+1 < le.trip
+		case g.valid && g.tag == gTag:
+			pred.Taken = g.counter >= 2
+		default:
+			pred.Taken = p.local[pc2%localEntries] >= 2
+		}
+		set := &p.btb[pc2%btbSets]
+		for i := range set {
+			if set[i].valid && set[i].tag == key {
+				pred.Target = set[i].target
+				break
+			}
+		}
+		if !p.LoopReadOnly {
+			if !le.valid || le.tag != key {
+				*le = loopEntry{tag: key, valid: true}
+			}
+			if in.Taken {
+				if le.cur < ^uint16(0) {
+					le.cur++
+				}
+			} else {
+				observed := le.cur + 1
+				if observed == le.trip {
+					if le.conf < 3 {
+						le.conf++
+					}
+				} else {
+					le.trip = observed
+					le.conf = 0
+				}
+				le.cur = 0
+			}
+		}
+		if !g.valid || g.tag != gTag {
+			c := uint8(1)
+			if in.Taken {
+				c = 2
+			}
+			*g = globalEntry{tag: gTag, counter: c, valid: true}
+		} else {
+			g.counter = saturate(g.counter, in.Taken)
+		}
+		li := pc2 % localEntries
+		p.local[li] = saturate(p.local[li], in.Taken)
+		if in.Taken {
+			p.btbInsert(pc, in.Addr)
+		}
+	}
+	upd := pc2
+	if in.Taken {
+		upd ^= in.Addr >> 3
+	}
+	p.pir = ((p.pir << 2) ^ upd) & pirMask
+	return pred
+}
+
 // Resolve predicts, trains, and accounts for the branch in a single step.
 // It returns true when the branch was mispredicted (wrong direction, or
 // right direction with wrong target).
@@ -327,7 +440,7 @@ func Mispredicted(pred Prediction, in trace.Inst) bool {
 	if pred.Taken != in.Taken {
 		return true
 	}
-	return in.Taken && (in.Indirect || in.Ret) && pred.Target != in.Target
+	return in.Taken && (in.Indirect || in.Ret) && pred.Target != in.Addr
 }
 
 // Misfetched reports whether a correctly-predicted direct branch lacked
@@ -337,5 +450,5 @@ func Misfetched(pred Prediction, in trace.Inst) bool {
 	if Mispredicted(pred, in) || !in.Taken || in.Indirect || in.Ret {
 		return false
 	}
-	return pred.Target != in.Target
+	return pred.Target != in.Addr
 }

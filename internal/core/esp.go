@@ -86,8 +86,10 @@ type slot struct {
 
 	preExecuted bool
 
-	// ws holds per-mode reuse profilers for the Figure 13 study.
-	ws map[int]*wsPair
+	// ws holds per-mode reuse profilers for the Figure 13 study,
+	// indexed by depth (nil entries for unvisited modes). The slice's
+	// storage survives scrubbing, so the study never reallocates it.
+	ws []*wsPair
 }
 
 type wsPair struct {
@@ -120,6 +122,12 @@ type ESP struct {
 	consI, consD, consB int
 	curIdx              int
 
+	// consWake is the next instruction index at which advanceConsumption
+	// has any record to process: the per-instruction hook compares one
+	// integer and returns until then, instead of rescanning three list
+	// heads every retired instruction.
+	consWake int
+
 	// idleBudget accumulates helper-core cycles in the IdleCore design.
 	idleBudget float64
 
@@ -128,13 +136,16 @@ type ESP struct {
 
 	// Recycling pools. The engine simulates one hardware structure set
 	// being reused event after event, so the software mirrors it: retired
-	// slots, their cachelets (keyed by geometry) and replica predictors
-	// go back to these pools instead of the garbage collector. A pooled
-	// structure is always reset to cold state before reuse, keeping
-	// results bit-identical to allocate-fresh.
-	cachePool map[cacheGeom][]*mem.Cache
-	slotPool  []*slot
-	bpPool    []*branch.Predictor
+	// slots, their cachelets (bucketed by geometry) and replica
+	// predictors go back to these intrusive free-lists instead of the
+	// garbage collector. A pooled structure is always reset to cold state
+	// before reuse, keeping results bit-identical to allocate-fresh. The
+	// cachelet buckets are a linear-scanned slice, not a map: an engine
+	// sees at most a handful of geometries, and bucket lookup sits on the
+	// per-event rotation path.
+	cachePools []cachePool
+	slotPool   []*slot
+	bpPool     []*branch.Predictor
 
 	// runWindow/promote scratch, reused across calls.
 	readyAt     []float64
@@ -142,9 +153,19 @@ type ESP struct {
 	lineScratch []uint64
 }
 
+// instNever is the OnInst wake value meaning "no per-instruction work
+// left this event".
+const instNever = int(^uint(0) >> 1)
+
 // cacheGeom keys the cachelet pool: cachelets are interchangeable
 // exactly when their geometry matches.
 type cacheGeom struct{ bytes, ways int }
+
+// cachePool is one geometry bucket of the cachelet free-list.
+type cachePool struct {
+	geom cacheGeom
+	free []*mem.Cache
+}
 
 // New returns an ESP engine sharing the core's hierarchy and predictor.
 func New(opt Options, h *mem.Hierarchy, bp *branch.Predictor, src StreamSource) (*ESP, error) {
@@ -156,7 +177,6 @@ func New(opt Options, h *mem.Hierarchy, bp *branch.Predictor, src StreamSource) 
 	for i := range e.slots {
 		e.slots[i] = &slot{}
 	}
-	e.cachePool = make(map[cacheGeom][]*mem.Cache)
 	e.readyAt = make([]float64, opt.JumpDepth)
 	e.done = make([]bool, opt.JumpDepth)
 	if opt.MeasureWorkingSets {
@@ -182,6 +202,7 @@ func (e *ESP) Reset() {
 	e.Stats = Stats{}
 	e.consI, e.consD, e.consB = 0, 0, 0
 	e.curIdx = 0
+	e.consWake = 0
 	e.idleBudget = 0
 	e.Src = nil
 	if e.Opt.MeasureWorkingSets {
@@ -204,7 +225,16 @@ func (e *ESP) scrubSlot(s *slot) {
 	il.reset(0)
 	dl.reset(0)
 	bl.reset(0, 0)
-	*s = slot{ilist: il, dlist: dl, blist: bl}
+	ws := clearPairs(s.ws)
+	*s = slot{ilist: il, dlist: dl, blist: bl, ws: ws}
+}
+
+// clearPairs empties a study-pair slice while keeping its storage.
+func clearPairs(ws []*wsPair) []*wsPair {
+	for i := range ws {
+		ws[i] = nil
+	}
+	return ws[:0]
 }
 
 // takeSlot pops a pooled slot (or builds the first few).
@@ -241,7 +271,13 @@ func (e *ESP) releaseCache(c *mem.Cache) {
 	}
 	c.Reset()
 	g := cacheGeom{c.SizeBytes(), c.Ways()}
-	e.cachePool[g] = append(e.cachePool[g], c)
+	for i := range e.cachePools {
+		if e.cachePools[i].geom == g {
+			e.cachePools[i].free = append(e.cachePools[i].free, c)
+			return
+		}
+	}
+	e.cachePools = append(e.cachePools, cachePool{geom: g, free: []*mem.Cache{c}})
 }
 
 // resetSlot points a slot at a (new) future event, discarding any state
@@ -252,7 +288,8 @@ func (e *ESP) resetSlot(s *slot, depth int, ev trace.Event, valid bool) {
 	sz := e.Opt.Sizes
 	e.releaseSlotRes(s)
 	il, dl, bl := s.ilist, s.dlist, s.blist
-	*s = slot{ev: ev, valid: valid, ilist: il, dlist: dl, blist: bl}
+	ws := clearPairs(s.ws)
+	*s = slot{ev: ev, valid: valid, ilist: il, dlist: dl, blist: bl, ws: ws}
 	if e.Opt.Ideal {
 		s.icl = e.cachelet("I-cachelet", 4<<20, 16)
 		s.dcl = e.cachelet("D-cachelet", 4<<20, 16)
@@ -286,10 +323,18 @@ func (e *ESP) resetSlot(s *slot, depth int, ev trace.Event, valid bool) {
 // validation.
 func (e *ESP) cachelet(name string, bytes, ways int) *mem.Cache {
 	g := cacheGeom{bytes, ways}
-	if l := e.cachePool[g]; len(l) > 0 {
-		c := l[len(l)-1]
-		e.cachePool[g] = l[:len(l)-1]
-		return c
+	for i := range e.cachePools {
+		p := &e.cachePools[i]
+		if p.geom != g {
+			continue
+		}
+		if n := len(p.free); n > 0 {
+			c := p.free[n-1]
+			p.free[n-1] = nil
+			p.free = p.free[:n-1]
+			return c
+		}
+		break
 	}
 	c, err := mem.NewCache(name, bytes, ways)
 	if err != nil {
@@ -397,6 +442,40 @@ func (e *ESP) EventStart(ev trace.Event, _ []trace.Inst, pending []trace.Event) 
 	// Pre-event window: the looper's queue-management instructions give
 	// list prefetches a head start (§3.6).
 	e.advanceConsumption()
+	e.refreshWake()
+}
+
+// refreshWake recomputes consWake: the smallest instruction index at
+// which advanceConsumption has any record within reach. I/D records are
+// reached when curIdx+PrefetchLead meets the head record's Count; B
+// records are dropped when curIdx passes Count. Any earlier call is a
+// no-op, so skipping until consWake is bit-identical to calling every
+// instruction. CorrectBranch can advance consB between wake-ups, which
+// only ever moves the true wake later — a stale (smaller) consWake costs
+// a harmless extra scan, never a missed one.
+func (e *ESP) refreshWake() {
+	wake := instNever
+	c := e.cons
+	if c == nil {
+		e.consWake = wake
+		return
+	}
+	if e.Opt.UseI && e.consI < len(c.ilist.recs) {
+		if w := int(c.ilist.recs[e.consI].Count) - e.Opt.PrefetchLead; w < wake {
+			wake = w
+		}
+	}
+	if e.Opt.UseD && e.consD < len(c.dlist.recs) {
+		if w := int(c.dlist.recs[e.consD].Count) - e.Opt.PrefetchLead; w < wake {
+			wake = w
+		}
+	}
+	if e.Opt.UseB && e.consB < len(c.blist.recs) {
+		if w := int(c.blist.recs[e.consB].Count) + 1; w < wake {
+			wake = w
+		}
+	}
+	e.consWake = wake
 }
 
 // updateReservations charges the unconsumed tail of the current event's
@@ -429,22 +508,35 @@ func (e *ESP) EventEnd(trace.Event) {
 }
 
 // OnInst implements cpu.Assist: track progress and issue timely list
-// prefetches PrefetchLead instructions ahead of their recorded use.
-func (e *ESP) OnInst(idx int) {
+// prefetches PrefetchLead instructions ahead of their recorded use. The
+// consWake threshold is also the return value: between record wake-ups
+// the three list heads cannot match, so the core skips the call
+// entirely (curIdx is only ever read by advanceConsumption, which only
+// runs on a wake-up, so it never goes stale observably). CorrectBranch
+// can consume a B record between wake-ups, making consWake point at an
+// already-drained record; the wake then fires once as a no-op scan and
+// reschedules — never skips work.
+func (e *ESP) OnInst(idx int) int {
 	e.curIdx = idx
-	if e.cons != nil {
+	if e.cons != nil && idx >= e.consWake {
 		e.advanceConsumption()
-		e.updateReservations()
+		e.refreshWake()
 	}
 	if e.Opt.IdleCore {
-		// The helper core runs continuously alongside the main core.
+		// The helper core runs continuously alongside the main core: its
+		// cycle budget accrues per retired instruction.
 		e.idleBudget += idleCycleRate
 		if e.idleBudget >= idleQuantum {
 			b := e.idleBudget
 			e.idleBudget = 0
 			e.runWindow(b)
 		}
+		return idx + 1
 	}
+	if e.cons == nil {
+		return instNever
+	}
+	return e.consWake
 }
 
 // idleCycleRate approximates the helper-core cycles that pass per
@@ -554,6 +646,10 @@ func (e *ESP) OnStall(_ cpu.StallKind, _ int, budget int) bool {
 // runWindow pre-executes pending events for a window of cycles — a stall
 // window in the ESP design, a helper-core quantum in the idle-core one.
 func (e *ESP) runWindow(window float64) bool {
+	// Reservations are only ever read inside this window (list full/add
+	// checks), so recomputing them here once is exactly equivalent to the
+	// old per-retired-instruction update.
+	e.updateReservations()
 	before := e.Stats.PreExecInsts
 	t := 0.0
 	n := len(e.slots)
@@ -667,12 +763,24 @@ func (e *ESP) runSlot(s *slot, depth int, b *float64) (preExecResult, int) {
 	}
 	ws := e.studyPair(s, depth)
 
-	for *b > 0 {
-		if s.pos >= len(s.insts) {
+	// The loop runs on locals (budget, position, instruction counter) and
+	// writes them back at each exit, keeping the per-instruction body free
+	// of memory round-trips through s, e.Stats, and the budget pointer.
+	var (
+		bud      = *b
+		baseCPI  = e.Opt.BaseCPI
+		insts    = s.insts
+		pos      = s.pos
+		preInsts int64
+	)
+	for bud > 0 {
+		if pos >= len(insts) {
+			s.pos, *b = pos, bud
+			e.Stats.PreExecInsts += preInsts
 			return preExecEnd, 0
 		}
-		in := &s.insts[s.pos]
-		*b -= e.Opt.BaseCPI
+		in := &insts[pos]
+		bud -= baseCPI
 
 		// Instruction fetch through the I-cachelet.
 		if l := trace.Line(in.PC); !s.haveLine || l != s.fetchLine {
@@ -680,24 +788,25 @@ func (e *ESP) runSlot(s *slot, depth int, b *float64) (preExecResult, int) {
 			if ws != nil {
 				ws.i.Touch(in.PC)
 			}
-			if res, lat := e.fetchPre(s, in.PC, b); res == preExecLLC {
+			if res, lat := e.fetchPre(s, in.PC, int32(pos), &bud); res == preExecLLC {
+				s.pos, *b = pos, bud
+				e.Stats.PreExecInsts += preInsts
 				return preExecLLC, lat
 			}
 		}
 
 		switch in.Kind {
 		case trace.Branch:
-			pred := bp.Predict(*in)
+			pred := bp.PredictUpdate(in)
 			miss := branch.Mispredicted(pred, *in)
 			if branch.Misfetched(pred, *in) {
-				*b -= misfetchCost
+				bud -= misfetchCost
 			}
-			bp.Update(*in)
 			if miss {
-				*b -= float64(e.Opt.MispredictPenalty)
+				bud -= float64(e.Opt.MispredictPenalty)
 				if !e.Opt.Naive && !s.poisoned {
 					if s.blist.add(BranchRec{
-						PC: in.PC, Target: in.Target, Count: int32(s.pos),
+						PC: in.PC, Target: in.Addr, Count: int32(pos),
 						Taken: in.Taken, Indirect: in.Indirect,
 					}) {
 						e.Stats.RecB++
@@ -714,13 +823,17 @@ func (e *ESP) runSlot(s *slot, depth int, b *float64) (preExecResult, int) {
 			if ws != nil {
 				ws.d.Touch(in.Addr)
 			}
-			if res, lat := e.accessPre(s, in, b); res == preExecLLC {
+			if res, lat := e.accessPre(s, in, int32(pos), &bud); res == preExecLLC {
+				s.pos, *b = pos, bud
+				e.Stats.PreExecInsts += preInsts
 				return preExecLLC, lat
 			}
 		}
-		s.pos++
-		e.Stats.PreExecInsts++
+		pos++
+		preInsts++
 	}
+	s.pos, *b = pos, bud
+	e.Stats.PreExecInsts += preInsts
 	return preExecBudget, 0
 }
 
@@ -728,7 +841,7 @@ func (e *ESP) runSlot(s *slot, depth int, b *float64) (preExecResult, int) {
 // I-cachelet normally, or straight into the shared hierarchy in the naive
 // design. On an LLC miss the line is installed before returning, so the
 // re-entrant resume proceeds past it.
-func (e *ESP) fetchPre(s *slot, pc uint64, b *float64) (preExecResult, int) {
+func (e *ESP) fetchPre(s *slot, pc uint64, pos int32, b *float64) (preExecResult, int) {
 	if e.Opt.Naive {
 		level, lat := e.Hier.FetchI(pc)
 		if level == mem.LevelMem {
@@ -742,7 +855,7 @@ func (e *ESP) fetchPre(s *slot, pc uint64, b *float64) (preExecResult, int) {
 	}
 	lat, llc := e.Hier.FillLatency(pc)
 	e.Stats.CacheletFills++
-	e.record(s, &s.ilist, trace.Line(pc), int32(s.pos))
+	e.record(s, &s.ilist, trace.Line(pc), pos)
 	if llc {
 		e.Stats.LLCFills++
 		return preExecLLC, lat
@@ -753,7 +866,7 @@ func (e *ESP) fetchPre(s *slot, pc uint64, b *float64) (preExecResult, int) {
 
 // accessPre services a pre-execution data access through the D-cachelet
 // (stores stay local to it: no write-back, no coherence, §3.4, §4.4).
-func (e *ESP) accessPre(s *slot, in *trace.Inst, b *float64) (preExecResult, int) {
+func (e *ESP) accessPre(s *slot, in *trace.Inst, pos int32, b *float64) (preExecResult, int) {
 	write := in.Kind == trace.Store
 	if e.Opt.Naive {
 		level, lat := e.Hier.AccessD(in.Addr, write)
@@ -774,7 +887,7 @@ func (e *ESP) accessPre(s *slot, in *trace.Inst, b *float64) (preExecResult, int
 	}
 	lat, llc := e.Hier.FillLatency(in.Addr)
 	e.Stats.CacheletFills++
-	e.record(s, &s.dlist, trace.Line(in.Addr), int32(s.pos))
+	e.record(s, &s.dlist, trace.Line(in.Addr), pos)
 	if llc {
 		e.Stats.LLCFills++
 		return preExecLLC, lat
@@ -833,8 +946,8 @@ func (e *ESP) studyPair(s *slot, depth int) *wsPair {
 	if e.Study == nil {
 		return nil
 	}
-	if s.ws == nil {
-		s.ws = make(map[int]*wsPair)
+	for len(s.ws) <= depth {
+		s.ws = append(s.ws, nil)
 	}
 	p := s.ws[depth]
 	if p == nil {
@@ -845,12 +958,16 @@ func (e *ESP) studyPair(s *slot, depth int) *wsPair {
 }
 
 // finishStudy folds a slot's per-mode reuse profiles into the study.
+// Per-depth samples land in independent per-depth slices, so the
+// slice-ordered walk produces the same study as the old map iteration.
 func (e *ESP) finishStudy(s *slot) {
-	if e.Study == nil || s.ws == nil {
+	if e.Study == nil || len(s.ws) == 0 {
 		return
 	}
 	for depth, p := range s.ws {
-		e.Study.AddSample(depth, p.i, p.d)
+		if p != nil {
+			e.Study.AddSample(depth, p.i, p.d)
+		}
 	}
-	s.ws = nil
+	s.ws = clearPairs(s.ws)
 }

@@ -193,7 +193,7 @@ func TestCorrectBranchMatchesRecordedMispredicts(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		if i%10 == 5 {
 			taken := (i/10)%2 == 0
-			stream = append(stream, trace.Inst{PC: pc, Kind: trace.Branch, Taken: taken, Target: pc + 4})
+			stream = append(stream, trace.Inst{PC: pc, Kind: trace.Branch, Taken: taken, Addr: pc + 4})
 		} else {
 			stream = append(stream, trace.Inst{PC: pc, Kind: trace.ALU})
 		}
@@ -368,7 +368,7 @@ func TestListsFullStopsJumping(t *testing.T) {
 			in.Kind = trace.Load
 			in.Addr = 0x8_0000_0000 + uint64(i)*64
 		case 6:
-			in = trace.Inst{PC: pc, Kind: trace.Branch, Taken: i%2 == 0, Target: pc + 4}
+			in = trace.Inst{PC: pc, Kind: trace.Branch, Taken: i%2 == 0, Addr: pc + 4}
 		}
 		stream = append(stream, in)
 		pc += 4
@@ -397,7 +397,7 @@ func TestSeparatePIRRestoresNormalContext(t *testing.T) {
 	var stream []trace.Inst
 	pc := uint64(0x10000)
 	for i := 0; i < 200; i++ {
-		in := trace.Inst{PC: pc, Kind: trace.Branch, Taken: i%2 == 0, Target: pc + 8}
+		in := trace.Inst{PC: pc, Kind: trace.Branch, Taken: i%2 == 0, Addr: pc + 8}
 		stream = append(stream, in)
 		pc = in.NextPC()
 	}
@@ -428,7 +428,7 @@ func TestReplicateModeInstallsWarmedTables(t *testing.T) {
 	// A perfectly biased branch at one PC, repeated: the replica learns it.
 	var stream []trace.Inst
 	for i := 0; i < 64; i++ {
-		stream = append(stream, trace.Inst{PC: 0x10000, Kind: trace.Branch, Taken: true, Target: 0x10000})
+		stream = append(stream, trace.Inst{PC: 0x10000, Kind: trace.Branch, Taken: true, Addr: 0x10000})
 	}
 	src.streams[1] = stream
 	h.L2.Install(0x10000, false)
@@ -618,6 +618,9 @@ func TestSharedQueueReservationFreesWithConsumption(t *testing.T) {
 	for i := 0; i < 1900; i++ {
 		e.OnInst(i)
 	}
+	// Reservations are recomputed lazily on entry to each pre-execution
+	// window (the only place they are read); mirror that entry here.
+	e.updateReservations()
 	reservedLate := e.slots[0].ilist.reserved
 	if reservedAtStart == 0 {
 		t.Skip("event 1 recorded nothing; reservation path not exercised")

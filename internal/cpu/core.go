@@ -51,8 +51,13 @@ type Assist interface {
 	// EventEnd announces that ev has retired its last instruction.
 	EventEnd(ev trace.Event)
 	// OnInst is called before instruction idx of the current event
-	// retires; assists use it to issue timely prefetches.
-	OnInst(idx int)
+	// retires; assists use it to issue timely prefetches. It returns the
+	// lowest future index at which it must be called again — idx+1 for
+	// every instruction, math.MaxInt for not again this event — letting
+	// the core skip the dispatch entirely while the assist has nothing
+	// scheduled. The contract resets at EventStart: the core always calls
+	// OnInst for instruction 0.
+	OnInst(idx int) (nextWake int)
 	// CorrectBranch reports whether the assist guarantees a correct
 	// prediction for the branch at idx (ESP's just-in-time B-list
 	// training, §3.6). The predictor is still trained on the outcome.
@@ -274,32 +279,58 @@ func (c *Core) BeginEvent(handler int) {
 // RunEvent executes one event's instruction stream to completion and
 // returns the cycles it consumed. Assist hooks EventStart/EventEnd are the
 // caller's (looper's) responsibility; RunEvent only drives the
-// per-instruction hooks.
+// per-instruction hooks. The loop is specialized on assist presence: a
+// baseline core pays no per-instruction interface dispatch at all, and
+// both variants keep the fetch-line and MLP trackers in locals, written
+// back once per event (nothing outside this loop can observe them
+// mid-event — the assists never see the Core).
 func (c *Core) RunEvent(insts []trace.Inst) int64 {
+	var st Stats
+	var cycles float64
+	if c.Assist != nil {
+		cycles = c.runAssisted(insts, &st)
+	} else {
+		cycles = c.runPlain(insts, &st)
+	}
+	st.Insts = int64(len(insts))
+	st.BaseCycles = int64(float64(st.Insts) * c.Cfg.BaseCPI)
+	st.Cycles = int64(cycles)
+	c.Stats.Add(st)
+	return st.Cycles
+}
+
+// runPlain is the no-assist event loop: stall windows are counted but
+// never offered, and branches never query CorrectBranch.
+func (c *Core) runPlain(insts []trace.Inst, st *Stats) float64 {
 	cfg := &c.Cfg
 	var (
-		cycles  float64
-		st      Stats
-		assist  = c.Assist
-		perInst = cfg.BaseCPI
+		cycles     float64
+		perInst    = cfg.BaseCPI
+		hier       = c.Hier
+		bp         = c.BP
+		nli        = c.NLI
+		fetchObs   = c.FetchObs
+		dcu        = c.DCU
+		stride     = c.Stride
+		fetchValid = c.fetchValid
+		fetchLine  = c.fetchLine
+		global     = c.globalInst
+		lastLLCD   = c.lastLLCDInst
+		rob        = int64(cfg.ROB)
 	)
 	for idx := range insts {
 		in := &insts[idx]
-		if assist != nil {
-			assist.OnInst(idx)
-		}
 		cycles += perInst
 
 		// Instruction fetch: one hierarchy access per line transition.
-		line := trace.Line(in.PC)
-		if !c.fetchValid || line != c.fetchLine {
-			c.fetchValid, c.fetchLine = true, line
-			level, lat := c.Hier.FetchI(in.PC)
-			if c.NLI != nil {
-				c.NLI.OnFetch(in.PC)
+		if line := trace.Line(in.PC); !fetchValid || line != fetchLine {
+			fetchValid, fetchLine = true, line
+			level, lat := hier.FetchI(in.PC)
+			if nli != nil {
+				nli.OnFetch(in.PC)
 			}
-			if c.FetchObs != nil {
-				c.FetchObs.OnFetch(in.PC, level)
+			if fetchObs != nil {
+				fetchObs.OnFetch(in.PC, level)
 			}
 			switch level {
 			case mem.LevelL2:
@@ -311,7 +342,8 @@ func (c *Core) RunEvent(insts []trace.Inst) int64 {
 				exposed := cfg.MemIExposed
 				cycles += float64(exposed)
 				st.IMissCycles += int64(exposed)
-				c.offerStall(StallI, idx, exposed, &cycles, &st)
+				st.StallsOffered++
+				st.StallCycles += int64(exposed)
 			}
 		}
 
@@ -320,16 +352,10 @@ func (c *Core) RunEvent(insts []trace.Inst) int64 {
 			st.Branches++
 			correct := cfg.PerfectBP
 			misfetch := false
-			if !correct && assist != nil && assist.CorrectBranch(idx, *in) {
-				correct = true
-			}
 			if !correct {
-				pred := c.BP.Predict(*in)
+				pred := bp.PredictUpdate(in)
 				correct = !branch.Mispredicted(pred, *in)
 				misfetch = branch.Misfetched(pred, *in)
-			}
-			if !cfg.PerfectBP {
-				c.BP.Update(*in)
 			}
 			switch {
 			case !correct:
@@ -342,16 +368,16 @@ func (c *Core) RunEvent(insts []trace.Inst) int64 {
 				st.BranchCycles += int64(cfg.MisfetchPenalty)
 			}
 			if in.Taken {
-				c.fetchValid = false // redirect: next fetch re-accesses I$
+				fetchValid = false // redirect: next fetch re-accesses I$
 			}
 
 		case trace.Load, trace.Store:
-			level, lat := c.Hier.AccessD(in.Addr, in.Kind == trace.Store)
-			if c.DCU != nil {
-				c.DCU.OnAccess(in.Addr)
+			level, lat := hier.AccessD(in.Addr, in.Kind == trace.Store)
+			if dcu != nil {
+				dcu.OnAccess(in.Addr)
 			}
-			if c.Stride != nil {
-				c.Stride.OnAccess(in.PC, in.Addr)
+			if stride != nil {
+				stride.OnAccess(in.PC, in.Addr)
 			}
 			switch level {
 			case mem.LevelL2:
@@ -361,23 +387,139 @@ func (c *Core) RunEvent(insts []trace.Inst) int64 {
 			case mem.LevelMem:
 				st.LLCMissD++
 				exposed := cfg.MemDExposed
-				if c.globalInst-c.lastLLCDInst < int64(cfg.ROB) {
+				if global-lastLLCD < rob {
 					// Overlapped with the previous miss: MLP.
 					exposed = int(float64(exposed) * cfg.MLPFactor)
 				}
-				c.lastLLCDInst = c.globalInst
+				lastLLCD = global
 				cycles += float64(exposed)
 				st.DMissCycles += int64(exposed)
-				c.offerStall(StallD, idx, exposed, &cycles, &st)
+				st.StallsOffered++
+				st.StallCycles += int64(exposed)
 			}
 		}
-		c.globalInst++
+		global++
 	}
-	st.Insts = int64(len(insts))
-	st.BaseCycles = int64(float64(st.Insts) * cfg.BaseCPI)
-	st.Cycles = int64(cycles)
-	c.Stats.Add(st)
-	return st.Cycles
+	c.fetchValid, c.fetchLine = fetchValid, fetchLine
+	c.globalInst, c.lastLLCDInst = global, lastLLCD
+	return cycles
+}
+
+// runAssisted is the event loop with an assist attached: per-instruction
+// progress hook, branch-correction queries, and exposed stall windows
+// offered for pre-execution.
+func (c *Core) runAssisted(insts []trace.Inst, st *Stats) float64 {
+	cfg := &c.Cfg
+	var (
+		cycles     float64
+		assist     = c.Assist
+		perInst    = cfg.BaseCPI
+		hier       = c.Hier
+		bp         = c.BP
+		nli        = c.NLI
+		fetchObs   = c.FetchObs
+		dcu        = c.DCU
+		stride     = c.Stride
+		fetchValid = c.fetchValid
+		fetchLine  = c.fetchLine
+		global     = c.globalInst
+		lastLLCD   = c.lastLLCDInst
+		rob        = int64(cfg.ROB)
+		wake       = 0
+	)
+	for idx := range insts {
+		in := &insts[idx]
+		if idx >= wake {
+			wake = assist.OnInst(idx)
+		}
+		cycles += perInst
+
+		// Instruction fetch: one hierarchy access per line transition.
+		if line := trace.Line(in.PC); !fetchValid || line != fetchLine {
+			fetchValid, fetchLine = true, line
+			level, lat := hier.FetchI(in.PC)
+			if nli != nil {
+				nli.OnFetch(in.PC)
+			}
+			if fetchObs != nil {
+				fetchObs.OnFetch(in.PC, level)
+			}
+			switch level {
+			case mem.LevelL2:
+				p := cfg.L2IExposure * float64(lat)
+				cycles += p
+				st.IMissCycles += int64(p)
+			case mem.LevelMem:
+				st.LLCMissI++
+				exposed := cfg.MemIExposed
+				cycles += float64(exposed)
+				st.IMissCycles += int64(exposed)
+				c.offerStall(StallI, idx, exposed, &cycles, st)
+			}
+		}
+
+		switch in.Kind {
+		case trace.Branch:
+			st.Branches++
+			correct := cfg.PerfectBP
+			misfetch := false
+			if !correct && assist.CorrectBranch(idx, *in) {
+				correct = true
+			}
+			if !correct {
+				pred := bp.PredictUpdate(in)
+				correct = !branch.Mispredicted(pred, *in)
+				misfetch = branch.Misfetched(pred, *in)
+			} else if !cfg.PerfectBP {
+				// Corrected branch: the prediction is suppressed but the
+				// predictor still trains on the architectural outcome.
+				bp.Update(*in)
+			}
+			switch {
+			case !correct:
+				st.Mispredicts++
+				cycles += float64(cfg.MispredictPenalty)
+				st.BranchCycles += int64(cfg.MispredictPenalty)
+			case misfetch:
+				st.Misfetches++
+				cycles += float64(cfg.MisfetchPenalty)
+				st.BranchCycles += int64(cfg.MisfetchPenalty)
+			}
+			if in.Taken {
+				fetchValid = false // redirect: next fetch re-accesses I$
+			}
+
+		case trace.Load, trace.Store:
+			level, lat := hier.AccessD(in.Addr, in.Kind == trace.Store)
+			if dcu != nil {
+				dcu.OnAccess(in.Addr)
+			}
+			if stride != nil {
+				stride.OnAccess(in.PC, in.Addr)
+			}
+			switch level {
+			case mem.LevelL2:
+				p := cfg.L2DExposure * float64(lat)
+				cycles += p
+				st.DMissCycles += int64(p)
+			case mem.LevelMem:
+				st.LLCMissD++
+				exposed := cfg.MemDExposed
+				if global-lastLLCD < rob {
+					// Overlapped with the previous miss: MLP.
+					exposed = int(float64(exposed) * cfg.MLPFactor)
+				}
+				lastLLCD = global
+				cycles += float64(exposed)
+				st.DMissCycles += int64(exposed)
+				c.offerStall(StallD, idx, exposed, &cycles, st)
+			}
+		}
+		global++
+	}
+	c.fetchValid, c.fetchLine = fetchValid, fetchLine
+	c.globalInst, c.lastLLCDInst = global, lastLLCD
+	return cycles
 }
 
 // offerStall hands an exposed LLC-miss window to the assist and charges

@@ -83,7 +83,7 @@ func TestMispredictPenalty(t *testing.T) {
 	var insts []trace.Inst
 	for i := 0; i < 400; i++ {
 		insts = append(insts, trace.Inst{
-			PC: 0x1000, Kind: trace.Branch, Taken: i%2 == 0, Target: 0x1040,
+			PC: 0x1000, Kind: trace.Branch, Taken: i%2 == 0, Addr: 0x1040,
 		})
 	}
 	c.RunEvent(insts)
@@ -102,7 +102,7 @@ func TestPerfectBPNoPenalty(t *testing.T) {
 	c.Hier.PerfectL1I = true
 	var insts []trace.Inst
 	for i := 0; i < 100; i++ {
-		insts = append(insts, trace.Inst{PC: 0x1000, Kind: trace.Branch, Taken: i%2 == 0, Target: 0x1000})
+		insts = append(insts, trace.Inst{PC: 0x1000, Kind: trace.Branch, Taken: i%2 == 0, Addr: 0x1000})
 	}
 	c.RunEvent(insts)
 	if c.Stats.Mispredicts != 0 || c.Stats.BranchCycles != 0 {
@@ -122,7 +122,7 @@ func TestMisfetchCheaperThanMispredict(t *testing.T) {
 	var insts []trace.Inst
 	for i := 0; i < 3000; i++ {
 		pc := uint64(0x1000 + (i%2500)*2048*4)
-		insts = append(insts, trace.Inst{PC: pc, Kind: trace.Branch, Taken: true, Target: pc + 64})
+		insts = append(insts, trace.Inst{PC: pc, Kind: trace.Branch, Taken: true, Addr: pc + 64})
 	}
 	c.RunEvent(insts)
 	if c.Stats.Misfetches == 0 {
@@ -144,7 +144,7 @@ func TestPerfectEverythingBeatsBaseline(t *testing.T) {
 			case 0:
 				insts = append(insts, trace.Inst{PC: pc, Kind: trace.Load, Addr: uint64(i%97) * 4096})
 			case 1:
-				insts = append(insts, trace.Inst{PC: pc, Kind: trace.Branch, Taken: i%3 == 0, Target: pc + 128})
+				insts = append(insts, trace.Inst{PC: pc, Kind: trace.Branch, Taken: i%3 == 0, Addr: pc + 128})
 			default:
 				insts = append(insts, trace.Inst{PC: pc, Kind: trace.ALU})
 			}
@@ -167,7 +167,7 @@ type recordingAssist struct {
 
 func (r *recordingAssist) EventStart(trace.Event, []trace.Inst, []trace.Event) {}
 func (r *recordingAssist) EventEnd(trace.Event)                                {}
-func (r *recordingAssist) OnInst(int)                                          { r.onInst++ }
+func (r *recordingAssist) OnInst(idx int) int                                  { r.onInst++; return idx + 1 }
 func (r *recordingAssist) CorrectBranch(int, trace.Inst) bool {
 	r.corrects++
 	return false
@@ -225,7 +225,7 @@ func TestAssistCorrectBranchSuppressesPenalty(t *testing.T) {
 	c.Assist = &correctingAssist{}
 	var insts []trace.Inst
 	for i := 0; i < 200; i++ {
-		insts = append(insts, trace.Inst{PC: 0x2000, Kind: trace.Branch, Taken: i%2 == 0, Target: 0x2040})
+		insts = append(insts, trace.Inst{PC: 0x2000, Kind: trace.Branch, Taken: i%2 == 0, Addr: 0x2040})
 	}
 	c.RunEvent(insts)
 	if c.Stats.Mispredicts != 0 {
@@ -283,7 +283,7 @@ func TestDeterministicRun(t *testing.T) {
 			case 0:
 				insts = append(insts, trace.Inst{PC: pc, Kind: trace.Load, Addr: uint64((i * 7919) % 100000)})
 			case 1:
-				insts = append(insts, trace.Inst{PC: pc, Kind: trace.Branch, Taken: i%7 < 3, Target: pc + 256})
+				insts = append(insts, trace.Inst{PC: pc, Kind: trace.Branch, Taken: i%7 < 3, Addr: pc + 256})
 			default:
 				insts = append(insts, trace.Inst{PC: pc, Kind: trace.ALU})
 			}

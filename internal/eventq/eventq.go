@@ -33,6 +33,17 @@ type Source interface {
 	Pending(i int) []trace.Event
 }
 
+// FlatSource is implemented by sources whose queue views can be produced
+// without building a slice per call: PendingInto appends event i's view
+// to buf and returns the extended slice, so a caller that owns buf reads
+// queue views allocation-free and without aliasing source internals.
+// Looper prefers this path via type assertion; span-backed sources
+// (sim.Workload views) and the scratch-backed legacy sources implement it.
+type FlatSource interface {
+	Source
+	PendingInto(i int, buf []trace.Event) []trace.Event
+}
+
 // SessionSource adapts a synthetic workload session to Source.
 // MaxPending widens the queue view beyond the default two entries for the
 // Figure 13 deep jump-ahead study.
@@ -62,37 +73,73 @@ func (ss SessionSource) Pending(i int) []trace.Event {
 	return ss.S.PendingN(i, n)
 }
 
+// PendingInto implements FlatSource.
+func (ss SessionSource) PendingInto(i int, buf []trace.Event) []trace.Event {
+	return append(buf, ss.Pending(i)...)
+}
+
 // TraceSource adapts recorded traces (e.g. loaded from an ESPT file) to
 // Source. Speculative streams equal normal streams, and queue occupancy
 // is always full — recorded traces carry no arrival information.
-type TraceSource struct{ Events []trace.EventTrace }
+//
+// Methods are on the pointer: Pending reuses a receiver-resident scratch
+// array sized for the 2-entry hardware queue, so a replay loop calling it
+// per event never touches the heap. The returned view is valid until the
+// next Pending call; concurrent replays must use separate TraceSources
+// (or the caller-buffered PendingInto).
+type TraceSource struct {
+	Events []trace.EventTrace
+
+	pend [2]trace.Event
+}
 
 // Len implements Source.
-func (ts TraceSource) Len() int { return len(ts.Events) }
+func (ts *TraceSource) Len() int { return len(ts.Events) }
 
 // Event implements Source.
-func (ts TraceSource) Event(i int) trace.Event { return ts.Events[i].Event }
+func (ts *TraceSource) Event(i int) trace.Event { return ts.Events[i].Event }
 
 // Insts implements Source.
-func (ts TraceSource) Insts(i int, _ bool) []trace.Inst { return ts.Events[i].Insts }
+func (ts *TraceSource) Insts(i int, _ bool) []trace.Inst { return ts.Events[i].Insts }
 
 // Pending implements Source.
-func (ts TraceSource) Pending(i int) []trace.Event {
-	var out []trace.Event
+func (ts *TraceSource) Pending(i int) []trace.Event {
+	n := 0
 	for j := i + 1; j <= i+2 && j < len(ts.Events); j++ {
-		out = append(out, ts.Events[j].Event)
+		ts.pend[n] = ts.Events[j].Event
+		n++
 	}
-	return out
+	return ts.pend[:n:n]
+}
+
+// PendingInto implements FlatSource.
+func (ts *TraceSource) PendingInto(i int, buf []trace.Event) []trace.Event {
+	for j := i + 1; j <= i+2 && j < len(ts.Events); j++ {
+		buf = append(buf, ts.Events[j].Event)
+	}
+	return buf
 }
 
 // Looper drives a session through a core: the simulated equivalent of the
-// browser's looper thread polling the event queue.
+// browser's looper thread polling the event queue. A Looper may be reused
+// across runs; its queue-view scratch then keeps its storage.
 type Looper struct {
 	Src  Source
 	Core *cpu.Core
 
 	// MaxEvents truncates the session when positive (for tests).
 	MaxEvents int
+
+	// pend is the queue-view scratch handed to FlatSource.PendingInto.
+	pend []trace.Event
+}
+
+// Reset unbinds the looper from its source and core so a pooled owner
+// never pins them, keeping the queue-view scratch storage for reuse.
+func (l *Looper) Reset() {
+	l.Src, l.Core = nil, nil
+	l.MaxEvents = 0
+	l.pend = l.pend[:0]
 }
 
 // Run executes the whole session and returns total cycles consumed.
@@ -103,11 +150,21 @@ func (l *Looper) Run() int64 {
 	}
 	start := l.Core.Stats.Cycles
 	assist := l.Core.Assist
+	// Span-friendly sources fill the looper's own scratch: the per-event
+	// queue view costs no allocation and never aliases source state.
+	flat, _ := l.Src.(FlatSource)
 	for i := 0; i < n; i++ {
 		ev := l.Src.Event(i)
 		insts := l.Src.Insts(i, false)
 		if assist != nil {
-			assist.EventStart(ev, insts, l.Src.Pending(i))
+			var pending []trace.Event
+			if flat != nil {
+				l.pend = flat.PendingInto(i, l.pend[:0])
+				pending = l.pend
+			} else {
+				pending = l.Src.Pending(i)
+			}
+			assist.EventStart(ev, insts, pending)
 		}
 		l.Core.BeginEvent(ev.Handler)
 		// Queue management runs between dequeue and handler entry; ESP

@@ -59,7 +59,7 @@ func TestTraceSource(t *testing.T) {
 		{Event: trace.Event{ID: 1, Len: 1}, Insts: []trace.Inst{{PC: 16}}},
 		{Event: trace.Event{ID: 2, Len: 1}, Insts: []trace.Inst{{PC: 32}}},
 	}
-	src := TraceSource{Events: events}
+	src := &TraceSource{Events: events}
 	if src.Len() != 3 {
 		t.Fatalf("Len = %d", src.Len())
 	}
@@ -84,7 +84,7 @@ func (h *hookAssist) EventStart(ev trace.Event, _ []trace.Inst, pending []trace.
 	h.pendings = append(h.pendings, pending)
 }
 func (h *hookAssist) EventEnd(ev trace.Event)              { h.ends = append(h.ends, ev.ID) }
-func (h *hookAssist) OnInst(int)                           {}
+func (h *hookAssist) OnInst(idx int) int                   { return idx + 1 }
 func (h *hookAssist) CorrectBranch(int, trace.Inst) bool   { return false }
 func (h *hookAssist) OnStall(cpu.StallKind, int, int) bool { return false }
 

@@ -32,22 +32,38 @@ func (s CacheStats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-type line struct {
-	tag        uint64
-	valid      bool
-	dirty      bool
-	prefetched bool
-}
+// invalidTag marks an empty way. It is unreachable by construction: a
+// real tag is addr>>6>>setShift <= 2^58, so it can never equal all-ones.
+// Using a sentinel tag instead of a per-set occupancy array keeps the
+// lookup loop free of a second dependent load — it compares tags only.
+const invalidTag = ^uint64(0)
+
+// Per-line state bits, kept in a byte array parallel to the tags.
+const (
+	flagDirty      = 1 << 0
+	flagPrefetched = 1 << 1
+)
 
 // Cache is a set-associative, true-LRU cache. Within each set, ways are
-// kept in recency order (index 0 = MRU), which is exact LRU for the small
+// kept in recency order (offset 0 = MRU), which is exact LRU for the small
 // associativities modelled here.
+//
+// Storage is structure-of-arrays twice over: way w of set s lives at
+// index s*ways+w of two parallel arenas — an 8-byte tag and a 1-byte
+// flag word — so construction is two allocations regardless of set
+// count, a lookup scan touches 8 bytes per way (a 16-way set's tags fit
+// in two cache lines), and flags are only loaded on the hit that needs
+// them. There is no valid bit: a way is empty exactly when its tag is
+// invalidTag, and every set keeps its occupied ways as a prefix (MRU
+// first) with sentinel ways as the suffix.
 type Cache struct {
 	name     string //esp:immutable
 	setShift uint   //esp:immutable
 	setMask  uint64 //esp:immutable
 	ways     int    //esp:immutable
-	sets     [][]line
+	nSets    int    //esp:immutable
+	tags     []uint64
+	flags    []uint8
 
 	// Stats accumulates demand traffic. Reset with ResetStats.
 	Stats CacheStats
@@ -84,12 +100,24 @@ func NewCache(name string, sizeBytes, ways int) (*Cache, error) {
 		setShift: setShift,
 		setMask:  uint64(nSets - 1),
 		ways:     ways,
-		sets:     make([][]line, nSets),
+		nSets:    nSets,
+		tags:     make([]uint64, nSets*ways),
+		flags:    make([]uint8, nSets*ways),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, 0, ways)
-	}
+	fillInvalid(c.tags)
 	return c, nil
+}
+
+// fillInvalid sets every tag to the sentinel by doubling copies: O(log n)
+// memmoves instead of n stores (Go has no pattern memset).
+func fillInvalid(tags []uint64) {
+	if len(tags) == 0 {
+		return
+	}
+	tags[0] = invalidTag
+	for n := 1; n < len(tags); n *= 2 {
+		copy(tags[n:], tags[:n])
+	}
 }
 
 // MustCache is NewCache that panics on configuration errors. It is for
@@ -109,7 +137,7 @@ func MustCache(name string, sizeBytes, ways int) *Cache {
 func (c *Cache) Name() string { return c.name }
 
 // SizeBytes returns the capacity in bytes.
-func (c *Cache) SizeBytes() int { return len(c.sets) * c.ways * trace.LineBytes }
+func (c *Cache) SizeBytes() int { return c.nSets * c.ways * trace.LineBytes }
 
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
@@ -120,22 +148,89 @@ func (c *Cache) index(lineAddr uint64) (set uint64, tag uint64) {
 }
 
 // Access performs a demand access to the line containing addr, installing
-// it on a miss. It returns whether the access hit.
+// it on a miss. It returns whether the access hit. The body handles only
+// the plain MRU hit — no recency shuffle, no prefetch bookkeeping — and is
+// kept minimal for call sites in the replay loop; every other case is
+// outlined into accessSlow.
 func (c *Cache) Access(addr uint64, write bool) bool {
-	set, tag := c.index(trace.Line(addr))
+	blk := addr >> 6
+	i := int(blk&c.setMask) * c.ways
+	if c.tags[i] == blk>>c.setShift && c.flags[i]&flagPrefetched == 0 {
+		c.Stats.Accesses++
+		if write {
+			c.flags[i] |= flagDirty
+		}
+		return true
+	}
+	return c.accessSlow(addr, write)
+}
+
+// accessSlow is the non-MRU-hit remainder of Access: prefetched MRU hits,
+// hits in lower recency positions, and misses.
+func (c *Cache) accessSlow(addr uint64, write bool) bool {
+	blk := addr >> 6
+	set, tag := blk&c.setMask, blk>>c.setShift
 	c.Stats.Accesses++
-	ws := c.sets[set]
-	for i := range ws {
-		if ws[i].valid && ws[i].tag == tag {
-			if ws[i].prefetched {
+	base := int(set) * c.ways
+	tags := c.tags[base : base+c.ways]
+	flags := c.flags[base : base+c.ways]
+	if tags[0] == tag {
+		// MRU hit on a prefetched line (the only MRU case the fast path
+		// rejects): account its usefulness and clear the mark.
+		c.Stats.PrefetchUseful++
+		flags[0] &^= flagPrefetched
+		if write {
+			flags[0] |= flagDirty
+		}
+		return true
+	}
+	if c.ways == 2 {
+		// Two-way sets (the L1s of Figure 7) need no loop: the only other
+		// resident way is way 1, and hit or miss it swaps into MRU.
+		if tags[1] == tag {
+			f := flags[1]
+			if f&flagPrefetched != 0 {
 				c.Stats.PrefetchUseful++
-				ws[i].prefetched = false
+				f &^= flagPrefetched
 			}
 			if write {
-				ws[i].dirty = true
+				f |= flagDirty
 			}
-			c.touch(set, i)
+			tags[1], flags[1] = tags[0], flags[0]
+			tags[0], flags[0] = tag, f
 			return true
+		}
+		c.Stats.Misses++
+		if tags[1] != invalidTag && flags[1]&flagDirty != 0 {
+			c.Stats.DirtyEvictions++
+		}
+		tags[1], flags[1] = tags[0], flags[0]
+		var f uint8
+		if write {
+			f = flagDirty
+		}
+		tags[0], flags[0] = tag, f
+		return false
+	}
+	for i := 1; i < len(tags); i++ {
+		t := tags[i]
+		if t == tag {
+			f := flags[i]
+			if f&flagPrefetched != 0 {
+				c.Stats.PrefetchUseful++
+				f &^= flagPrefetched
+			}
+			if write {
+				f |= flagDirty
+			}
+			// Move way i to MRU position.
+			copy(tags[1:i+1], tags[:i])
+			copy(flags[1:i+1], flags[:i])
+			tags[0], flags[0] = tag, f
+			return true
+		}
+		if t == invalidTag {
+			break
 		}
 	}
 	c.Stats.Misses++
@@ -144,12 +239,27 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 }
 
 // Probe reports whether the line containing addr is resident, without
-// updating recency or statistics.
+// updating recency or statistics. Like Access, the MRU check comes
+// first and the rest of the scan is outlined.
 func (c *Cache) Probe(addr uint64) bool {
+	blk := addr >> 6
+	if c.tags[int(blk&c.setMask)*c.ways] == blk>>c.setShift {
+		return true
+	}
+	return c.probeSlow(addr)
+}
+
+// probeSlow scans the non-MRU ways of addr's set.
+func (c *Cache) probeSlow(addr uint64) bool {
 	set, tag := c.index(trace.Line(addr))
-	for _, w := range c.sets[set] {
-		if w.valid && w.tag == tag {
+	base := int(set) * c.ways
+	tags := c.tags[base : base+c.ways]
+	for i := 1; i < len(tags); i++ {
+		if tags[i] == tag {
 			return true
+		}
+		if tags[i] == invalidTag {
+			break
 		}
 	}
 	return false
@@ -160,10 +270,13 @@ func (c *Cache) Probe(addr uint64) bool {
 // It returns true if a dirty line was evicted to make room.
 func (c *Cache) Install(addr uint64, prefetch bool) (evictedDirty bool) {
 	set, tag := c.index(trace.Line(addr))
-	ws := c.sets[set]
-	for i := range ws {
-		if ws[i].valid && ws[i].tag == tag {
+	base := int(set) * c.ways
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == tag {
 			return false // already resident
+		}
+		if t == invalidTag {
+			break
 		}
 	}
 	if prefetch {
@@ -173,35 +286,39 @@ func (c *Cache) Install(addr uint64, prefetch bool) (evictedDirty bool) {
 }
 
 func (c *Cache) install(set, tag uint64, dirty, prefetch bool) (evictedDirty bool) {
-	ws := c.sets[set]
-	if len(ws) < c.ways {
-		ws = append(ws, line{})
-		c.sets[set] = ws
-	} else if ws[len(ws)-1].dirty {
+	base := int(set) * c.ways
+	tags := c.tags[base : base+c.ways]
+	flags := c.flags[base : base+c.ways]
+	if lru := c.ways - 1; tags[lru] != invalidTag && flags[lru]&flagDirty != 0 {
 		evictedDirty = true
 		c.Stats.DirtyEvictions++
 	}
-	copy(ws[1:], ws[:len(ws)-1])
-	ws[0] = line{tag: tag, valid: true, dirty: dirty, prefetched: prefetch}
+	// Shift every way down one slot; a partially-filled set just shifts
+	// some sentinel ways within its suffix, preserving the prefix layout.
+	copy(tags[1:], tags[:c.ways-1])
+	copy(flags[1:], flags[:c.ways-1])
+	var f uint8
+	if dirty {
+		f |= flagDirty
+	}
+	if prefetch {
+		f |= flagPrefetched
+	}
+	tags[0], flags[0] = tag, f
 	return evictedDirty
-}
-
-// touch moves way i of set to MRU position.
-func (c *Cache) touch(set uint64, i int) {
-	ws := c.sets[set]
-	w := ws[i]
-	copy(ws[1:i+1], ws[:i])
-	ws[0] = w
 }
 
 // MarkDirty sets the dirty bit of addr's line if resident (used by
 // cachelets, where stores must not propagate outward).
 func (c *Cache) MarkDirty(addr uint64) {
 	set, tag := c.index(trace.Line(addr))
-	ws := c.sets[set]
-	for i := range ws {
-		if ws[i].valid && ws[i].tag == tag {
-			ws[i].dirty = true
+	base := int(set) * c.ways
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == tag {
+			c.flags[base+i] |= flagDirty
+			return
+		}
+		if t == invalidTag {
 			return
 		}
 	}
@@ -214,20 +331,24 @@ func (c *Cache) Lines() []uint64 { return c.AppendLines(nil) }
 // AppendLines appends the addresses of all resident lines to buf and
 // returns the extended slice, letting hot callers reuse a scratch buffer.
 func (c *Cache) AppendLines(buf []uint64) []uint64 {
-	for s, ws := range c.sets {
-		for _, w := range ws {
-			if w.valid {
-				buf = append(buf, (w.tag<<c.setShift|uint64(s))<<6)
+	for s := 0; s < c.nSets; s++ {
+		base := s * c.ways
+		for _, t := range c.tags[base : base+c.ways] {
+			if t == invalidTag {
+				break
 			}
+			buf = append(buf, (t<<c.setShift|uint64(s))<<6)
 		}
 	}
 	return buf
 }
 
-// Clear invalidates every line (statistics are preserved).
+// Clear invalidates every line (statistics are preserved). Both arenas
+// are scrubbed so no stale tag or flag survives a pool recycle.
 func (c *Cache) Clear() {
-	for i := range c.sets {
-		c.sets[i] = c.sets[i][:0]
+	fillInvalid(c.tags)
+	for i := range c.flags {
+		c.flags[i] = 0
 	}
 }
 
@@ -235,7 +356,7 @@ func (c *Cache) Clear() {
 func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
 
 // Reset restores the cache to its just-constructed cold state — every
-// line invalid, statistics zeroed — without reallocating the set arrays.
+// line invalid, statistics zeroed — without reallocating the arenas.
 // A reset cache is behaviourally indistinguishable from a fresh NewCache
 // of the same geometry.
 func (c *Cache) Reset() {

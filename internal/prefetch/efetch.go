@@ -61,9 +61,13 @@ func NewEFetch(h *mem.Hierarchy) *EFetch {
 }
 
 // Reset restores the prefetcher to its just-constructed cold state,
-// keeping the signature map and recording buffers allocated.
+// keeping the signature map, its per-handler sequence storage, and the
+// recording buffers allocated: handlers repeat across replays, so a warm
+// prefetcher re-records into the capacity it grew last time.
 func (e *EFetch) Reset() {
-	clear(e.seqs)
+	for h, s := range e.seqs {
+		e.seqs[h] = s[:0]
+	}
 	e.lru = e.lru[:0]
 	e.total = 0
 	e.cur = -1
@@ -138,8 +142,9 @@ func (e *EFetch) finish() {
 		return
 	}
 	old := len(e.seqs[e.cur])
-	seq := make([]uint64, len(e.rec))
-	copy(seq, e.rec)
+	// Overwrite the handler's previous sequence in place: its capacity is
+	// reused, so a warm replay records without touching the heap.
+	seq := append(e.seqs[e.cur][:0], e.rec...)
 	e.seqs[e.cur] = seq
 	e.total += len(seq) - old
 	for e.total > e.MaxLines && len(e.lru) > 0 {
@@ -151,7 +156,11 @@ func (e *EFetch) finish() {
 			e.lru = e.lru[:len(e.lru)-1]
 		}
 		e.total -= len(e.seqs[victim])
-		delete(e.seqs, victim)
+		// Truncate rather than delete: the modeled hardware budget is
+		// e.total (line records), which this frees in full; keeping the
+		// slice's capacity lets the handler re-record allocation-free
+		// when it comes around again.
+		e.seqs[victim] = e.seqs[victim][:0]
 		if victim == e.cur {
 			break
 		}
@@ -167,7 +176,9 @@ func (e *EFetch) touch(handler int) {
 			return
 		}
 	}
-	e.lru = append([]int{handler}, e.lru...)
+	e.lru = append(e.lru, 0)
+	copy(e.lru[1:], e.lru)
+	e.lru[0] = handler
 }
 
 // StoredLines reports the table occupancy (for hardware-budget tables).

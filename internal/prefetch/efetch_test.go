@@ -149,9 +149,14 @@ func TestPIFHistoryWrapsSafely(t *testing.T) {
 	if len(p.hist) != 64 {
 		t.Fatalf("history grew past its bound: %d", len(p.hist))
 	}
-	// Index entries must stay within the live history.
-	for l, pos := range p.index {
-		if pos < 0 || pos >= len(p.hist) || p.hist[pos] != l {
+	// Current-generation index entries must stay within the live history;
+	// stale-generation entries are dead by construction and ignored.
+	for l, v := range p.index {
+		if v&^(1<<32-1) != p.gen {
+			continue
+		}
+		pos := int(uint32(v))
+		if pos >= len(p.hist) || p.hist[pos] != l {
 			t.Fatalf("stale index entry %#x -> %d", l, pos)
 		}
 	}

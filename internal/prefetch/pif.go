@@ -24,9 +24,15 @@ type PIF struct {
 	HistorySize  int //esp:immutable
 	StreamDegree int //esp:immutable
 
-	hist  []uint64
-	head  int
-	index map[uint64]int // line -> most recent history position
+	hist []uint64
+	head int
+	// index maps line -> most recent history position, with the position
+	// tagged by the generation (gen<<32 | pos) it was written in. Reset
+	// bumps gen instead of clearing the map: entries from earlier replays
+	// read as absent but their buckets stay allocated, so a warm replay
+	// repopulates the same key set without touching the heap.
+	index map[uint64]uint64 //esp:exempt invalidated wholesale by Reset's generation bump: stale-gen values read as absent
+	gen   uint64
 	last  uint64
 
 	// stream replay state: position in history being followed.
@@ -44,16 +50,17 @@ func NewPIF(h *mem.Hierarchy) *PIF {
 		h:            h,
 		HistorySize:  48 << 10,
 		StreamDegree: 6,
-		index:        make(map[uint64]int),
+		index:        make(map[uint64]uint64),
 	}
 }
 
 // Reset restores the prefetcher to its just-constructed cold state,
-// keeping the history buffer and index map allocated.
+// keeping the history buffer and index map allocated. Invalidating the
+// index is one generation bump, not a map clear.
 func (p *PIF) Reset() {
 	p.hist = p.hist[:0]
 	p.head = 0
-	clear(p.index)
+	p.gen += 1 << 32
 	p.last = 0
 	p.streamPos, p.streaming = 0, false
 	p.Stats = Stats{}
@@ -72,19 +79,21 @@ func (p *PIF) OnFetch(addr uint64, level mem.Level) {
 	}
 	p.last = l
 
-	prev, seen := p.index[l]
+	v, ok := p.index[l]
+	seen := ok && v&^(1<<32-1) == p.gen
+	prev := int(uint32(v))
 
 	// Record into the circular history.
 	if len(p.hist) < p.HistorySize {
 		p.hist = append(p.hist, l)
-		p.index[l] = len(p.hist) - 1
+		p.index[l] = p.gen | uint64(len(p.hist)-1)
 	} else {
 		old := p.hist[p.head]
-		if p.index[old] == p.head {
+		if p.index[old] == p.gen|uint64(p.head) {
 			delete(p.index, old)
 		}
 		p.hist[p.head] = l
-		p.index[l] = p.head
+		p.index[l] = p.gen | uint64(p.head)
 		p.head = (p.head + 1) % p.HistorySize
 	}
 

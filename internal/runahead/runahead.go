@@ -134,8 +134,10 @@ func (e *Engine) EventStart(ev trace.Event, insts []trace.Inst, _ []trace.Event)
 // EventEnd implements cpu.Assist.
 func (e *Engine) EventEnd(trace.Event) { e.cur = nil }
 
-// OnInst implements cpu.Assist.
-func (e *Engine) OnInst(int) {}
+// OnInst implements cpu.Assist: runahead does no per-instruction work
+// (all activity happens inside stall windows), so it asks never to be
+// called again this event.
+func (e *Engine) OnInst(int) int { return int(^uint(0) >> 1) }
 
 // CorrectBranch implements cpu.Assist: runahead has no deferred
 // prediction mechanism; its predictor training acts through the shared
@@ -161,16 +163,19 @@ func (e *Engine) OnStall(kind cpu.StallKind, idx int, budget int) bool {
 		savedPIR  uint64
 		fetchLine uint64
 		haveLine  bool
+		cur       = e.cur
+		baseCPI   = e.Cfg.BaseCPI
+		preInsts  int64
 	)
 	if e.Cfg.TrainBP {
 		ras = e.BP.SnapshotRAS()
 		savedPIR = e.BP.PIR()
 	}
 window:
-	for j := idx + 1; j < len(e.cur) && b > 0; j++ {
-		in := &e.cur[j]
-		b -= e.Cfg.BaseCPI
-		e.Stats.PreExecInsts++
+	for j := idx + 1; j < len(cur) && b > 0; j++ {
+		in := &cur[j]
+		b -= baseCPI
+		preInsts++
 
 		if l := trace.Line(in.PC); !haveLine || l != fetchLine {
 			haveLine, fetchLine = true, l
@@ -203,8 +208,7 @@ window:
 				continue
 			}
 			if e.Cfg.TrainBP {
-				e.BP.Predict(*in)
-				e.BP.Update(*in)
+				e.BP.PredictUpdate(in)
 			}
 			if in.Taken {
 				haveLine = false
@@ -222,6 +226,7 @@ window:
 			e.Hier.AccessD(in.Addr, in.Kind == trace.Store)
 		}
 	}
+	e.Stats.PreExecInsts += preInsts
 	if e.Cfg.TrainBP {
 		e.BP.RestoreRAS(ras)
 		e.BP.SetPIR(savedPIR)

@@ -110,7 +110,7 @@ func TestPIRAndRASRestored(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		in := trace.Inst{PC: pc, Kind: trace.ALU}
 		if i%10 == 5 {
-			in = trace.Inst{PC: pc, Kind: trace.Branch, Taken: true, Call: true, Target: pc + 4}
+			in = trace.Inst{PC: pc, Kind: trace.Branch, Taken: true, Call: true, Addr: pc + 4}
 		}
 		insts = append(insts, in)
 		pc = in.NextPC()

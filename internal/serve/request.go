@@ -268,7 +268,7 @@ func traceWorkload(traceB64 string, maxEvents int, lim trace.Limits) (*sim.Workl
 	if err != nil {
 		return nil, fmt.Errorf("decoding inline trace: %w", err)
 	}
-	return sim.MaterializeSource("trace", eventq.TraceSource{Events: events}, maxEvents), nil
+	return sim.MaterializeSource("trace", &eventq.TraceSource{Events: events}, maxEvents), nil
 }
 
 // resolve turns one validated (app-or-trace, config) pair into the two

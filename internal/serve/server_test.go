@@ -145,7 +145,7 @@ func TestRunInlineTrace(t *testing.T) {
 		Config:   "NL+S",
 	}))
 
-	want, err := esp.RunSource("trace", eventq.TraceSource{Events: events}, esp.NLSConfig())
+	want, err := esp.RunSource("trace", &eventq.TraceSource{Events: events}, esp.NLSConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

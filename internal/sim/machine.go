@@ -47,6 +47,14 @@ type Machine struct {
 
 	ra  *runahead.Engine
 	esp *core.ESP
+
+	// Replay scratch, reused across runs so a warm replay never touches
+	// the heap: the workload-view box handed to the looper, the ESP
+	// stream-source box, and the looper itself (whose queue-view scratch
+	// persists inside it).
+	src  wsource
+	spec specSource
+	loop eventq.Looper
 }
 
 // NewMachine validates cfg and assembles the machine.
@@ -133,6 +141,12 @@ func (m *Machine) Reset() {
 	if m.esp != nil {
 		m.esp.Reset()
 	}
+	// Replay scratch: already unbound at the end of Replay, but clearing
+	// here too keeps Reset self-contained — a reset machine holds no
+	// reference to any workload regardless of how its last run ended.
+	m.src = wsource{}
+	m.spec = specSource{}
+	m.loop.Reset()
 }
 
 // Run resets the machine and replays w through it, returning the
@@ -140,18 +154,34 @@ func (m *Machine) Reset() {
 // was already applied when w was materialized, and MaxPending shapes the
 // queue view here.
 func (m *Machine) Run(w *Workload) Result {
+	m.Replay(w)
+	return m.result(w.App)
+}
+
+// Replay resets the machine and replays w through it, leaving the results
+// in the machine's statistics (read them via Run, which wraps Replay and
+// assembles a Result). This is the allocation-zero hot path: a warm
+// machine replaying a materialized workload performs no heap allocations —
+// the workload view, stream-source box and looper scratch all live on the
+// machine and are rebound in place.
+func (m *Machine) Replay(w *Workload) {
 	m.Reset()
-	src := w.Source(m.cfg.MaxPending)
+	m.src = wsource{w: w, maxPending: m.cfg.MaxPending}
 	if m.esp != nil {
-		m.esp.Src = specSource{src: src}
+		m.spec.src = &m.src
+		m.esp.Src = &m.spec
 	}
-	loop := eventq.Looper{Src: src, Core: m.c, MaxEvents: m.cfg.MaxEvents}
-	loop.Run()
-	res := m.result(w.App)
+	m.loop.Src = &m.src
+	m.loop.Core = m.c
+	m.loop.MaxEvents = m.cfg.MaxEvents
+	m.loop.Run()
+	// Unbind the workload so a pooled machine never pins its arena.
 	if m.esp != nil {
 		m.esp.Src = nil
+		m.spec.src = nil
 	}
-	return res
+	m.loop.Src = nil
+	m.src = wsource{}
 }
 
 // result assembles the Result and energy accounting from the machine's

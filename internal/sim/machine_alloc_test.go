@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"espsim/internal/workload"
+)
+
+// TestReplayAllocFree pins the PR's headline contract: a warm machine
+// replaying a materialized workload performs zero heap allocations. The
+// first replay may still size pools and scratch to the workload; every
+// replay after that must run entirely out of the machine's own storage,
+// for every assist and prefetcher configuration the sweep grid uses.
+func TestReplayAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is wall-clock heavy")
+	}
+	prof := testProfile(t)
+	w, err := NewWorkload(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Name: "base"},
+		{Name: "nls", NLI: true, NLD: true, StridePF: true},
+		{Name: "efetch", EFetch: true},
+		{Name: "pif", PIF: true},
+		{Name: "ra", NLI: true, NLD: true, Assist: AssistRunahead},
+		espConfig(),
+	} {
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		m.Replay(w) // warm-up: pools and scratch size themselves here
+		if n := testing.AllocsPerRun(3, func() { m.Replay(w) }); n != 0 {
+			t.Errorf("%s: warm Replay heap-allocates %v times per run, want 0", cfg.Name, n)
+		}
+	}
+}
+
+// TestRunnerWarmCellAllocFlat is the same contract one layer up: a warm
+// Runner re-running a cached cell (workload plane already materialized,
+// machine drawn from the pool) must not allocate beyond the Result
+// assembly itself.
+func TestRunnerWarmCellAllocFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is wall-clock heavy")
+	}
+	prof := workload.Bing()
+	prof.Events = 30
+	cfg := espConfig()
+	r := NewRunner()
+	if _, err := r.RunCell("warm", prof, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(3, func() {
+		if _, err := r.RunCell("warm", prof, cfg, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	// RunCell assembles a fresh Result (one ESPStats box for ESP configs);
+	// anything beyond that small constant means the hot path regressed.
+	const maxAllocs = 4
+	if n > maxAllocs {
+		t.Errorf("warm RunCell heap-allocates %v times per run, want <= %d", n, maxAllocs)
+	}
+}

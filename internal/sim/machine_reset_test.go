@@ -76,6 +76,20 @@ func TestDirtyComponentsReplayBitIdentical(t *testing.T) {
 			dirty.stride.OnAccess(0x100, 0x9000)
 			dirty.stride.OnAccess(0x100, 0x9040)
 		}
+		// Replay scratch and free-lists: make the machine look like a
+		// replay that died mid-run — workload still bound to the source
+		// and looper boxes, and (for ESP) the engine abandoned inside an
+		// event with live sneak-peek slots drawn from its free-lists and
+		// never returned by EventEnd. Reset alone must reclaim all of it.
+		dirty.src = wsource{w: wB, maxPending: cfg.MaxPending}
+		dirty.loop.Src = &dirty.src
+		dirty.loop.Core = dirty.c
+		dirty.loop.MaxEvents = 1
+		if dirty.esp != nil {
+			dirty.spec.src = &dirty.src
+			dirty.esp.Src = &dirty.spec
+			dirty.esp.EventStart(dirty.src.Event(0), dirty.src.Insts(0, false), dirty.src.Pending(0))
+		}
 
 		if got := dirty.Run(wA); !reflect.DeepEqual(got, wantA) {
 			t.Errorf("%s: dirtied machine diverged on workload A\ngot  %+v\nwant %+v", cfg.Name, got, wantA)

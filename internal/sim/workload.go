@@ -15,9 +15,15 @@ import (
 // the pending lists; this constant only sizes the session fast path.
 const specLookahead = 8
 
+// span locates one event's slice of a backing arena: arena[off:off+n].
+// Spans are plain offsets rather than sub-slices so the workload's tables
+// are flat POD arrays with no per-event slice headers to chase.
+type span struct{ off, n int32 }
+
 // Workload is one application session materialized once: every event's
 // metadata, pending-queue view, and normal + speculative instruction
-// streams, with all instructions laid out in a single contiguous arena.
+// streams, laid out structure-of-arrays — one contiguous instruction
+// arena plus per-event {off,len} spans, and one flattened pending table.
 // A Workload is immutable after construction — replays only read it — so
 // one Workload can be shared by any number of Machines across goroutines.
 //
@@ -32,20 +38,22 @@ type Workload struct {
 	// every event the pending lists can reference.
 	nExec int
 
-	// normal[i] is event i's committed instruction stream (i < nExec);
-	// spec[i] the pre-execution variant (i < len(spec), the speculative
-	// horizon). When an event does not diverge, both share one arena
-	// span.
-	normal [][]trace.Inst
-	spec   [][]trace.Inst
+	// normal[i] spans event i's committed instruction stream in arena
+	// (i < nExec); spec[i] the pre-execution variant (i < len(spec), the
+	// speculative horizon). When an event does not diverge, both name the
+	// same arena span.
+	normal []span
+	spec   []span
 
-	// pending[i] is the queue view when event i starts. For
-	// session-built workloads it is the untrimmed visible window (views
-	// into events) and trim is true: Source applies MaxPending at view
-	// time, like eventq.SessionSource did. For generic sources the
-	// source's own Pending result is stored verbatim and trim is false,
-	// matching the old RunSource path, which never applied MaxPending.
-	pending [][]trace.Event
+	// pend[i] spans event i's queue view in pendTab. For session-built
+	// workloads pendTab is the session's event list itself (views are
+	// windows into it) and trim is true: Source applies MaxPending at
+	// view time, like eventq.SessionSource did. For generic sources the
+	// source's own Pending results are flattened into pendTab verbatim
+	// and trim is false, matching the old RunSource path, which never
+	// applied MaxPending.
+	pendTab []trace.Event
+	pend    []span
 	trim    bool
 
 	// arena backs every materialized instruction span. Spans are handed
@@ -100,10 +108,13 @@ func execCount(n, maxEvents int) int {
 // specHorizon returns how many events need speculative streams: the
 // executed prefix plus every future event a pending list references,
 // clamped to the session length.
-func specHorizon(n, nExec int, pending [][]trace.Event) int {
+func specHorizon(n, nExec int, pendTab []trace.Event, pend []span) int {
 	h := nExec
-	for _, ps := range pending {
-		for _, ev := range ps {
+	for _, sp := range pend {
+		if sp.n <= 0 {
+			continue
+		}
+		for _, ev := range pendTab[sp.off : sp.off+sp.n] {
 			if ev.ID >= h {
 				h = ev.ID + 1
 			}
@@ -115,11 +126,24 @@ func specHorizon(n, nExec int, pending [][]trace.Event) int {
 	return h
 }
 
-// record drains s into the arena (at most max instructions, matching
-// trace.Record) and returns the span with capacity pinned to its length.
+// generate walks one event's stream straight into the arena and returns
+// its span. The walker is warm scratch shared across all events of the
+// build; the generator reseeds per event, so emission order cannot change
+// a stream.
 //
 //esp:ctor
-func (w *Workload) record(s trace.Stream, max int) []trace.Inst {
+func (w *Workload) generate(wk *workload.Walker, g *workload.Generator, ev trace.Event, speculative bool) span {
+	start := len(w.arena)
+	wk.Init(g, ev, speculative)
+	w.arena = wk.Append(w.arena)
+	return span{off: int32(start), n: int32(len(w.arena) - start)}
+}
+
+// record drains s into the arena (at most max instructions, matching
+// trace.Record) and returns the span.
+//
+//esp:ctor
+func (w *Workload) record(s trace.Stream, max int) span {
 	start := len(w.arena)
 	for {
 		if max > 0 && len(w.arena)-start >= max {
@@ -131,23 +155,22 @@ func (w *Workload) record(s trace.Stream, max int) []trace.Inst {
 		}
 		w.arena = append(w.arena, in)
 	}
-	return w.arena[start:len(w.arena):len(w.arena)]
+	return span{off: int32(start), n: int32(len(w.arena) - start)}
 }
 
 // copyInsts copies a stream obtained from a generic source into the
-// arena and returns the pinned span.
+// arena and returns the span.
 //
 //esp:ctor
-func (w *Workload) copyInsts(insts []trace.Inst) []trace.Inst {
+func (w *Workload) copyInsts(insts []trace.Inst) span {
 	start := len(w.arena)
 	w.arena = append(w.arena, insts...)
-	return w.arena[start:len(w.arena):len(w.arena)]
+	return span{off: int32(start), n: int32(len(w.arena) - start)}
 }
 
 // fromSession materializes a synthetic session. Streams are generated in
-// event order exactly as eventq.SessionSource would have on demand; the
-// generator reseeds per event, so generation order cannot change a
-// stream.
+// event order exactly as eventq.SessionSource would have on demand, by
+// one reused walker writing directly into the arena.
 //
 //esp:ctor
 func (w *Workload) fromSession(sess *workload.Session, maxEvents int) {
@@ -155,15 +178,18 @@ func (w *Workload) fromSession(sess *workload.Session, maxEvents int) {
 	w.events = sess.Events
 	w.nExec = execCount(n, maxEvents)
 
-	w.pending = make([][]trace.Event, w.nExec)
+	// Pending views are windows into the session's own event list: the
+	// flattened pending table is that list itself, no copies.
+	w.pendTab = sess.Events
+	w.pend = make([]span, w.nExec)
 	for i := 0; i < w.nExec; i++ {
 		d := sess.VisibleDepth[i]
 		if rest := n - 1 - i; d > rest {
 			d = rest
 		}
-		w.pending[i] = sess.Events[i+1 : i+1+d]
+		w.pend[i] = span{off: int32(i + 1), n: int32(d)}
 	}
-	nSpec := specHorizon(n, w.nExec, w.pending)
+	nSpec := specHorizon(n, w.nExec, w.pendTab, w.pend)
 
 	// Pre-size the arena: one normal stream per executed event, plus a
 	// separate speculative stream for diverging and beyond-prefix events.
@@ -179,21 +205,22 @@ func (w *Workload) fromSession(sess *workload.Session, maxEvents int) {
 	}
 	w.arena = make([]trace.Inst, 0, total)
 
-	w.normal = make([][]trace.Inst, w.nExec)
-	w.spec = make([][]trace.Inst, nSpec)
+	var wk workload.Walker
+	w.normal = make([]span, w.nExec)
+	w.spec = make([]span, nSpec)
 	for i := 0; i < w.nExec; i++ {
 		ev := sess.Events[i]
-		w.normal[i] = w.record(sess.Gen.Stream(ev, false), ev.Len)
+		w.normal[i] = w.generate(&wk, sess.Gen, ev, false)
 		if ev.Diverge < 0 {
 			// Pre-execution matches normal execution: share the span.
 			w.spec[i] = w.normal[i]
 		} else {
-			w.spec[i] = w.record(sess.Gen.Stream(ev, true), ev.Len)
+			w.spec[i] = w.generate(&wk, sess.Gen, ev, true)
 		}
 	}
 	for i := w.nExec; i < nSpec; i++ {
 		ev := sess.Events[i]
-		w.spec[i] = w.record(sess.Gen.Stream(ev, true), ev.Len)
+		w.spec[i] = w.generate(&wk, sess.Gen, ev, true)
 	}
 }
 
@@ -206,15 +233,23 @@ func (w *Workload) fromSource(src eventq.Source, maxEvents int) {
 	n := src.Len()
 	w.nExec = execCount(n, maxEvents)
 
-	w.pending = make([][]trace.Event, w.nExec)
+	w.pend = make([]span, w.nExec)
 	for i := 0; i < w.nExec; i++ {
-		w.pending[i] = src.Pending(i)
+		p := src.Pending(i)
+		if p == nil {
+			// Preserve the source's nil view exactly (off -1 marks it).
+			w.pend[i] = span{off: -1}
+			continue
+		}
+		start := len(w.pendTab)
+		w.pendTab = append(w.pendTab, p...)
+		w.pend[i] = span{off: int32(start), n: int32(len(w.pendTab) - start)}
 	}
-	nSpec := specHorizon(n, w.nExec, w.pending)
+	nSpec := specHorizon(n, w.nExec, w.pendTab, w.pend)
 
 	w.events = make([]trace.Event, w.nExec)
-	w.normal = make([][]trace.Inst, w.nExec)
-	w.spec = make([][]trace.Inst, nSpec)
+	w.normal = make([]span, w.nExec)
+	w.spec = make([]span, nSpec)
 	for i := 0; i < w.nExec; i++ {
 		w.events[i] = src.Event(i)
 		norm := src.Insts(i, false)
@@ -235,14 +270,20 @@ func sameSlice(a, b []trace.Inst) bool {
 	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
+// instSpan resolves a span to its capacity-pinned arena sub-slice.
+func (w *Workload) instSpan(sp span) []trace.Inst {
+	end := sp.off + sp.n
+	return w.arena[sp.off:end:end]
+}
+
 // Events returns the number of events a replay of this workload executes.
 func (w *Workload) Events() int { return w.nExec }
 
 // Insts returns the total committed instruction count of a replay.
 func (w *Workload) Insts() int64 {
 	var total int64
-	for _, s := range w.normal {
-		total += int64(len(s))
+	for _, sp := range w.normal {
+		total += int64(sp.n)
 	}
 	return total
 }
@@ -253,7 +294,7 @@ func (w *Workload) Insts() int64 {
 // lists their source reported). Views are stateless: any number may be
 // used concurrently.
 func (w *Workload) Source(maxPending int) eventq.Source {
-	return wsource{w: w, maxPending: maxPending}
+	return &wsource{w: w, maxPending: maxPending}
 }
 
 type wsource struct {
@@ -262,31 +303,42 @@ type wsource struct {
 }
 
 // Len implements eventq.Source.
-func (s wsource) Len() int { return s.w.nExec }
+func (s *wsource) Len() int { return s.w.nExec }
 
 // Event implements eventq.Source.
-func (s wsource) Event(i int) trace.Event { return s.w.events[i] }
+func (s *wsource) Event(i int) trace.Event { return s.w.events[i] }
 
 // Insts implements eventq.Source. Speculative streams exist beyond the
 // executed prefix, covering every event the pending lists can name.
-func (s wsource) Insts(i int, speculative bool) []trace.Inst {
+func (s *wsource) Insts(i int, speculative bool) []trace.Inst {
 	if speculative {
-		return s.w.spec[i]
+		return s.w.instSpan(s.w.spec[i])
 	}
-	return s.w.normal[i]
+	return s.w.instSpan(s.w.normal[i])
 }
 
-// Pending implements eventq.Source.
-func (s wsource) Pending(i int) []trace.Event {
-	p := s.w.pending[i]
+// Pending implements eventq.Source: a capacity-pinned view into the
+// flattened pending table, never a copy.
+func (s *wsource) Pending(i int) []trace.Event {
+	sp := s.w.pend[i]
+	if sp.off < 0 {
+		return nil
+	}
+	n := int(sp.n)
 	if s.w.trim {
-		n := s.maxPending
-		if n <= 0 {
-			n = 2
+		max := s.maxPending
+		if max <= 0 {
+			max = 2
 		}
-		if len(p) > n {
-			p = p[:n]
+		if n > max {
+			n = max
 		}
 	}
-	return p
+	end := int(sp.off) + n
+	return s.w.pendTab[sp.off:end:end]
+}
+
+// PendingInto implements eventq.FlatSource.
+func (s *wsource) PendingInto(i int, buf []trace.Event) []trace.Event {
+	return append(buf, s.Pending(i)...)
 }

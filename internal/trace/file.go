@@ -146,7 +146,7 @@ func WriteFile(w io.Writer, events []EventTrace) error {
 				}
 			}
 			if in.Kind == Branch && in.Taken {
-				if err := putVarint(int64(in.Target) - int64(in.PC)); err != nil {
+				if err := putVarint(int64(in.Addr) - int64(in.PC)); err != nil {
 					return err
 				}
 			}
@@ -314,7 +314,7 @@ func ReadFileLimits(r io.Reader, lim Limits) ([]EventTrace, error) {
 				if err != nil {
 					return nil, tr.fail(fmt.Sprintf("event %d inst %d target", e, k), err)
 				}
-				in.Target = uint64(int64(in.PC) + dt)
+				in.Addr = uint64(int64(in.PC) + dt)
 			}
 			et.Insts = append(et.Insts, in)
 		}

@@ -49,14 +49,16 @@ const InstBytes = 4
 // LineBytes is the cache line size used throughout (Figure 7).
 const LineBytes = 64
 
-// Inst is one dynamic instruction.
+// Inst is one dynamic instruction. The record is deliberately 24 bytes:
+// workload planes hold millions of these and every replay streams them
+// end-to-end, so record width is replay memory bandwidth.
 type Inst struct {
 	// PC is the instruction's virtual address.
 	PC uint64
-	// Addr is the effective memory address for Load/Store instructions.
+	// Addr is the instruction's data address: the effective memory
+	// address for Load/Store, and the branch target for Branch. No
+	// instruction kind carries both meanings, so they share one field.
 	Addr uint64
-	// Target is the branch target when Taken; ignored otherwise.
-	Target uint64
 	// Kind classifies the instruction.
 	Kind Kind
 	// Taken reports whether a Branch was taken.
@@ -74,7 +76,7 @@ type Inst struct {
 // dynamic stream.
 func (i Inst) NextPC() uint64 {
 	if i.Kind == Branch && i.Taken {
-		return i.Target
+		return i.Addr
 	}
 	return i.PC + InstBytes
 }

@@ -24,14 +24,14 @@ func TestNextPCSequential(t *testing.T) {
 }
 
 func TestNextPCTakenBranch(t *testing.T) {
-	in := Inst{PC: 0x1000, Kind: Branch, Taken: true, Target: 0x2000}
+	in := Inst{PC: 0x1000, Kind: Branch, Taken: true, Addr: 0x2000}
 	if got := in.NextPC(); got != 0x2000 {
 		t.Fatalf("NextPC = %#x, want 0x2000", got)
 	}
 }
 
 func TestNextPCNotTakenBranch(t *testing.T) {
-	in := Inst{PC: 0x1000, Kind: Branch, Taken: false, Target: 0x2000}
+	in := Inst{PC: 0x1000, Kind: Branch, Taken: false, Addr: 0x2000}
 	if got := in.NextPC(); got != 0x1004 {
 		t.Fatalf("NextPC = %#x, want fall-through 0x1004", got)
 	}
@@ -108,7 +108,7 @@ func randomEventTrace(r *rand.Rand, id int) EventTrace {
 		case Branch:
 			in.Taken = r.Intn(2) == 0
 			if in.Taken {
-				in.Target = pc + uint64(r.Intn(4096)) - 2048
+				in.Addr = pc + uint64(r.Intn(4096)) - 2048
 				in.Indirect = r.Intn(8) == 0
 				in.Call = !in.Indirect && r.Intn(4) == 0
 				in.Ret = !in.Indirect && !in.Call && r.Intn(4) == 0

@@ -73,6 +73,8 @@ type Generator struct {
 	handlerFuncs    int // functions per handler region
 	runtimeFuncs    int // functions in the runtime region
 	dataDepPM       int
+	loadPM          int // straight-line load threshold, per mille
+	storePM         int // straight-line load+store threshold, per mille
 	sharedWords     uint64
 	sharedHotWords  uint64
 	heapWords       uint64
@@ -93,6 +95,8 @@ func New(p Profile) (*Generator, error) {
 		handlerFuncs:    p.HandlerFootprint / funcBytes,
 		runtimeFuncs:    p.RuntimeFootprint / funcBytes,
 		dataDepPM:       int(p.DataDepBranch * 1000),
+		loadPM:          int(p.LoadFrac * 1000),
+		storePM:         int((p.LoadFrac + p.StoreFrac) * 1000),
 		sharedWords:     uint64(p.SharedData) / 8,
 		sharedHotWords:  uint64(p.SharedData) / 8 / 16,
 		heapWords:       uint64(p.EventHeap) / 8,
@@ -129,25 +133,94 @@ func (g *Generator) static(pc uint64) uint64 { return Hash2(g.prof.Seed, pc) }
 // (5..14, mean 9.5, giving a ~10.5% branch fraction).
 func (g *Generator) blockLen(pc uint64) int { return 5 + int(g.static(pc)%10) }
 
-// Stream implements trace.Program.
+// Stream implements trace.Program. Each call allocates an independent
+// stream; hot paths that materialize many events should reuse one Walker
+// via Init/Append instead.
 func (g *Generator) Stream(ev trace.Event, speculative bool) trace.Stream {
-	s := &stream{
+	s := &stream{}
+	s.w.Init(g, ev, speculative)
+	return s
+}
+
+// stream adapts a Walker to the pull-based trace.Stream interface.
+type stream struct{ w Walker }
+
+// Next implements trace.Stream.
+func (s *stream) Next() (trace.Inst, bool) { return s.w.Next() }
+
+// Init points the walker at an event, discarding any previous state. The
+// working-set, call-stack and loop-table scratch keep their storage, so a
+// warm walker generates a stream without touching the heap.
+func (w *Walker) Init(g *Generator, ev trace.Event, speculative bool) {
+	stack, ws, loops := w.stack[:0], w.ws[:0], w.loops
+	*w = Walker{
 		g:         g,
 		rng:       NewRNG(ev.Seed),
 		limit:     ev.Len,
 		divergeAt: -1,
 		pc:        g.EntryPC(ev.Handler),
-		loopIter:  make(map[uint64]int8),
 		heapBase:  heapSpace + uint64(ev.ID%heapRecycle)*g.heapStrideBytes,
 		stridePtr: strideSpace + uint64(ev.ID)*(64<<10),
+		stack:     stack,
+		ws:        ws,
+		loops:     loops,
 	}
+	w.loops.clear()
 	if speculative && ev.Diverge >= 0 {
-		s.divergeAt = ev.Diverge
+		w.divergeAt = ev.Diverge
 	}
-	s.buildWorkingSet(ev.Handler, ev.Len)
-	s.curBlockLen = g.blockLen(s.pc)
-	s.blockRemain = s.curBlockLen
-	return s
+	w.buildWorkingSet(ev.Handler, ev.Len)
+	w.curBlockLen = g.blockLen(w.pc)
+	w.blockRemain = w.curBlockLen
+}
+
+// Append generates every remaining instruction of the event directly into
+// dst and returns the extended slice. It is the bulk equivalent of
+// draining Next and emits the exact same sequence. The straight-line body
+// of each block runs as one inner loop with the divergence and limit
+// checks hoisted to run boundaries, so the per-instruction work is just
+// the static classification and (for memory ops) the address draw.
+func (w *Walker) Append(dst []trace.Inst) []trace.Inst {
+	g := w.g
+	for w.emitted < w.limit {
+		if w.emitted == w.divergeAt {
+			w.rng.Reseed(0xD17E46E)
+		}
+		if w.blockRemain <= 1 {
+			in := w.branch()
+			w.emitted++
+			dst = append(dst, in)
+			continue
+		}
+		// Straight-line run: up to the block's branch, the event limit,
+		// or the divergence point — whichever comes first.
+		n := w.blockRemain - 1
+		if rem := w.limit - w.emitted; n > rem {
+			n = rem
+		}
+		if w.divergeAt > w.emitted && n > w.divergeAt-w.emitted {
+			n = w.divergeAt - w.emitted
+		}
+		pc := w.pc
+		for j := 0; j < n; j++ {
+			in := trace.Inst{PC: pc, Kind: trace.ALU}
+			r := int(Hash2(g.prof.Seed, pc) >> 7 % 1000)
+			switch {
+			case r < g.loadPM:
+				in.Kind = trace.Load
+				in.Addr = w.loadAddr()
+			case r < g.storePM:
+				in.Kind = trace.Store
+				in.Addr = w.storeAddr()
+			}
+			pc += trace.InstBytes
+			dst = append(dst, in)
+		}
+		w.pc = pc
+		w.blockRemain -= n
+		w.emitted += n
+	}
+	return dst
 }
 
 // buildWorkingSet draws the event's code working set: the handful of
@@ -158,7 +231,7 @@ func (g *Generator) Stream(ev trace.Event, speculative bool) trace.Stream {
 // working set that lets the paper's 5.5 KB cachelet capture 95% of
 // pre-execution reuse (Figure 13). The working set is drawn before any
 // possible divergence point, so speculative pre-executions agree on it.
-func (s *stream) buildWorkingSet(handler, eventLen int) {
+func (s *Walker) buildWorkingSet(handler, eventLen int) {
 	g := s.g
 	hbase := g.handlerBase(handler)
 	hHot := min(hotFuncs, g.handlerFuncs)
@@ -193,7 +266,7 @@ func (s *stream) buildWorkingSet(handler, eventLen int) {
 
 // wsTarget picks a call/dispatch target from the event's working set,
 // skewed toward its first entries (the hottest helpers).
-func (s *stream) wsTarget() uint64 {
+func (s *Walker) wsTarget() uint64 {
 	n := len(s.ws)
 	k := s.rng.Intn(n)
 	if s.rng.Bool(0.5) {
@@ -202,8 +275,12 @@ func (s *stream) wsTarget() uint64 {
 	return s.ws[k]
 }
 
-// stream generates one event's dynamic instructions on demand.
-type stream struct {
+// Walker generates one event's dynamic instructions, on demand via Next
+// or in bulk via Append. Unlike a fresh Stream per event, a Walker is
+// re-initializable: Init retargets it at another event while its scratch
+// (call stack, working set, loop table) keeps its storage, so warm
+// regeneration of a whole session allocates nothing.
+type Walker struct {
 	g           *Generator
 	rng         RNG
 	limit       int
@@ -213,7 +290,7 @@ type stream struct {
 	blockRemain int
 	curBlockLen int
 	stack       []uint64
-	loopIter    map[uint64]int8
+	loops       loopTable
 	heapBase    uint64
 	stridePtr   uint64
 	strideRun   int
@@ -224,13 +301,81 @@ type stream struct {
 	ws          []uint64 // the event's code working set (function bases)
 }
 
+// loopTable tracks in-flight loop iteration counts per branch PC. It is
+// an open-addressed exact-match hash table with the observable behavior
+// of a map[uint64]int8 whose missing keys read as zero, but its storage
+// survives clear() so a warm walker never reallocates it. Key 0 marks an
+// empty cell; loop branch PCs live in the runtime/handler regions
+// (>= 0x1000_0000), so a real key can never be 0.
+type loopTable struct {
+	keys []uint64
+	vals []int8
+	n    int
+}
+
+func (t *loopTable) clear() {
+	for i := range t.keys {
+		t.keys[i] = 0
+	}
+	t.n = 0
+}
+
+func (t *loopTable) get(pc uint64) int8 {
+	if len(t.keys) == 0 {
+		return 0
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := (pc >> 2) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case pc:
+			return t.vals[i]
+		case 0:
+			return 0
+		}
+	}
+}
+
+func (t *loopTable) set(pc uint64, v int8) {
+	if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := (pc >> 2) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case pc:
+			t.vals[i] = v
+			return
+		case 0:
+			t.keys[i], t.vals[i] = pc, v
+			t.n++
+			return
+		}
+	}
+}
+
+func (t *loopTable) grow() {
+	old := *t
+	size := 2 * len(old.keys)
+	if size < 64 {
+		size = 64
+	}
+	t.keys = make([]uint64, size)
+	t.vals = make([]int8, size)
+	t.n = 0
+	for i, k := range old.keys {
+		if k != 0 {
+			t.set(k, old.vals[i])
+		}
+	}
+}
+
 // newBurst decides whether this reference opens or continues a burst of
 // new (cold) addresses. Cache misses in real programs cluster — an object
 // traversal touches several new lines in quick succession — which is what
 // lets runahead execution convert the followers of a blocking miss into
 // prefetches (Figure 11b). The expected fraction of new references stays
 // at 1-ReuseFrac.
-func (s *stream) newBurst() bool {
+func (s *Walker) newBurst() bool {
 	if s.newRun > 0 {
 		// Burst members are interleaved with ordinary reuse references,
 		// spreading the cluster across a few hundred instructions —
@@ -252,13 +397,13 @@ func (s *stream) newBurst() bool {
 
 // burstAddr returns the next address of a cold traversal: a pointer chase
 // through rarely-touched shared state (cold DOM subtrees, fresh JSON).
-func (s *stream) burstAddr() uint64 {
+func (s *Walker) burstAddr() uint64 {
 	g := s.g
 	return sharedBase + (s.rng.Next()%g.sharedWords)*8
 }
 
 // Next implements trace.Stream.
-func (s *stream) Next() (trace.Inst, bool) {
+func (s *Walker) Next() (trace.Inst, bool) {
 	if s.emitted >= s.limit {
 		return trace.Inst{}, false
 	}
@@ -278,15 +423,15 @@ func (s *stream) Next() (trace.Inst, bool) {
 }
 
 // straightLine emits the next non-branch instruction of the current block.
-func (s *stream) straightLine() trace.Inst {
+func (s *Walker) straightLine() trace.Inst {
 	g := s.g
 	in := trace.Inst{PC: s.pc, Kind: trace.ALU}
 	r := int(g.static(s.pc) >> 7 % 1000)
 	switch {
-	case r < int(g.prof.LoadFrac*1000):
+	case r < g.loadPM:
 		in.Kind = trace.Load
 		in.Addr = s.loadAddr()
-	case r < int((g.prof.LoadFrac+g.prof.StoreFrac)*1000):
+	case r < g.storePM:
 		in.Kind = trace.Store
 		in.Addr = s.storeAddr()
 	}
@@ -296,7 +441,7 @@ func (s *stream) straightLine() trace.Inst {
 }
 
 // branch emits the block-terminating branch and establishes the next block.
-func (s *stream) branch() trace.Inst {
+func (s *Walker) branch() trace.Inst {
 	g := s.g
 	pc := s.pc
 	h := g.static(pc)
@@ -313,17 +458,17 @@ func (s *stream) branch() trace.Inst {
 		s.indirect(&in, h)
 	case cls < loopPM+callPM+retPM+indirectPM+jumpPM:
 		in.Taken = true
-		in.Target = s.forwardTarget(pc, h)
+		in.Addr = s.forwardTarget(pc, h)
 	case cls < loopPM+callPM+retPM+indirectPM+jumpPM+g.dataDepPM:
 		// Data-dependent conditional: a coin flip per dynamic instance.
 		in.Taken = s.rng.Bool(0.5)
-		in.Target = s.forwardTarget(pc, h)
+		in.Addr = s.forwardTarget(pc, h)
 	default:
 		// Biased conditional: strongly but not perfectly predictable.
 		takenBiased := h>>40&1 == 0
 		follow := s.rng.Bool(condBias)
 		in.Taken = takenBiased == follow
-		in.Target = s.forwardTarget(pc, h)
+		in.Addr = s.forwardTarget(pc, h)
 	}
 	s.redirect(in.NextPC())
 	return in
@@ -331,70 +476,70 @@ func (s *stream) branch() trace.Inst {
 
 // loop fills in a backward branch with a static trip count (3..16); the
 // loop predictor and local predictor can learn these.
-func (s *stream) loop(in *trace.Inst, h uint64) {
+func (s *Walker) loop(in *trace.Inst, h uint64) {
 	blockStart := in.PC - uint64(s.blockLenAtEnd()-1)*trace.InstBytes
 	trip := int8(4 + h>>23%16)
-	c := s.loopIter[in.PC] + 1
+	c := s.loops.get(in.PC) + 1
 	if c >= trip {
-		s.loopIter[in.PC] = 0
+		s.loops.set(in.PC, 0)
 		in.Taken = false
 	} else {
-		s.loopIter[in.PC] = c
+		s.loops.set(in.PC, c)
 		in.Taken = true
 	}
-	in.Target = blockStart
+	in.Addr = blockStart
 }
 
 // blockLenAtEnd recovers the current block's length from its start: the
 // branch sits blockLen-1 instructions after the block start, so walk back.
-func (s *stream) blockLenAtEnd() int {
+func (s *Walker) blockLenAtEnd() int {
 	// The block started where blockRemain was set; since we only call this
 	// when blockRemain == 1 we can recompute from the stored start below.
 	return s.curBlockLen
 }
 
-func (s *stream) call(in *trace.Inst, h uint64) {
+func (s *Walker) call(in *trace.Inst, h uint64) {
 	in.Taken = true
 	in.Call = true
 	// Calls target the event's working set: the same handful of helpers,
 	// revisited over and over.
-	in.Target = s.wsTarget()
+	in.Addr = s.wsTarget()
 	if len(s.stack) < maxCallDepth {
 		s.stack = append(s.stack, in.PC+trace.InstBytes)
 	} else {
 		// Deep recursion guard: degrade to a jump (no matching return).
 		in.Call = false
-		in.Target = s.forwardTarget(in.PC, h)
+		in.Addr = s.forwardTarget(in.PC, h)
 	}
 }
 
-func (s *stream) ret(in *trace.Inst, h uint64) {
+func (s *Walker) ret(in *trace.Inst, h uint64) {
 	in.Taken = true
 	if n := len(s.stack); n > 0 {
 		in.Ret = true
-		in.Target = s.stack[n-1]
+		in.Addr = s.stack[n-1]
 		s.stack = s.stack[:n-1]
 	} else {
-		in.Target = s.forwardTarget(in.PC, h)
+		in.Addr = s.forwardTarget(in.PC, h)
 	}
 }
 
 // indirect models a dispatch site choosing among the event's working-set
 // functions at run time, skewed toward a dominant target (what the iBTB
 // can learn); it exercises the iBTB and B-List-Target.
-func (s *stream) indirect(in *trace.Inst, h uint64) {
+func (s *Walker) indirect(in *trace.Inst, h uint64) {
 	in.Taken = true
 	in.Indirect = true
 	if s.rng.Bool(indirectSkew) {
-		in.Target = s.ws[h%uint64(len(s.ws))] // site-dominant target
+		in.Addr = s.ws[h%uint64(len(s.ws))] // site-dominant target
 	} else {
-		in.Target = s.wsTarget()
+		in.Addr = s.wsTarget()
 	}
 }
 
 // forwardTarget returns a static, mostly-forward target inside the same
 // function window as pc.
-func (s *stream) forwardTarget(pc, h uint64) uint64 {
+func (s *Walker) forwardTarget(pc, h uint64) uint64 {
 	base, _ := s.g.regionOf(pc)
 	fb := base + (pc-base)&^uint64(funcBytes-1)
 	off := ((pc - fb) + (16+h>>47%120)*trace.InstBytes) % funcBytes
@@ -403,7 +548,7 @@ func (s *stream) forwardTarget(pc, h uint64) uint64 {
 
 // redirect moves the stream to the next block at pc, wrapping back into a
 // valid code region if sequential execution ran off the end of one.
-func (s *stream) redirect(pc uint64) {
+func (s *Walker) redirect(pc uint64) {
 	base, funcs := s.g.regionOf(pc)
 	limit := base + uint64(funcs)*funcBytes
 	if pc >= limit || pc < base {
@@ -419,7 +564,7 @@ func (s *stream) redirect(pc uint64) {
 // sequential array walk (stride/DCU-prefetchable), re-touch a recent
 // address (temporal locality), or reference a new location per the
 // profile's data mix.
-func (s *stream) loadAddr() uint64 {
+func (s *Walker) loadAddr() uint64 {
 	g := s.g
 	if s.strideRun > 0 {
 		s.strideRun--
@@ -450,7 +595,7 @@ func (s *stream) loadAddr() uint64 {
 // storeAddr picks the effective address of a store: usually something
 // recently touched, otherwise mostly the event's private heap, sometimes
 // shared state (the source of inter-event dependences).
-func (s *stream) storeAddr() uint64 {
+func (s *Walker) storeAddr() uint64 {
 	if !s.newBurst() && s.poolLen > 0 {
 		return s.pool[s.rng.Intn(s.poolLen)]
 	}
@@ -465,7 +610,7 @@ func (s *stream) storeAddr() uint64 {
 }
 
 // remember adds addr to the event's recently-touched pool.
-func (s *stream) remember(addr uint64) {
+func (s *Walker) remember(addr uint64) {
 	s.pool[s.poolPos] = addr
 	s.poolPos = (s.poolPos + 1) % reusePoolSize
 	if s.poolLen < reusePoolSize {
@@ -473,7 +618,7 @@ func (s *stream) remember(addr uint64) {
 	}
 }
 
-func (s *stream) sharedAddr() uint64 {
+func (s *Walker) sharedAddr() uint64 {
 	g := s.g
 	if s.rng.Bool(g.prof.HotFrac) {
 		return sharedBase + (s.rng.Next()%g.sharedHotWords)*8

@@ -112,15 +112,15 @@ func (s *Session) TotalInsts() int64 {
 func (s *Session) Pending(i int) []trace.Event { return s.PendingN(i, 2) }
 
 // PendingN returns up to n visible future events; the Figure 13 study
-// uses n up to 8.
+// uses n up to 8. The result is a capacity-pinned view into Events —
+// no copy — and must be treated as read-only.
 func (s *Session) PendingN(i, n int) []trace.Event {
 	d := s.VisibleDepth[i]
 	if d > n {
 		d = n
 	}
-	var out []trace.Event
-	for j := i + 1; j <= i+d && j < len(s.Events); j++ {
-		out = append(out, s.Events[j])
+	if rest := len(s.Events) - 1 - i; d > rest {
+		d = rest
 	}
-	return out
+	return s.Events[i+1 : i+1+d : i+1+d]
 }
