@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race bench bench-go bench-guard flame fuzz-smoke chaos cluster-chaos leak tier1 clean
+.PHONY: all build vet lint test race bench bench-go bench-guard flame fuzz-smoke chaos cluster-chaos leak sched-check tier1 clean
 
 all: tier1
 
@@ -83,13 +83,26 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzRunRequest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run='^$$' -fuzz=FuzzSchedulerConfig -fuzztime=$(FUZZTIME) ./internal/eventq
+
+# sched-check proves the scheduling dimension under the race detector:
+# the scheduler property suite (permutation, time monotonicity, strict
+# priority, EDF choice, untimed FIFO degeneration, cross-goroutine
+# determinism), the metamorphic scheduler laws (deadline-aware policies
+# never miss more than FIFO, slack monotonicity, ESP ordering under
+# every policy), the scheduled golden cells, and the scheduled
+# zero-allocation replay contract.
+sched-check:
+	$(GO) test -race -count=1 -run 'TestSched|TestScheduleIsPermutation|TestScheduleTimesConsistent|TestStrictPriorityNoInversions|TestEDFPicksEarliestDeadline|TestUntimedDegeneratesToFIFO|TestScheduleDeterministic|TestSchedByNameRoundTrip' ./internal/eventq -v
+	$(GO) test -race -count=1 -run 'TestInvariantSchedulerDeadlines|TestInvariantSlackMonotone|TestInvariantESPOrderingScheduled|TestGolden' . -v
+	$(GO) test -count=1 -run 'TestReplayAllocFreeScheduled' ./internal/sim -v
 
 # tier1 is the robustness gate: everything must be green before merge.
 # race already runs the chaos soak and leak tests (they live in the
 # normal test set); leak re-runs them uncached so the gate cannot be
 # satisfied by a stale pass. lint subsumes vet and adds the domain
 # analyzers, so a contract violation fails the gate before any test runs.
-tier1: lint build race fuzz-smoke leak cluster-chaos
+tier1: lint build race fuzz-smoke leak cluster-chaos sched-check
 
 clean:
 	$(GO) clean ./...

@@ -85,6 +85,12 @@ type report struct {
 	// Speedup is rebuild wall-clock over reuse wall-clock: the factor
 	// the two-plane engine saves on the Figure 9 sweep.
 	Speedup float64 `json:"speedup"`
+	// Sched measures warm replay over scheduled (timed, deadline-aware)
+	// workloads: the mobile-web profiles under every scheduler policy.
+	// Pointer so reports from before the scheduling dimension existed
+	// still guard cleanly — the gate only fires when the baseline
+	// carries the phase too.
+	Sched *phase `json:"sched,omitempty"`
 }
 
 // fig9Configs is the Figure 9 grid: the baseline plus its six
@@ -233,6 +239,45 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "espperf: engine:", runner.Perf())
 
+	// Scheduled workloads: the mobile-web profiles under every scheduler
+	// policy, base and ESP machines. The schedule is part of the workload
+	// plane, so after round one this measures warm replay of scheduled
+	// cells — the guard proves the scheduling dimension never taxes the
+	// hot loop.
+	schedProfs := workload.MobileSuite()
+	if *scale != 1 {
+		for i := range schedProfs {
+			schedProfs[i] = schedProfs[i].Scale(*scale)
+		}
+	}
+	schedCfgs := make([]esp.Config, 0, 2*esp.NumSchedPolicies)
+	for p := 0; p < esp.NumSchedPolicies; p++ {
+		schedCfgs = append(schedCfgs,
+			esp.SchedConfig(esp.BaselineConfig(), esp.SchedPolicy(p)),
+			esp.SchedConfig(esp.ESPNLConfig(), esp.SchedPolicy(p)))
+	}
+	schedCells := len(schedProfs) * len(schedCfgs)
+	schedRunner := sim.NewRunner()
+	schedSweep := func() error {
+		for _, prof := range schedProfs {
+			for _, cfg := range schedCfgs {
+				if _, err := schedRunner.RunCell(prof.Name+"/"+cfg.Name, prof, cfg, 0); err != nil {
+					return fmt.Errorf("%s/%s: %w", prof.Name, cfg.Name, err)
+				}
+			}
+		}
+		return nil
+	}
+	var sched phase
+	for i := 0; i < 3; i++ {
+		p, err := measure("sched", schedCells, schedSweep)
+		if err != nil {
+			fail(err)
+		}
+		sched = bestOf(sched, p)
+	}
+	fmt.Fprintln(os.Stderr, "espperf: sched engine:", schedRunner.Perf())
+
 	// Naive loop: every cell regenerates the session's instruction
 	// streams and assembles a fresh machine.
 	rebuild, err := measure("rebuild", cells, func() error {
@@ -277,6 +322,7 @@ func main() {
 		},
 		Rebuild: rebuild,
 		Speedup: float64(rebuild.WallNs) / float64(reuse.WallNs),
+		Sched:   &sched,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -344,6 +390,18 @@ func checkGuard(rep report, path string, maxLoss, minGain, maxOverhead float64) 
 	}
 	if r := rep.Resilience; r.Retries != 0 || r.BreakerTrips != 0 || r.BreakerSkips != 0 || r.BreakerOpen != 0 {
 		return fmt.Errorf("recovery stack fired with no injector installed: %+v", r)
+	}
+	// Scheduled-workload replay is guarded only against baselines that
+	// measured it; pre-scheduling reports simply skip the gate.
+	if base.Sched != nil && rep.Sched != nil && base.Sched.CellsPerSec > 0 {
+		if base.Sched.Cells != rep.Sched.Cells {
+			return fmt.Errorf("guard baseline %s measured %d sched cells, this run %d",
+				path, base.Sched.Cells, rep.Sched.Cells)
+		}
+		if floor := base.Sched.CellsPerSec * (1 - maxLoss); rep.Sched.CellsPerSec < floor {
+			return fmt.Errorf("scheduled-workload throughput regressed: %.2f cells/s vs baseline %.2f (floor %.2f at maxloss %g)",
+				rep.Sched.CellsPerSec, base.Sched.CellsPerSec, floor, maxLoss)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "espperf: guard ok: %.2f cells/s vs baseline %.2f (floor %.2f), overhead %.2f%% <= %.2f%%\n",
 		rep.Reuse.CellsPerSec, base.Reuse.CellsPerSec, floor, rep.Overhead*100, maxOverhead*100)

@@ -59,8 +59,9 @@ func configs() map[string]esp.Config {
 
 func main() {
 	var (
-		app       = flag.String("app", "amazon", "application workload (amazon, bing, cnn, facebook, gmaps, gdocs, pixlr)")
+		app       = flag.String("app", "amazon", "application workload (amazon, bing, cnn, facebook, gmaps, gdocs, pixlr, mobileweb, mobileheavy)")
 		cfgName   = flag.String("config", "ESP+NL", "machine configuration name")
+		sched     = flag.String("sched", "", "event scheduling policy: fifo, prio, edf, slack (default fifo)")
 		scale     = flag.Float64("scale", 1, "event-count scale factor")
 		events    = flag.Int("events", 0, "max events to simulate (0 = all)")
 		tracePath = flag.String("trace", "", "replay an ESPT trace file (from cmd/tracegen) instead of a synthetic session")
@@ -75,6 +76,14 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.MaxEvents = *events
+	if *sched != "" {
+		policy, err := eventq.SchedByName(*sched)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "espsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg = esp.SchedConfig(cfg, policy)
+	}
 
 	var r esp.Result
 	var err error
@@ -105,6 +114,17 @@ func main() {
 	fmt.Printf("  L1-D miss rate   %11.2f%%\n", r.DMissRate*100)
 	fmt.Printf("  mispredict rate  %11.2f%%\n", r.MispredictRate*100)
 	fmt.Printf("  extra insts      %11.2f%%\n", r.ExtraInstPct)
+	if s := r.Sched; s != nil {
+		fmt.Printf("\nscheduling (%s): %d events, %d deadlined, %d missed (%.1f%%), %d priority inversions\n",
+			s.Policy, s.Events, s.Deadlined, s.DeadlineMisses, s.MissRate*100, s.PriorityInversions)
+		for _, cl := range s.Classes {
+			if cl.Class == "none" {
+				continue
+			}
+			fmt.Printf("  %-8s %5d ev  p50 %9.0f  p95 %9.0f  p99 %9.0f  miss %d/%d\n",
+				cl.Class, cl.Events, cl.P50, cl.P95, cl.P99, cl.Misses, cl.Deadlined)
+		}
+	}
 	if *verbose {
 		fmt.Printf("\ncycle breakdown:\n")
 		fmt.Printf("  base     %12d\n", r.CPU.BaseCycles)

@@ -3,8 +3,10 @@ package esp
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"espsim/internal/core"
+	"espsim/internal/eventq"
 	"espsim/internal/runahead"
 )
 
@@ -333,12 +335,32 @@ func ConfigNames() []string {
 	return names
 }
 
+// SchedConfig returns cfg scheduled under policy. Non-FIFO policies get
+// "@policy" appended to the name, so memoization keys, result labels,
+// and golden-corpus keys stay distinct per schedule.
+func SchedConfig(cfg Config, policy SchedPolicy) Config {
+	cfg.Sched = policy
+	if policy != SchedFIFO {
+		cfg.Name += "@" + policy.String()
+	}
+	return cfg
+}
+
 // ConfigByName returns the preset configuration with the given name, or
-// an error listing the valid names.
+// an error listing the valid names. A "@policy" suffix schedules the
+// preset under that dispatch policy ("ESP+NL@edf"); see SchedConfig.
 func ConfigByName(name string) (Config, error) {
+	baseName, policy := name, SchedFIFO
+	if i := strings.LastIndex(name, "@"); i >= 0 {
+		p, err := eventq.SchedByName(name[i+1:])
+		if err != nil {
+			return Config{}, fmt.Errorf("esp: config %q: %w", name, err)
+		}
+		baseName, policy = name[:i], p
+	}
 	for _, c := range NamedConfigs() {
-		if c.Name == name {
-			return c, nil
+		if c.Name == baseName {
+			return SchedConfig(c, policy), nil
 		}
 	}
 	return Config{}, fmt.Errorf("esp: unknown config %q (valid: %v)", name, ConfigNames())

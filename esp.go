@@ -47,6 +47,38 @@ const (
 	AssistESP = sim.AssistESP
 )
 
+// SchedPolicy selects the event-queue dispatch order a workload is
+// scheduled under. The policy is baked into the immutable workload at
+// build time (eventq.BuildSchedule); replay stays allocation-zero.
+type SchedPolicy = eventq.SchedPolicy
+
+const (
+	// SchedFIFO drains the queue in arrival order (the paper's model,
+	// and the zero value).
+	SchedFIFO = eventq.SchedFIFO
+	// SchedPriority dispatches the most urgent ready event first.
+	SchedPriority = eventq.SchedPriority
+	// SchedEDF dispatches the earliest-deadline ready event first.
+	SchedEDF = eventq.SchedEDF
+	// NumSchedPolicies is the number of defined policies.
+	NumSchedPolicies = eventq.NumSchedPolicies
+	// SchedSlack is the PES-style deadline-aware policy (least slack
+	// first).
+	SchedSlack = eventq.SchedSlack
+)
+
+// SchedStats is the responsiveness summary of a scheduled cell:
+// per-class latency percentiles, deadline-miss rate, and priority
+// inversions (Result.Sched).
+type SchedStats = eventq.SchedStats
+
+// SchedByName resolves a scheduler policy name ("fifo", "prio", "edf",
+// "slack"; empty means FIFO).
+func SchedByName(name string) (SchedPolicy, error) { return eventq.SchedByName(name) }
+
+// SchedNames lists the scheduler policy names in policy order.
+func SchedNames() []string { return eventq.SchedNames() }
+
 // Config is a complete machine configuration. Sub-configurations (CPU,
 // RA, ESP) resolve to their package defaults only when left entirely
 // zero; Validate rejects a partially-filled sub-config with an error
@@ -77,10 +109,23 @@ func NewWorkload(prof workload.Profile, maxEvents int) (*Workload, error) {
 	return sim.NewWorkload(prof, maxEvents)
 }
 
+// NewWorkloadSched is NewWorkload under an explicit dispatch policy:
+// events and streams are laid out in schedule order, and the result
+// carries the schedule's responsiveness stats.
+func NewWorkloadSched(prof workload.Profile, maxEvents int, policy SchedPolicy) (*Workload, error) {
+	return sim.NewWorkloadSched(prof, maxEvents, policy)
+}
+
 // MaterializeSource snapshots any event source (recorded trace,
 // multi-queue merge) into an immutable Workload.
 func MaterializeSource(app string, src eventq.Source, maxEvents int) *Workload {
 	return sim.MaterializeSource(app, src, maxEvents)
+}
+
+// MaterializeSourceSched is MaterializeSource under an explicit
+// dispatch policy.
+func MaterializeSourceSched(app string, src eventq.Source, maxEvents int, policy SchedPolicy) (*Workload, error) {
+	return sim.MaterializeSourceSched(app, src, maxEvents, policy)
 }
 
 // NewMachine validates cfg and assembles a reusable machine.
@@ -93,7 +138,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 // machine for a single replay; loops over profiles or configurations
 // should reuse both planes (see the package example above, or Harness).
 func Run(prof workload.Profile, cfg Config) (Result, error) {
-	w, err := sim.NewWorkload(prof, cfg.MaxEvents)
+	w, err := sim.NewWorkloadSched(prof, cfg.MaxEvents, cfg.Sched)
 	if err != nil {
 		return Result{}, err
 	}
@@ -106,12 +151,17 @@ func Run(prof workload.Profile, cfg Config) (Result, error) {
 
 // RunSource simulates any event source (synthetic session or recorded
 // trace) under one configuration. The configuration is validated first:
-// a bad Config yields a wrapped error, never a panic.
+// a bad Config yields a wrapped error, never a panic. When cfg.Sched is
+// non-FIFO or the source's events carry scheduling metadata (an ESPT v2
+// trace), the workload is materialized in schedule order.
 func RunSource(app string, src eventq.Source, cfg Config) (Result, error) {
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	w := sim.MaterializeSource(app, src, cfg.MaxEvents)
+	w, err := sim.MaterializeSourceSched(app, src, cfg.MaxEvents, cfg.Sched)
+	if err != nil {
+		return Result{}, err
+	}
 	return m.Run(w), nil
 }

@@ -44,19 +44,46 @@ func goldenConfigs() []Config {
 
 func goldenKey(app, cfg string) string { return app + "/" + cfg }
 
+// goldenCell is one (application, configuration) pair of the corpus.
+type goldenCell struct {
+	prof workload.Profile
+	cfg  Config
+}
+
+// goldenCells is the full corpus grid: every suite application under
+// the assist configs, plus the scheduled dimension — the mobile-web
+// profile under FIFO and EDF dispatch, baseline and ESP machines, so a
+// schedule's event reordering, arrival-based pending windows, and
+// responsiveness stats are all pinned bit-for-bit too.
+func goldenCells() []goldenCell {
+	var cells []goldenCell
+	for _, prof := range workload.Suite() {
+		for _, cfg := range goldenConfigs() {
+			cells = append(cells, goldenCell{prof, cfg})
+		}
+	}
+	mobile := workload.MobileWeb()
+	for _, base := range []Config{BaselineConfig(), ESPNLConfig()} {
+		for _, policy := range []SchedPolicy{SchedFIFO, SchedEDF} {
+			cfg := SchedConfig(base, policy)
+			cfg.MaxEvents = goldenMaxEvents
+			cells = append(cells, goldenCell{mobile, cfg})
+		}
+	}
+	return cells
+}
+
 // computeGoldenSequential produces the corpus with plain sequential
 // esp.Run calls — the reference path.
 func computeGoldenSequential(t *testing.T) map[string]Result {
 	t.Helper()
 	out := make(map[string]Result)
-	for _, prof := range workload.Suite() {
-		for _, cfg := range goldenConfigs() {
-			res, err := Run(prof, cfg)
-			if err != nil {
-				t.Fatalf("Run(%s, %s): %v", prof.Name, cfg.Name, err)
-			}
-			out[goldenKey(prof.Name, cfg.Name)] = res
+	for _, cell := range goldenCells() {
+		res, err := Run(cell.prof, cell.cfg)
+		if err != nil {
+			t.Fatalf("Run(%s, %s): %v", cell.prof.Name, cell.cfg.Name, err)
 		}
+		out[goldenKey(cell.prof.Name, cell.cfg.Name)] = res
 	}
 	return out
 }
@@ -145,21 +172,19 @@ func TestGoldenParallelSweep(t *testing.T) {
 		got = make(map[string]Result)
 		wg  sync.WaitGroup
 	)
-	for _, prof := range workload.Suite() {
-		for _, cfg := range goldenConfigs() {
-			wg.Add(1)
-			go func(prof workload.Profile, cfg Config) {
-				defer wg.Done()
-				res, err := h.Run(prof, cfg)
-				if err != nil {
-					t.Errorf("Run(%s, %s): %v", prof.Name, cfg.Name, err)
-					return
-				}
-				mu.Lock()
-				got[goldenKey(prof.Name, cfg.Name)] = res
-				mu.Unlock()
-			}(prof, cfg)
-		}
+	for _, cell := range goldenCells() {
+		wg.Add(1)
+		go func(prof workload.Profile, cfg Config) {
+			defer wg.Done()
+			res, err := h.Run(prof, cfg)
+			if err != nil {
+				t.Errorf("Run(%s, %s): %v", prof.Name, cfg.Name, err)
+				return
+			}
+			mu.Lock()
+			got[goldenKey(prof.Name, cfg.Name)] = res
+			mu.Unlock()
+		}(cell.prof, cell.cfg)
 	}
 	wg.Wait()
 	if t.Failed() {

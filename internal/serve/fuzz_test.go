@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	esp "espsim"
 	"espsim/internal/trace"
 )
 
@@ -30,6 +31,9 @@ func FuzzRunRequest(f *testing.F) {
 	f.Add([]byte(`{"app":"amazon","trace_b64":"aGk=","config":"base"}`))
 	f.Add([]byte(`{"app":"amazon","config":"base","scale":-1}`))
 	f.Add([]byte(`{"configs":["base"],"apps":["amazon"]}`))
+	f.Add([]byte(`{"app":"mobileweb","config":"base","sched":"edf"}`))
+	f.Add([]byte(`{"app":"mobileweb","config":"base@edf","sched":"prio"}`))
+	f.Add([]byte(`{"app":"amazon","config":"base","sched":"bogus"}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`"just a string"`))
 
@@ -60,7 +64,8 @@ func FuzzRunRequest(f *testing.F) {
 			// (under the server's limits): bad base64 or a malformed trace
 			// must come back as an error, never a panic. The trace fuzzers
 			// own the deeper decode properties.
-			w, err := traceWorkload(req.TraceB64, req.MaxEvents, fuzzTraceLimits())
+			policy, _ := esp.SchedByName(req.Sched)
+			w, err := traceWorkload(req.TraceB64, req.MaxEvents, policy, fuzzTraceLimits())
 			if (w == nil) == (err == nil) {
 				t.Fatalf("traceWorkload returned workload=%v err=%v", w != nil, err)
 			}

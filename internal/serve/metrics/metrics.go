@@ -110,6 +110,34 @@ type Engine struct {
 	MachineReuses  int64 `json:"machine_reuses"`
 	BuildWallMs    int64 `json:"build_wall_ms"`
 	SimWallMs      int64 `json:"sim_wall_ms"`
+
+	// Sched aggregates responsiveness across every cell that ran under
+	// a materialized dispatch schedule; omitted until one has.
+	Sched *SchedEngine `json:"sched,omitempty"`
+}
+
+// SchedEngine mirrors the runner's scheduled-cell aggregates: deadline
+// outcomes, priority inversions, and per-class latency summaries
+// (event-weighted means of per-cell percentiles).
+type SchedEngine struct {
+	Cells              int64              `json:"cells"`
+	Events             int64              `json:"events"`
+	Deadlined          int64              `json:"deadlined"`
+	DeadlineMisses     int64              `json:"deadline_misses"`
+	MissRate           float64            `json:"miss_rate"`
+	PriorityInversions int64              `json:"priority_inversions"`
+	Classes            []SchedEngineClass `json:"classes,omitempty"`
+}
+
+// SchedEngineClass is one event class's aggregate responsiveness.
+type SchedEngineClass struct {
+	Class     string  `json:"class"`
+	Events    int64   `json:"events"`
+	Deadlined int64   `json:"deadlined"`
+	Misses    int64   `json:"misses"`
+	P50       float64 `json:"p50"`
+	P95       float64 `json:"p95"`
+	P99       float64 `json:"p99"`
 }
 
 // Snapshot is the GET /metrics document. Node is the worker's

@@ -37,6 +37,10 @@ type RunRequest struct {
 	MaxPending int `json:"max_pending,omitempty"`
 	// TimeoutMs bounds the cell's simulation time (0: server default).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Sched selects the event-queue dispatch policy ("fifo", "prio",
+	// "edf", "slack"; empty: FIFO). Equivalent to an "@policy" suffix
+	// on Config; setting both to different policies is an error.
+	Sched string `json:"sched,omitempty"`
 }
 
 // SweepRequest is the body of POST /sweep: a grid of cells. Apps empty
@@ -63,6 +67,10 @@ type SweepRequest struct {
 	MaxEvents  int     `json:"max_events,omitempty"`
 	MaxPending int     `json:"max_pending,omitempty"`
 	TimeoutMs  int     `json:"timeout_ms,omitempty"`
+	// Sched applies one dispatch policy to every cell of the grid;
+	// per-config "@policy" suffixes in Configs override it per cell
+	// only when they agree (disagreement is a 400).
+	Sched string `json:"sched,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /run.
@@ -162,7 +170,7 @@ func (req *RunRequest) validate() error {
 	if req.TraceB64 != "" && req.Scale != 0 && req.Scale != 1 {
 		return fmt.Errorf("\"scale\" does not apply to an inline trace")
 	}
-	if _, err := esp.ConfigByName(req.Config); err != nil {
+	if _, err := cellConfig(req.Config, req.Sched, 0, 0); err != nil {
 		return err
 	}
 	return nil
@@ -198,7 +206,7 @@ func ParseSweepRequest(data []byte) (SweepRequest, error) {
 		}
 	}
 	for _, name := range req.Configs {
-		if _, err := esp.ConfigByName(name); err != nil {
+		if _, err := cellConfig(name, req.Sched, 0, 0); err != nil {
 			return SweepRequest{}, err
 		}
 	}
@@ -228,12 +236,32 @@ func validateID(field, id string) error {
 	return nil
 }
 
-// config materializes the machine configuration for one cell: the named
-// preset with the request's truncation and queue-view overrides applied.
-func cellConfig(name string, maxEvents, maxPending int) (esp.Config, error) {
+// cellConfig materializes the machine configuration for one cell: the
+// named preset (with any "@policy" scheduling suffix), the request's
+// explicit scheduler (applied unless the name already pinned a
+// different one), and the truncation and queue-view overrides.
+func cellConfig(name, sched string, maxEvents, maxPending int) (esp.Config, error) {
 	cfg, err := esp.ConfigByName(name)
 	if err != nil {
 		return esp.Config{}, err
+	}
+	if sched != "" {
+		p, err := esp.SchedByName(sched)
+		if err != nil {
+			return esp.Config{}, err
+		}
+		switch {
+		case cfg.Sched == p:
+			// The name's suffix and the explicit field agree.
+		case strings.Contains(name, "@"):
+			// Any explicit @policy suffix — including @fifo — pins the
+			// policy; a disagreeing "sched" field is a contradictory
+			// request, not an override.
+			return esp.Config{}, fmt.Errorf("config %q pins scheduler %q but \"sched\" asks for %q",
+				name, cfg.Sched, p)
+		default:
+			cfg = esp.SchedConfig(cfg, p)
+		}
 	}
 	if maxEvents > 0 {
 		cfg.MaxEvents = maxEvents
@@ -257,9 +285,10 @@ func scaledProfile(app string, scale float64) (workload.Profile, error) {
 }
 
 // traceWorkload decodes an inline base64 ESPT trace under lim and
-// materializes it. Inline traces bypass the LRU cache (they have no
-// stable identity), but still share the pooled machines.
-func traceWorkload(traceB64 string, maxEvents int, lim trace.Limits) (*sim.Workload, error) {
+// materializes it under the requested dispatch policy (v2 traces carry
+// per-event scheduling metadata). Inline traces bypass the LRU cache
+// (they have no stable identity), but still share the pooled machines.
+func traceWorkload(traceB64 string, maxEvents int, policy esp.SchedPolicy, lim trace.Limits) (*sim.Workload, error) {
 	raw, err := base64.StdEncoding.DecodeString(traceB64)
 	if err != nil {
 		return nil, fmt.Errorf("decoding trace_b64: %w", err)
@@ -268,7 +297,7 @@ func traceWorkload(traceB64 string, maxEvents int, lim trace.Limits) (*sim.Workl
 	if err != nil {
 		return nil, fmt.Errorf("decoding inline trace: %w", err)
 	}
-	return sim.MaterializeSource("trace", &eventq.TraceSource{Events: events}, maxEvents), nil
+	return sim.MaterializeSourceSched("trace", &eventq.TraceSource{Events: events}, maxEvents, policy)
 }
 
 // resolve turns one validated (app-or-trace, config) pair into the two
@@ -277,23 +306,25 @@ func traceWorkload(traceB64 string, maxEvents int, lim trace.Limits) (*sim.Workl
 // since scale changes the profile value — so concurrent requests share
 // one materialized arena.
 func resolve(r *sim.Runner, req RunRequest, lim trace.Limits) (*sim.Workload, esp.Config, error) {
-	cfg, err := cellConfig(req.Config, req.MaxEvents, req.MaxPending)
+	cfg, err := cellConfig(req.Config, req.Sched, req.MaxEvents, req.MaxPending)
 	if err != nil {
 		return nil, esp.Config{}, err
 	}
 	if req.TraceB64 != "" {
-		w, err := traceWorkload(req.TraceB64, cfg.MaxEvents, lim)
+		w, err := traceWorkload(req.TraceB64, cfg.MaxEvents, cfg.Sched, lim)
 		return w, cfg, err
 	}
 	prof, err := scaledProfile(req.App, req.Scale)
 	if err != nil {
 		return nil, esp.Config{}, err
 	}
-	w, err := r.Workload(prof, cfg.MaxEvents)
+	w, err := r.WorkloadSched(prof, cfg.MaxEvents, cfg.Sched)
 	return w, cfg, err
 }
 
-// appNames lists the preset applications.
+// appNames lists the paper-suite applications. It doubles as the
+// default /sweep grid, so the timed mobile-web profiles stay out of it;
+// they are requested by name (workload.ByName accepts them).
 func appNames() []string {
 	ps := workload.Suite()
 	names := make([]string, len(ps))

@@ -570,7 +570,7 @@ func (s *Server) runBatch(ctx context.Context, app string, req SweepRequest, bat
 			cell.ErrorKind = "canceled"
 			continue
 		}
-		cfg, err := cellConfig(cell.Config, req.MaxEvents, req.MaxPending)
+		cfg, err := cellConfig(cell.Config, req.Sched, req.MaxEvents, req.MaxPending)
 		if err != nil {
 			cell.Error = err.Error()
 			cell.ErrorKind = "config"
@@ -679,6 +679,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		MachineReuses:  perf.MachineReuses,
 		BuildWallMs:    perf.BuildWall.Milliseconds(),
 		SimWallMs:      perf.SimWall.Milliseconds(),
+	}
+	if perf.SchedCells > 0 {
+		se := &metrics.SchedEngine{
+			Cells:              perf.SchedCells,
+			Events:             perf.SchedEvents,
+			Deadlined:          perf.Deadlined,
+			DeadlineMisses:     perf.DeadlineMisses,
+			PriorityInversions: perf.PriorityInversions,
+		}
+		if perf.Deadlined > 0 {
+			se.MissRate = float64(perf.DeadlineMisses) / float64(perf.Deadlined)
+		}
+		for c := 1; c < trace.NumEventClasses; c++ {
+			cp := perf.SchedClasses[c]
+			if cp.Events == 0 {
+				continue
+			}
+			se.Classes = append(se.Classes, metrics.SchedEngineClass{
+				Class:     trace.EventClass(c).String(),
+				Events:    cp.Events,
+				Deadlined: cp.Deadlined,
+				Misses:    cp.Misses,
+				P50:       cp.P50Sum / float64(cp.Events),
+				P95:       cp.P95Sum / float64(cp.Events),
+				P99:       cp.P99Sum / float64(cp.Events),
+			})
+		}
+		snap.Engine.Sched = se
 	}
 	snap.Queue.Capacity = cap(s.tickets)
 	snap.Queue.Workers = cap(s.work)

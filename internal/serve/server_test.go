@@ -105,6 +105,32 @@ func TestRunMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestRunScheduled: the "sched" field selects a dispatch policy and
+// the response matches a direct esp.Run of the @policy config,
+// responsiveness stats included. The explicit field and an @policy
+// name suffix must be interchangeable.
+func TestRunScheduled(t *testing.T) {
+	s := testServer(t, Options{Workers: 2})
+	got := decodeResult(t, post(t, s, "/run", RunRequest{App: "mobileweb", Config: "base", Sched: "edf", MaxEvents: 32}))
+
+	cfg := esp.SchedConfig(esp.BaselineConfig(), esp.SchedEDF)
+	cfg.MaxEvents = 32
+	want, err := esp.Run(workload.MobileWeb(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Sched == nil || want.Sched.Policy != "edf" {
+		t.Fatalf("direct run carries no EDF stats: %+v", want.Sched)
+	}
+	if want = jsonRoundTrip(t, want); !reflect.DeepEqual(got, want) {
+		t.Fatalf("scheduled service result deviates from esp.Run:\n got %+v\nwant %+v", got, want)
+	}
+	suffixed := decodeResult(t, post(t, s, "/run", RunRequest{App: "mobileweb", Config: "base@edf", MaxEvents: 32}))
+	if !reflect.DeepEqual(suffixed, want) {
+		t.Fatalf("@edf suffix deviates from the sched field")
+	}
+}
+
 // TestRunScaledWorkload: scale shrinks the session the same way
 // Profile.Scale does.
 func TestRunScaledWorkload(t *testing.T) {
@@ -176,6 +202,8 @@ func TestRunRejectsBadRequests(t *testing.T) {
 		{"huge scale", `{"app":"amazon","config":"base","scale":1e9}`},
 		{"scaled trace", `{"trace_b64":"aGk=","config":"base","scale":2}`},
 		{"bad base64", `{"trace_b64":"!!!","config":"base"}`},
+		{"unknown sched", `{"app":"mobileweb","config":"base","sched":"warp"}`},
+		{"sched contradicts pinned config", `{"app":"mobileweb","config":"base@fifo","sched":"edf"}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

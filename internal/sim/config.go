@@ -26,6 +26,7 @@ import (
 	"espsim/internal/core"
 	"espsim/internal/cpu"
 	"espsim/internal/energy"
+	"espsim/internal/eventq"
 	"espsim/internal/mem"
 	"espsim/internal/runahead"
 )
@@ -81,6 +82,12 @@ type Config struct {
 	// widens the queue view past 2 for the Figure 13 study.
 	MaxEvents  int
 	MaxPending int
+
+	// Sched selects the event-queue dispatch policy the workload is
+	// scheduled under (zero: FIFO, the paper's drain order). The policy
+	// is baked into the workload at build time; it never touches the
+	// replay loop.
+	Sched eventq.SchedPolicy
 }
 
 // Result is the outcome of one simulation.
@@ -119,6 +126,12 @@ type Result struct {
 	// Study holds Figure 13 working-set samples when
 	// ESP.MeasureWorkingSets was set.
 	Study *core.WorkingSetStudy
+
+	// Sched is the responsiveness summary of the dispatch schedule the
+	// workload ran under (per-class latency percentiles, deadline-miss
+	// rate, priority inversions); nil for classic FIFO cells of untimed
+	// workloads.
+	Sched *eventq.SchedStats `json:"sched,omitempty"`
 }
 
 // Speedup returns how much faster r is than base (base.Cycles/r.Cycles).
@@ -194,6 +207,9 @@ func (c Config) Validate() error {
 	}
 	if c.EFetch && c.PIF {
 		return fail(fmt.Errorf("EFetch and PIF are mutually exclusive instruction prefetchers; enable at most one"))
+	}
+	if !c.Sched.Valid() {
+		return fail(fmt.Errorf("unknown scheduler policy %d (have %v)", uint8(c.Sched), eventq.SchedNames()))
 	}
 	switch c.Assist {
 	case AssistNone:

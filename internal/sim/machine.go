@@ -155,7 +155,7 @@ func (m *Machine) Reset() {
 // queue view here.
 func (m *Machine) Run(w *Workload) Result {
 	m.Replay(w)
-	return m.result(w.App)
+	return m.result(w)
 }
 
 // Replay resets the machine and replays w through it, leaving the results
@@ -185,11 +185,11 @@ func (m *Machine) Replay(w *Workload) {
 }
 
 // result assembles the Result and energy accounting from the machine's
-// post-run statistics.
-func (m *Machine) result(app string) Result {
+// post-run statistics, plus the workload's build-time schedule summary.
+func (m *Machine) result(w *Workload) Result {
 	c, hier := m.c, m.hier
 	res := Result{
-		App:    app,
+		App:    w.App,
 		Config: m.cfg.Name,
 		Insts:  c.Stats.Insts,
 		Cycles: c.Stats.Cycles,
@@ -237,5 +237,8 @@ func (m *Machine) result(app string) Result {
 		res.ExtraInstPct = float64(preExec) / float64(c.Stats.Insts) * 100
 	}
 	res.Energy = energy.Compute(act, energy.DefaultModel())
+	// Sched() already hands out an owned copy, so the Result can keep it
+	// past workload cache evictions.
+	res.Sched = w.Sched()
 	return res
 }

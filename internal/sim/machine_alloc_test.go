@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"espsim/internal/eventq"
 	"espsim/internal/workload"
 )
 
@@ -35,6 +36,39 @@ func TestReplayAllocFree(t *testing.T) {
 		m.Replay(w) // warm-up: pools and scratch size themselves here
 		if n := testing.AllocsPerRun(3, func() { m.Replay(w) }); n != 0 {
 			t.Errorf("%s: warm Replay heap-allocates %v times per run, want 0", cfg.Name, n)
+		}
+	}
+}
+
+// TestReplayAllocFreeScheduled extends the zero-allocation contract to
+// the scheduling dimension: a workload materialized under a non-FIFO
+// schedule (timed events, reordered queue, arrival-based pending
+// windows) replays with zero heap allocations too. The schedule lives
+// entirely in the immutable workload plane, so the replay loop must not
+// notice it exists.
+func TestReplayAllocFreeScheduled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is wall-clock heavy")
+	}
+	prof := workload.MobileWeb()
+	prof.Events = 60
+	for _, policy := range []eventq.SchedPolicy{eventq.SchedFIFO, eventq.SchedEDF} {
+		w, err := NewWorkloadSched(prof, 0, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Sched() == nil {
+			t.Fatalf("%v: timed workload has no schedule stats", policy)
+		}
+		for _, cfg := range []Config{{Name: "base"}, espConfig()} {
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name, err)
+			}
+			m.Replay(w)
+			if n := testing.AllocsPerRun(3, func() { m.Replay(w) }); n != 0 {
+				t.Errorf("%s@%v: warm Replay heap-allocates %v times per run, want 0", cfg.Name, policy, n)
+			}
 		}
 	}
 }

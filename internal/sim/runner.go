@@ -4,9 +4,12 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"espsim/internal/eventq"
+	"espsim/internal/trace"
 	"espsim/internal/workload"
 )
 
@@ -63,6 +66,82 @@ type Perf struct {
 	// machines; SimWall is time spent replaying.
 	BuildWall time.Duration
 	SimWall   time.Duration
+
+	// SchedCells counts cells that ran under a materialized schedule
+	// and SchedEvents the events those schedules dispatched; the
+	// deadline and inversion counters aggregate their outcomes.
+	SchedCells         int64
+	SchedEvents        int64
+	Deadlined          int64
+	DeadlineMisses     int64
+	PriorityInversions int64
+	// SchedClasses aggregates per-class responsiveness across scheduled
+	// cells (percentile sums are event-weighted; divide by Events for
+	// the weighted mean).
+	SchedClasses [trace.NumEventClasses]ClassPerf
+}
+
+// ClassPerf accumulates one event class's responsiveness across cells.
+type ClassPerf struct {
+	Events    int64
+	Deadlined int64
+	Misses    int64
+	P50Sum    float64
+	P95Sum    float64
+	P99Sum    float64
+}
+
+// addSched folds one scheduled cell's stats into the aggregates.
+func (p *Perf) addSched(ss *eventq.SchedStats) {
+	p.SchedCells++
+	p.SchedEvents += int64(ss.Events)
+	p.Deadlined += int64(ss.Deadlined)
+	p.DeadlineMisses += int64(ss.DeadlineMisses)
+	p.PriorityInversions += int64(ss.PriorityInversions)
+	for _, cl := range ss.Classes {
+		cp := &p.SchedClasses[classIdx(cl.Class)]
+		n := float64(cl.Events)
+		cp.Events += int64(cl.Events)
+		cp.Deadlined += int64(cl.Deadlined)
+		cp.Misses += int64(cl.Misses)
+		cp.P50Sum += cl.P50 * n
+		cp.P95Sum += cl.P95 * n
+		cp.P99Sum += cl.P99 * n
+	}
+}
+
+// classIdx resolves a class name back to its EventClass index.
+func classIdx(name string) int {
+	for c := 0; c < trace.NumEventClasses; c++ {
+		if trace.EventClass(c).String() == name {
+			return c
+		}
+	}
+	return 0
+}
+
+// SchedString renders the responsiveness aggregates as a one-line
+// summary, or "" when no scheduled cell has run.
+func (p Perf) SchedString() string {
+	if p.SchedCells == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d scheduled cells: %d events, %d/%d deadline misses",
+		p.SchedCells, p.SchedEvents, p.DeadlineMisses, p.Deadlined)
+	if p.Deadlined > 0 {
+		fmt.Fprintf(&b, " (%.1f%%)", float64(p.DeadlineMisses)/float64(p.Deadlined)*100)
+	}
+	fmt.Fprintf(&b, ", %d priority inversions", p.PriorityInversions)
+	for c := 1; c < trace.NumEventClasses; c++ {
+		cp := p.SchedClasses[c]
+		if cp.Events == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "; %s p95 %.0f (%d ev, %d miss)",
+			trace.EventClass(c), cp.P95Sum/float64(cp.Events), cp.Events, cp.Misses)
+	}
+	return b.String()
 }
 
 // String renders the counters as a one-line summary.
@@ -85,10 +164,12 @@ type CellEvent struct {
 
 // workloadKey identifies one materialization: the full profile value
 // (Profile is a comparable struct of scalars) plus the executed-prefix
-// bound. Two cells with equal keys share one Workload.
+// bound and the dispatch policy the schedule was baked under. Two cells
+// with equal keys share one Workload.
 type workloadKey struct {
 	prof      workload.Profile
 	maxEvents int
+	sched     eventq.SchedPolicy
 }
 
 type workloadCell struct {
@@ -194,7 +275,14 @@ func (r *Runner) evictLocked() {
 // the cache entry is dropped immediately, so a later call — a retry
 // after a transient failure — materializes from scratch.
 func (r *Runner) Workload(prof workload.Profile, maxEvents int) (*Workload, error) {
-	key := workloadKey{prof: prof, maxEvents: maxEvents}
+	return r.WorkloadSched(prof, maxEvents, eventq.SchedFIFO)
+}
+
+// WorkloadSched is Workload under an explicit dispatch policy; the
+// policy is part of the cache key, so the same profile scheduled two
+// ways materializes two arenas.
+func (r *Runner) WorkloadSched(prof workload.Profile, maxEvents int, policy eventq.SchedPolicy) (*Workload, error) {
+	key := workloadKey{prof: prof, maxEvents: maxEvents, sched: policy}
 	r.mu.Lock()
 	cell, ok := r.workloads[key]
 	if !ok {
@@ -218,7 +306,7 @@ func (r *Runner) Workload(prof workload.Profile, maxEvents int) (*Workload, erro
 			}
 		}
 		if cell.err == nil {
-			cell.w, cell.err = NewWorkload(prof, maxEvents)
+			cell.w, cell.err = NewWorkloadSched(prof, maxEvents, policy)
 			if cell.err != nil {
 				cell.err = fmt.Errorf("esp: workload %s: %w: %w", prof.Name, ErrBuild, cell.err)
 			}
@@ -289,7 +377,7 @@ func (r *Runner) releaseMachine(m *Machine) {
 // reuse is safe because Run resets first). A panicking machine is
 // dropped, never pooled.
 func (r *Runner) RunCell(label string, prof workload.Profile, cfg Config, timeout time.Duration) (Result, error) {
-	w, err := r.Workload(prof, cfg.MaxEvents)
+	w, err := r.WorkloadSched(prof, cfg.MaxEvents, cfg.Sched)
 	if err != nil {
 		return Result{}, err
 	}
@@ -345,6 +433,9 @@ func (r *Runner) simulate(label string, m *Machine, w *Workload) (res Result, er
 		r.perf.SimWall += elapsed
 		if err == nil {
 			r.perf.Cells++
+			if res.Sched != nil {
+				r.perf.addSched(res.Sched)
+			}
 		}
 		obs := r.observer
 		r.mu.Unlock()

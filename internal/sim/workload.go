@@ -60,6 +60,26 @@ type Workload struct {
 	// out with full-capacity slice expressions, so even an appending
 	// consumer cannot clobber a neighbour.
 	arena []trace.Inst
+
+	// sched is the dispatch schedule this workload was materialized
+	// under, nil for classic FIFO builds of untimed sessions. The
+	// events/streams above are already laid out in schedule order, so
+	// replay needs no scheduler in the loop — the policy is baked into
+	// the immutable plane at build time.
+	sched *eventq.Schedule
+}
+
+// Sched returns a copy of the responsiveness stats of the schedule the
+// workload was built under, or nil when the workload was built without
+// one. The copy keeps the immutable plane unaliased — callers may hang
+// it off a Result and mutate freely.
+func (w *Workload) Sched() *eventq.SchedStats {
+	if w.sched == nil {
+		return nil
+	}
+	cp := w.sched.Stats
+	cp.Classes = append([]eventq.ClassLatency(nil), cp.Classes...)
+	return &cp
 }
 
 // NewWorkload materializes prof's session, truncated to maxEvents when
@@ -95,6 +115,83 @@ func MaterializeSource(app string, src eventq.Source, maxEvents int) *Workload {
 	}
 	w.fromSource(src, maxEvents)
 	return w
+}
+
+// NewWorkloadSched materializes prof's session under a dispatch policy:
+// the session is truncated to maxEvents, the schedule over those events
+// is built once (eventq.BuildSchedule), and events and streams are laid
+// out in dispatch order with each event remapped to its slot position —
+// the eventq.MultiQueueSource idiom, which keeps per-event data
+// placement unique while the original seed keeps every stream
+// deterministic. An untimed session orders identically under every
+// policy (all arrivals are zero), so its build is bit-identical to
+// NewWorkload and only gains the schedule's stats.
+//
+//esp:ctor
+func NewWorkloadSched(prof workload.Profile, maxEvents int, policy eventq.SchedPolicy) (*Workload, error) {
+	if !prof.Timed && policy == eventq.SchedFIFO {
+		return NewWorkload(prof, maxEvents)
+	}
+	sess, err := workload.NewSession(prof)
+	if err != nil {
+		return nil, fmt.Errorf("esp: building session: %w", err)
+	}
+	nExec := execCount(len(sess.Events), maxEvents)
+	sched, err := eventq.BuildSchedule(sess.Events[:nExec], policy)
+	if err != nil {
+		return nil, fmt.Errorf("esp: building schedule: %w", err)
+	}
+	w := &Workload{App: prof.Name, trim: true, sched: sched}
+	if !anyTimed(sess.Events[:nExec]) {
+		// Identity order: the classic layout (including beyond-prefix
+		// speculative streams) is exactly right; keep it bit-identical.
+		w.fromSession(sess, maxEvents)
+		return w, nil
+	}
+	w.fromSessionSched(sess, nExec, sched)
+	return w, nil
+}
+
+// MaterializeSourceSched is MaterializeSource under a dispatch policy,
+// for recorded traces and other generic sources. Untimed sources under
+// FIFO take the classic path unscheduled.
+//
+//esp:ctor
+func MaterializeSourceSched(app string, src eventq.Source, maxEvents int, policy eventq.SchedPolicy) (*Workload, error) {
+	n := src.Len()
+	nExec := execCount(n, maxEvents)
+	evs := make([]trace.Event, nExec)
+	timed := false
+	for i := range evs {
+		evs[i] = src.Event(i)
+		if evs[i].Timed() {
+			timed = true
+		}
+	}
+	if !timed && policy == eventq.SchedFIFO {
+		return MaterializeSource(app, src, maxEvents), nil
+	}
+	sched, err := eventq.BuildSchedule(evs, policy)
+	if err != nil {
+		return nil, fmt.Errorf("esp: building schedule: %w", err)
+	}
+	w := &Workload{App: app, sched: sched}
+	if !timed {
+		w.fromSource(src, maxEvents)
+		return w, nil
+	}
+	w.fromSourceSched(src, evs, sched)
+	return w, nil
+}
+
+// anyTimed reports whether any event carries scheduling metadata.
+func anyTimed(evs []trace.Event) bool {
+	for _, ev := range evs {
+		if ev.Timed() {
+			return true
+		}
+	}
+	return false
 }
 
 // execCount truncates a session of n events by maxEvents.
@@ -268,6 +365,103 @@ func (w *Workload) fromSource(src eventq.Source, maxEvents int) {
 
 func sameSlice(a, b []trace.Inst) bool {
 	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// schedEvents lays evs out in dispatch order, remapping each event's ID
+// to its slot position so per-event data placement stays unique and ESP
+// slot matching (which keys on ev.ID) addresses the scheduled stream.
+func schedEvents(evs []trace.Event, sched *eventq.Schedule) []trace.Event {
+	out := make([]trace.Event, len(sched.Order))
+	for k, oi := range sched.Order {
+		ev := evs[oi]
+		ev.ID = k
+		out[k] = ev
+	}
+	return out
+}
+
+// schedWindows derives the hardware event queue's visibility from the
+// schedule's virtual clock: when slot k dispatches, the consecutive run
+// of later slots whose events have already arrived is resident in the
+// queue (capped at the paper's deepest study, 8 entries). Under light
+// load the queue is often empty at dispatch — exactly the reduced ESP
+// opportunity a real mobile session offers.
+func schedWindows(evs []trace.Event, dispatch []int64) []span {
+	pend := make([]span, len(evs))
+	for k := range evs {
+		d := 0
+		for d < specLookahead && k+1+d < len(evs) && evs[k+1+d].Arrival <= dispatch[k] {
+			d++
+		}
+		pend[k] = span{off: int32(k + 1), n: int32(d)}
+	}
+	return pend
+}
+
+// fromSessionSched materializes a timed session in dispatch order: the
+// scheduled event list (remapped IDs) is its own pending table, queue
+// views follow the schedule's virtual clock, and streams are generated
+// per scheduled slot. Every pending reference names a scheduled slot,
+// so the speculative horizon is the executed prefix itself.
+//
+//esp:ctor
+func (w *Workload) fromSessionSched(sess *workload.Session, nExec int, sched *eventq.Schedule) {
+	w.nExec = nExec
+	evs := schedEvents(sess.Events[:nExec], sched)
+	w.events = evs
+	w.pendTab = evs
+	w.pend = schedWindows(evs, sched.Dispatch)
+
+	total := 0
+	for _, ev := range evs {
+		total += ev.Len
+		if ev.Diverge >= 0 {
+			total += ev.Len
+		}
+	}
+	w.arena = make([]trace.Inst, 0, total)
+
+	var wk workload.Walker
+	w.normal = make([]span, nExec)
+	w.spec = make([]span, nExec)
+	for k, ev := range evs {
+		w.normal[k] = w.generate(&wk, sess.Gen, ev, false)
+		if ev.Diverge < 0 {
+			w.spec[k] = w.normal[k]
+		} else {
+			w.spec[k] = w.generate(&wk, sess.Gen, ev, true)
+		}
+	}
+}
+
+// fromSourceSched materializes a timed generic source in dispatch
+// order, copying each slot's streams from the source's original event
+// index. Queue views are schedule-derived (the source's own pending
+// lists describe its unscheduled order) and trimmed by MaxPending at
+// view time like session builds.
+//
+//esp:ctor
+func (w *Workload) fromSourceSched(src eventq.Source, evs []trace.Event, sched *eventq.Schedule) {
+	nExec := len(evs)
+	w.nExec = nExec
+	w.trim = true
+	sevs := schedEvents(evs, sched)
+	w.events = sevs
+	w.pendTab = sevs
+	w.pend = schedWindows(sevs, sched.Dispatch)
+
+	w.normal = make([]span, nExec)
+	w.spec = make([]span, nExec)
+	for k, oi := range sched.Order {
+		norm := src.Insts(int(oi), false)
+		spec := src.Insts(int(oi), true)
+		w.normal[k] = w.copyInsts(norm)
+		if sameSlice(norm, spec) {
+			w.spec[k] = w.normal[k]
+		} else {
+			w.spec[k] = w.copyInsts(spec)
+		}
+	}
 }
 
 // instSpan resolves a span to its capacity-pinned arena sub-slice.

@@ -12,6 +12,7 @@ import (
 //
 //	magic "ESPT" | version u8 | event count uvarint
 //	per event: id uvarint | handler uvarint | seed u64 | diverge varint |
+//	           [v2: class u8 | prio u8 | arrival varint | deadline varint |]
 //	           inst count uvarint | insts...
 //	per inst:  kind u8 (bit0-1 kind, bit2 taken, bit3 indirect,
 //	           bit4 call, bit5 ret) |
@@ -20,10 +21,18 @@ import (
 //
 // PC and target are delta-encoded against the previous instruction's PC,
 // which keeps sequential code to ~2 bytes per instruction.
+//
+// Version 2 adds the scheduling metadata block (class/prio/arrival/
+// deadline) per event. WriteFile emits version 1 when every event's
+// scheduling metadata is zero, so traces from untimed workloads stay
+// byte-identical to the legacy encoding.
 
 var fileMagic = [4]byte{'E', 'S', 'P', 'T'}
 
-const fileVersion = 1
+const (
+	fileVersion      = 1
+	fileVersionTimed = 2
+)
 
 // Decode errors. Every error returned by ReadFile wraps ErrBadTrace, so
 // callers can match the whole family with errors.Is(err, ErrBadTrace);
@@ -77,13 +86,23 @@ type EventTrace struct {
 	Insts []Inst
 }
 
-// WriteFile encodes events to w in the ESPT binary format.
+// WriteFile encodes events to w in the ESPT binary format. The version
+// byte is 1 unless at least one event carries scheduling metadata
+// (class, priority, arrival, or deadline), in which case version 2 is
+// emitted with the extra per-event block.
 func WriteFile(w io.Writer, events []EventTrace) error {
+	ver := byte(fileVersion)
+	for _, et := range events {
+		if et.Event.Timed() {
+			ver = fileVersionTimed
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(fileMagic[:]); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(fileVersion); err != nil {
+	if err := bw.WriteByte(ver); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -114,6 +133,20 @@ func WriteFile(w io.Writer, events []EventTrace) error {
 		}
 		if err := putVarint(int64(ev.Diverge)); err != nil {
 			return err
+		}
+		if ver == fileVersionTimed {
+			if err := bw.WriteByte(byte(ev.Class)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(ev.Prio); err != nil {
+				return err
+			}
+			if err := putVarint(ev.Arrival); err != nil {
+				return err
+			}
+			if err := putVarint(ev.Deadline); err != nil {
+				return err
+			}
 		}
 		if err := putUvarint(uint64(len(et.Insts))); err != nil {
 			return err
@@ -236,8 +269,9 @@ func ReadFileLimits(r io.Reader, lim Limits) ([]EventTrace, error) {
 	if err != nil {
 		return nil, tr.fail("version", err)
 	}
-	if ver != fileVersion {
-		return nil, tr.fail("version", fmt.Errorf("%w %d (decoder supports %d)", ErrBadVersion, ver, fileVersion))
+	if ver != fileVersion && ver != fileVersionTimed {
+		return nil, tr.fail("version", fmt.Errorf("%w %d (decoder supports %d and %d)",
+			ErrBadVersion, ver, fileVersion, fileVersionTimed))
 	}
 	nEvents, err := binary.ReadUvarint(tr)
 	if err != nil {
@@ -268,6 +302,29 @@ func ReadFileLimits(r io.Reader, lim Limits) ([]EventTrace, error) {
 		if err != nil {
 			return nil, tr.fail(section+" diverge", err)
 		}
+		var class EventClass
+		var prio uint8
+		var arrival, deadline int64
+		if ver == fileVersionTimed {
+			cb, err := tr.ReadByte()
+			if err != nil {
+				return nil, tr.fail(section+" class", err)
+			}
+			if cb >= NumEventClasses {
+				return nil, tr.fail(section+" class",
+					fmt.Errorf("%w: event class %d out of range", ErrBadTrace, cb))
+			}
+			class = EventClass(cb)
+			if prio, err = tr.ReadByte(); err != nil {
+				return nil, tr.fail(section+" prio", err)
+			}
+			if arrival, err = binary.ReadVarint(tr); err != nil {
+				return nil, tr.fail(section+" arrival", err)
+			}
+			if deadline, err = binary.ReadVarint(tr); err != nil {
+				return nil, tr.fail(section+" deadline", err)
+			}
+		}
 		nInsts, err := binary.ReadUvarint(tr)
 		if err != nil {
 			return nil, tr.fail(section+" instruction count", err)
@@ -278,11 +335,15 @@ func ReadFileLimits(r io.Reader, lim Limits) ([]EventTrace, error) {
 				fmt.Errorf("%w: %d total instructions (limit %d)", ErrTooLarge, totalInsts, lim.MaxInsts))
 		}
 		et.Event = Event{
-			ID:      int(id),
-			Handler: int(handler),
-			Seed:    binary.LittleEndian.Uint64(seedBuf[:]),
-			Len:     int(nInsts),
-			Diverge: int(diverge),
+			ID:       int(id),
+			Handler:  int(handler),
+			Seed:     binary.LittleEndian.Uint64(seedBuf[:]),
+			Len:      int(nInsts),
+			Diverge:  int(diverge),
+			Class:    class,
+			Prio:     prio,
+			Arrival:  arrival,
+			Deadline: deadline,
 		}
 		et.Insts = make([]Inst, 0, preallocCap(nInsts, 4096))
 		prevPC := uint64(0)

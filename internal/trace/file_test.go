@@ -34,6 +34,53 @@ func TestReadFileBadVersionDistinct(t *testing.T) {
 	}
 }
 
+// TestWriteFileVersionSelection: untimed traces keep the legacy v1
+// encoding byte-for-byte; any scheduling metadata switches the file to
+// v2.
+func TestWriteFileVersionSelection(t *testing.T) {
+	untimed := []EventTrace{{Event: Event{ID: 0, Len: 1, Diverge: -1}, Insts: []Inst{{PC: 0x40}}}}
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, untimed); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[4]; got != 1 {
+		t.Fatalf("untimed trace encoded as version %d, want 1", got)
+	}
+	timed := []EventTrace{{Event: Event{ID: 0, Len: 1, Diverge: -1, Deadline: 500}, Insts: []Inst{{PC: 0x40}}}}
+	buf.Reset()
+	if err := WriteFile(&buf, timed); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[4]; got != 2 {
+		t.Fatalf("timed trace encoded as version %d, want 2", got)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Event.Deadline != 500 {
+		t.Fatalf("deadline lost across round trip: %+v", got[0].Event)
+	}
+}
+
+// TestReadFileRejectsBadClass: a v2 payload whose class byte is outside
+// the defined event classes is malformed, not silently clamped.
+func TestReadFileRejectsBadClass(t *testing.T) {
+	in := []byte{'E', 'S', 'P', 'T', 2, 1, // one event
+		0, 0, // id, handler
+		0, 0, 0, 0, 0, 0, 0, 0, // seed
+		1,               // diverge varint (-1)
+		NumEventClasses, // class out of range
+	}
+	_, err := ReadFile(bytes.NewReader(in))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("want ErrBadTrace, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "class") {
+		t.Fatalf("error does not name the class section: %v", err)
+	}
+}
+
 func TestReadFileTrailingGarbageDistinct(t *testing.T) {
 	in := append(validPayload(t), 0xEE)
 	_, err := ReadFile(bytes.NewReader(in))

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -31,12 +32,26 @@ func FuzzReadFile(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("ESPT"))
 	f.Add([]byte{'E', 'S', 'P', 'T', 1, 0})
-	f.Add([]byte{'E', 'S', 'P', 'T', 2, 0})                      // bad version
+	f.Add([]byte{'E', 'S', 'P', 'T', 2, 0})                      // timed format, empty
+	f.Add([]byte{'E', 'S', 'P', 'T', 3, 0})                      // bad version
 	f.Add([]byte{'E', 'S', 'P', 'T', 1, 0xff, 0xff, 0xff, 0xff}) // huge count
 	f.Add(encodeTraces(f, nil))
 	f.Add(encodeTraces(f, []EventTrace{randomEventTrace(r, 0)}))
 	f.Add(encodeTraces(f, []EventTrace{randomEventTrace(r, 0), randomEventTrace(r, 1)}))
 	f.Add(append(encodeTraces(f, []EventTrace{randomEventTrace(r, 2)}), 0xAA)) // trailing garbage
+	// Timed (v2) seeds with hostile scheduling metadata: deadlines at
+	// the int64 extremes, past-due deadlines, and every class byte
+	// (including out-of-range ones the decoder must reject).
+	f.Add(encodeTraces(f, []EventTrace{{
+		Event: Event{ID: 0, Len: 1, Diverge: -1, Class: ClassInput, Prio: 255,
+			Arrival: math.MaxInt64, Deadline: math.MinInt64},
+		Insts: []Inst{{PC: 0x40000000}},
+	}}))
+	f.Add(encodeTraces(f, []EventTrace{{
+		Event: Event{ID: 0, Len: 1, Diverge: -1, Class: ClassNetwork, Prio: 1,
+			Arrival: -1, Deadline: -1000},
+		Insts: []Inst{{PC: 0x40000000}},
+	}}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		events, err := ReadFileLimits(bytes.NewReader(data), fuzzLimits())

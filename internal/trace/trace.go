@@ -90,6 +90,46 @@ type Stream interface {
 	Next() (Inst, bool)
 }
 
+// EventClass groups events by the kind of asynchronous work they carry.
+// The classes mirror the mobile-web taxonomy from PES: user input, frame
+// rendering, timer callbacks, and network completions. ClassNone marks
+// events from untimed workloads that carry no class information.
+type EventClass uint8
+
+const (
+	// ClassNone is the zero class: the event carries no class metadata.
+	ClassNone EventClass = iota
+	// ClassInput is a user-input handler (tap, scroll, key).
+	ClassInput
+	// ClassRender is a frame-rendering callback (rAF, style/layout).
+	ClassRender
+	// ClassTimer is a timer expiry (setTimeout/setInterval).
+	ClassTimer
+	// ClassNetwork is a network completion (XHR/fetch callback).
+	ClassNetwork
+
+	// NumEventClasses is the number of distinct EventClass values.
+	NumEventClasses = 5
+)
+
+// String returns a short mnemonic for the class.
+func (c EventClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassInput:
+		return "input"
+	case ClassRender:
+		return "render"
+	case ClassTimer:
+		return "timer"
+	case ClassNetwork:
+		return "network"
+	default:
+		return "unknown"
+	}
+}
+
 // Event is one unit of asynchronous work: a handler invocation posted to
 // the software event queue.
 type Event struct {
@@ -106,6 +146,24 @@ type Event struct {
 	// execution (the event depended on an earlier, skipped event). A
 	// value of -1 means pre-execution matches normal execution exactly.
 	Diverge int
+	// Class groups the event for scheduling and responsiveness metrics.
+	// ClassNone (the zero value) marks events with no class metadata.
+	Class EventClass
+	// Prio is the event's scheduling priority; lower values are more
+	// urgent. Only consulted by priority-aware schedulers.
+	Prio uint8
+	// Arrival is the virtual time (in instruction units) at which the
+	// event was posted to the queue. Untimed workloads leave it zero.
+	Arrival int64
+	// Deadline is the virtual time by which the event should complete;
+	// zero means the event carries no deadline.
+	Deadline int64
+}
+
+// Timed reports whether the event carries any scheduling metadata
+// (class, priority, arrival, or deadline).
+func (e Event) Timed() bool {
+	return e.Class != ClassNone || e.Prio != 0 || e.Arrival != 0 || e.Deadline != 0
 }
 
 // Program produces replayable instruction streams for events. Stream may

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -98,6 +99,22 @@ func randomEventTrace(r *rand.Rand, id int) EventTrace {
 	n := 1 + r.Intn(200)
 	et := EventTrace{
 		Event: Event{ID: id, Handler: r.Intn(32), Seed: r.Uint64(), Len: n, Diverge: r.Intn(n+1) - 1},
+	}
+	// Half the generated traces carry timed metadata, so round-trip
+	// tests and fuzz seeds cover both ESPT versions. Deadlines draw from
+	// the full int64 range including past-due and the extremes.
+	if r.Intn(2) == 0 {
+		et.Event.Class = EventClass(r.Intn(NumEventClasses))
+		et.Event.Prio = uint8(r.Intn(256))
+		et.Event.Arrival = r.Int63n(1 << 40)
+		switch r.Intn(4) {
+		case 0:
+			et.Event.Deadline = et.Event.Arrival + r.Int63n(1<<20) + 1
+		case 1:
+			et.Event.Deadline = -r.Int63n(1 << 40) // past-due / hostile
+		case 2:
+			et.Event.Deadline = math.MaxInt64 - r.Int63n(4)
+		}
 	}
 	pc := uint64(0x40000000)
 	for i := 0; i < n; i++ {

@@ -12,7 +12,38 @@
 // the queue before they run.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"espsim/internal/trace"
+)
+
+// ClassSpec describes one event class of a timed (mobile-web) profile:
+// its share of the event mix, scheduling priority, arrival cadence,
+// deadline window, and how its events' lengths relate to the profile
+// mean. All fields are scalars so Profile stays comparable (profiles
+// key workload caches).
+type ClassSpec struct {
+	// Class labels events drawn from this spec.
+	Class trace.EventClass
+	// Weight is the spec's relative share of the event mix; zero
+	// disables the entry.
+	Weight float64
+	// Prio is the scheduling priority (lower = more urgent).
+	Prio uint8
+	// MeanGap is the mean inter-arrival gap contributed to the global
+	// arrival clock when an event of this class is posted, in
+	// instruction units (gaps are uniform in [MeanGap/2, 3*MeanGap/2]).
+	MeanGap int
+	// DeadlineLo/DeadlineHi bound the uniform deadline offset after
+	// arrival, in instruction units. DeadlineHi == 0 means events of
+	// this class carry no deadline.
+	DeadlineLo int
+	DeadlineHi int
+	// LenScale multiplies the sampled event length (0 or 1 = profile
+	// default): input handlers are short, network completions long.
+	LenScale float64
+}
 
 // Profile describes one application workload. The seven presets are
 // scaled-down versions of the paper's sessions (Figure 6): event lengths
@@ -95,6 +126,21 @@ type Profile struct {
 	QueueNext   float64
 	QueueSecond float64
 
+	// Timed enables the mobile-web scheduling dimension: events carry
+	// class, priority, arrival time and deadline sampled from Mix.
+	// Untimed profiles (the paper suite) are byte-identical to builds
+	// that predate this field.
+	Timed bool
+
+	// Mix is the event-class mix of a timed profile; entries with zero
+	// Weight are inactive. Fixed-size so Profile stays comparable.
+	Mix [4]ClassSpec
+
+	// DeadlineSlack is added to every sampled deadline, in instruction
+	// units. The metamorphic suite uses it to prove slack monotonicity
+	// (more slack never increases the miss rate).
+	DeadlineSlack int
+
 	// Seed decorrelates applications from one another.
 	Seed uint64
 }
@@ -130,6 +176,32 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("workload %q: CodeIntensity out of range", p.Name)
 	case p.QueueNext < 0 || p.QueueNext > 1 || p.QueueSecond < 0 || p.QueueSecond > 1:
 		return fmt.Errorf("workload %q: queue probabilities out of range", p.Name)
+	case p.DeadlineSlack < 0:
+		return fmt.Errorf("workload %q: DeadlineSlack must be non-negative", p.Name)
+	}
+	if p.Timed {
+		active := 0
+		for i, cs := range p.Mix {
+			if cs.Weight == 0 {
+				continue
+			}
+			switch {
+			case cs.Weight < 0:
+				return fmt.Errorf("workload %q: Mix[%d] negative Weight", p.Name, i)
+			case cs.Class == trace.ClassNone || cs.Class >= trace.NumEventClasses:
+				return fmt.Errorf("workload %q: Mix[%d] invalid event class", p.Name, i)
+			case cs.MeanGap <= 0:
+				return fmt.Errorf("workload %q: Mix[%d] MeanGap must be positive", p.Name, i)
+			case cs.DeadlineLo < 0 || cs.DeadlineHi < cs.DeadlineLo:
+				return fmt.Errorf("workload %q: Mix[%d] bad deadline window", p.Name, i)
+			case cs.LenScale < 0 || cs.LenScale > 8:
+				return fmt.Errorf("workload %q: Mix[%d] LenScale out of range", p.Name, i)
+			}
+			active++
+		}
+		if active == 0 {
+			return fmt.Errorf("workload %q: Timed profile needs at least one active Mix entry", p.Name)
+		}
 	}
 	return nil
 }
@@ -265,20 +337,68 @@ func Pixlr() Profile {
 	return p
 }
 
+// MobileWeb models an interactive mobile browsing session at moderate
+// load (~0.6 looper utilization): taps and scrolls (input), frame
+// callbacks (render), timers, and network completions, each with the
+// deadline windows PES reports for its class — input wants ~100 ms
+// budgets, frames ~2 vsyncs, timers and network are elastic. Deadlines
+// and gaps are in instruction units on the same virtual clock the
+// scheduler simulates.
+func MobileWeb() Profile {
+	p := base("mobileweb", 0x30B11E08)
+	p.Actions = "Scroll a news feed, tap two stories, pull to refresh"
+	p.Events, p.MeanEventLen = 320, 5200
+	p.Handlers = 28
+	p.Timed = true
+	p.Mix = [4]ClassSpec{
+		{Class: trace.ClassInput, Weight: 0.25, Prio: 0, MeanGap: 9000, DeadlineLo: 8000, DeadlineHi: 16000, LenScale: 0.6},
+		{Class: trace.ClassRender, Weight: 0.30, Prio: 1, MeanGap: 7000, DeadlineLo: 16000, DeadlineHi: 32000, LenScale: 1.0},
+		{Class: trace.ClassTimer, Weight: 0.25, Prio: 2, MeanGap: 9000, DeadlineLo: 40000, DeadlineHi: 80000, LenScale: 1.1},
+		{Class: trace.ClassNetwork, Weight: 0.20, Prio: 3, MeanGap: 12000, DeadlineLo: 80000, DeadlineHi: 160000, LenScale: 1.4},
+	}
+	return p
+}
+
+// MobileHeavy is the overload variant (~0.9 looper utilization): the
+// same class structure under a burstier cadence, where scheduling
+// policy — not raw speed — decides which deadlines are sacrificed.
+func MobileHeavy() Profile {
+	p := base("mobileheavy", 0x30B11E09)
+	p.Actions = "Open a media-heavy page mid-load, scroll while ads and trackers fire"
+	p.Events, p.MeanEventLen = 280, 6400
+	p.Handlers = 32
+	p.Timed = true
+	p.Mix = [4]ClassSpec{
+		{Class: trace.ClassInput, Weight: 0.25, Prio: 0, MeanGap: 7000, DeadlineLo: 10000, DeadlineHi: 20000, LenScale: 0.6},
+		{Class: trace.ClassRender, Weight: 0.30, Prio: 1, MeanGap: 6000, DeadlineLo: 16000, DeadlineHi: 33000, LenScale: 1.0},
+		{Class: trace.ClassTimer, Weight: 0.25, Prio: 2, MeanGap: 7000, DeadlineLo: 50000, DeadlineHi: 100000, LenScale: 1.1},
+		{Class: trace.ClassNetwork, Weight: 0.20, Prio: 3, MeanGap: 9000, DeadlineLo: 90000, DeadlineHi: 180000, LenScale: 1.5},
+	}
+	return p
+}
+
 // Suite returns the seven paper benchmarks in figure order.
 func Suite() []Profile {
 	return []Profile{Amazon(), Bing(), CNN(), Facebook(), GMaps(), GDocs(), Pixlr()}
 }
 
+// MobileSuite returns the timed mobile-web profiles. They are kept out
+// of Suite so the paper's figures and the default sweep grid are
+// unchanged; espd and espsim accept them by name.
+func MobileSuite() []Profile {
+	return []Profile{MobileWeb(), MobileHeavy()}
+}
+
 // ByName returns the named profile, or an error listing valid names.
 func ByName(name string) (Profile, error) {
-	for _, p := range Suite() {
+	all := append(Suite(), MobileSuite()...)
+	for _, p := range all {
 		if p.Name == name {
 			return p, nil
 		}
 	}
-	names := make([]string, 0, 7)
-	for _, p := range Suite() {
+	names := make([]string, 0, len(all))
+	for _, p := range all {
 		names = append(names, p.Name)
 	}
 	return Profile{}, fmt.Errorf("workload: unknown application %q (valid: %v)", name, names)

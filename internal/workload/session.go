@@ -58,7 +58,77 @@ func NewSession(p Profile) (*Session, error) {
 		}
 		s.VisibleDepth[i] = queueDepth(&rng, p)
 	}
+	if p.Timed {
+		timeEvents(s, p)
+	}
 	return s, nil
+}
+
+// timeEvents runs the timed second pass of a mobile-web profile: each
+// event draws a class from the mix, takes that class's priority and a
+// length rescale, advances the shared arrival clock by the class's gap,
+// and receives a deadline inside the class window. The pass uses its
+// own RNG stream so the untimed sampling above stays byte-identical to
+// profiles that predate the scheduling dimension.
+func timeEvents(s *Session, p Profile) {
+	trng := NewRNG(Hash2(p.Seed, 0x71AED5))
+	var totalW float64
+	for _, cs := range p.Mix {
+		if cs.Weight > 0 {
+			totalW += cs.Weight
+		}
+	}
+	var t int64
+	for i := range s.Events {
+		cs := pickClass(&trng, &p, totalW)
+		ev := &s.Events[i]
+		ev.Class = cs.Class
+		ev.Prio = cs.Prio
+		if cs.LenScale > 0 && cs.LenScale != 1 {
+			ln := int(float64(ev.Len) * cs.LenScale)
+			if ln < 256 {
+				ln = 256
+			}
+			if max := 8 * p.MeanEventLen; ln > max {
+				ln = max
+			}
+			ev.Len = ln
+			if ev.Diverge >= ev.Len {
+				ev.Diverge = ev.Len - 1
+			}
+		}
+		// Arrivals are cumulative, so they are non-decreasing and FIFO
+		// dispatch order equals queue order.
+		t += int64(cs.MeanGap/2) + int64(trng.Intn(cs.MeanGap+1))
+		ev.Arrival = t
+		if cs.DeadlineHi > 0 {
+			off := cs.DeadlineLo
+			if cs.DeadlineHi > cs.DeadlineLo {
+				off += trng.Intn(cs.DeadlineHi - cs.DeadlineLo + 1)
+			}
+			ev.Deadline = t + int64(off) + int64(p.DeadlineSlack)
+		}
+	}
+}
+
+// pickClass draws one active mix entry, weighted.
+func pickClass(rng *RNG, p *Profile, totalW float64) ClassSpec {
+	r := rng.Float64() * totalW
+	for _, cs := range p.Mix {
+		if cs.Weight <= 0 {
+			continue
+		}
+		if r < cs.Weight {
+			return cs
+		}
+		r -= cs.Weight
+	}
+	for i := len(p.Mix) - 1; i >= 0; i-- {
+		if p.Mix[i].Weight > 0 {
+			return p.Mix[i]
+		}
+	}
+	return ClassSpec{}
 }
 
 // queueDepth samples how many future events are resident in the software

@@ -62,6 +62,9 @@ func (s *Sweep) OK() bool { return len(s.Failed) == 0 && len(s.Cells) == 0 }
 func (s *Sweep) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine: %s\n", s.Perf)
+	if sched := s.Perf.SchedString(); sched != "" {
+		fmt.Fprintf(&b, "sched: %s\n", sched)
+	}
 	if len(s.Failed) > 0 {
 		ids := make([]string, 0, len(s.Failed))
 		for id := range s.Failed {
