@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race bench bench-go bench-guard flame fuzz-smoke chaos cluster-chaos leak sched-check tier1 clean
+.PHONY: all build vet lint test race bench bench-go bench-guard flame fuzz-smoke chaos cluster-chaos leak sched-check overload tier1 clean
 
 all: tier1
 
@@ -41,8 +41,10 @@ bench-go:
 # engine's cells/sec fell more than 20% below the committed baseline,
 # when a warm replay cell exceeds the hard allocation ceiling (the
 # hot path is allocation-zero; the ceiling of 40 leaves room only for
-# result assembly), or when the fault-free recovery stack (retries +
-# breakers, no injector) costs more than 5% of reuse throughput.
+# result assembly), when the fault-free recovery stack (retries +
+# breakers, no injector) costs more than 5% of reuse throughput, or
+# when the tenant fair-queue admission stack costs more than 2% of it
+# with a single unthrottled tenant.
 bench-guard:
 	$(GO) run ./cmd/espperf -out - -guard BENCH_PR8.json -maxloss 0.20 -maxallocs 40 -maxoverhead 0.05
 
@@ -97,12 +99,24 @@ sched-check:
 	$(GO) test -race -count=1 -run 'TestInvariantSchedulerDeadlines|TestInvariantSlackMonotone|TestInvariantESPOrderingScheduled|TestGolden' . -v
 	$(GO) test -count=1 -run 'TestReplayAllocFreeScheduled' ./internal/sim -v
 
+# overload proves tenant-scale robustness under the race detector: DRR
+# fairness under saturation (completed-cell shares track tenant
+# weights), deadline-aware shedding (an expired sweep answers partial
+# results fast with zero simulation), per-tenant quotas with distinct
+# HTTP statuses, memory-pressure brownout with hysteresis recovery, and
+# the fleet-level chaos — a hedged straggler merging bit-identically and
+# a greedy tenant flood that cannot starve a victim on a degraded fleet.
+overload:
+	$(GO) test -race -count=1 ./internal/tenantq -v
+	$(GO) test -race -count=1 -run 'TestTenantFairnessUnderSaturation|TestSweepExpiredDeadlineFastPath|TestRunDeadlineShedOnEvidence|TestTenantQuotaAndHeader|TestBrownoutDegradationAndRecovery' ./internal/serve -v
+	$(GO) test -race -count=1 -run 'TestHedgedStragglerParity|TestGreedyTenantFloodDegradedFleet' ./internal/cluster -v
+
 # tier1 is the robustness gate: everything must be green before merge.
 # race already runs the chaos soak and leak tests (they live in the
 # normal test set); leak re-runs them uncached so the gate cannot be
 # satisfied by a stale pass. lint subsumes vet and adds the domain
 # analyzers, so a contract violation fails the gate before any test runs.
-tier1: lint build race fuzz-smoke leak cluster-chaos sched-check
+tier1: lint build race fuzz-smoke leak cluster-chaos sched-check overload
 
 clean:
 	$(GO) clean ./...

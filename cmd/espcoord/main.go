@@ -20,7 +20,8 @@
 //	espcoord -worker w0=http://host0:8080 -worker w1=http://host1:8080 \
 //	         [-addr :8090] [-checkpoint-dir DIR] [-max-attempts 3] \
 //	         [-breaker-threshold 2] [-breaker-cooldown 15s] [-breaker-max-cooldown 2m] \
-//	         [-probe-interval 5s] [-log text|json]
+//	         [-probe-interval 5s] [-hedge-after 0] [-tenant name=weight[:cell_budget]]... \
+//	         [-tenant-slots N] [-log text|json]
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"espsim/internal/cluster"
+	"espsim/internal/tenantq"
 )
 
 // workerFlags collects repeated -worker name=url pairs.
@@ -40,6 +42,12 @@ type workerFlags []string
 
 func (w *workerFlags) String() string     { return strings.Join(*w, ",") }
 func (w *workerFlags) Set(v string) error { *w = append(*w, v); return nil }
+
+// tenantFlags collects repeated -tenant name=weight[:cell_budget] specs.
+type tenantFlags []string
+
+func (t *tenantFlags) String() string     { return strings.Join(*t, ",") }
+func (t *tenantFlags) Set(v string) error { *t = append(*t, v); return nil }
 
 func main() {
 	var workers workerFlags
@@ -52,9 +60,19 @@ func main() {
 		breakerCool   = flag.Duration("breaker-cooldown", 15*time.Second, "first quarantine length; re-trips double it")
 		breakerMax    = flag.Duration("breaker-max-cooldown", 2*time.Minute, "escalation cap")
 		probeInterval = flag.Duration("probe-interval", 5*time.Second, "health probe spacing (0: disabled)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "re-dispatch an in-flight shard to an idle worker after this long; first result wins (0: disabled)")
+		tenantSlots   = flag.Int("tenant-slots", 0, "concurrently admitted sweeps fleet-wide (0: 64 × workers)")
 		logFmt        = flag.String("log", "text", "log format: text or json")
 	)
+	var tenantSpecs tenantFlags
+	flag.Var(&tenantSpecs, "tenant", "tenant config as name=weight[:cell_budget] (repeatable)")
 	flag.Parse()
+
+	tenants, err := tenantq.ParseTenants(tenantSpecs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "espcoord:", err)
+		os.Exit(2)
+	}
 
 	var handler slog.Handler
 	switch *logFmt {
@@ -90,6 +108,9 @@ func main() {
 		BreakerMaxCooldown: *breakerMax,
 		ProbeInterval:      *probeInterval,
 		CheckpointDir:      *checkpointDir,
+		HedgeAfter:         *hedgeAfter,
+		Tenants:            tenants,
+		TenantSlots:        *tenantSlots,
 		Logger:             log,
 	})
 	if err != nil {

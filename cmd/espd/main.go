@@ -20,6 +20,8 @@
 //	espd [-name espd] [-addr :8080] [-workers N] [-queue 64] [-cache 32]
 //	     [-timeout 2m] [-log text|json] [-checkpoint-dir DIR]
 //	     [-retries 3] [-breaker-threshold 5] [-breaker-cooldown 30s]
+//	     [-tenant name=weight[:cell_budget]]... [-tenant-quantum 8]
+//	     [-max-tenants 256] [-mem-budget BYTES] [-small-grid-max 4096]
 package main
 
 import (
@@ -31,12 +33,20 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"espsim/internal/fault"
 	"espsim/internal/serve"
+	"espsim/internal/tenantq"
 )
+
+// tenantFlags collects repeated -tenant name=weight[:cell_budget] specs.
+type tenantFlags []string
+
+func (t *tenantFlags) String() string     { return strings.Join(*t, ",") }
+func (t *tenantFlags) Set(v string) error { *t = append(*t, v); return nil }
 
 func main() {
 	var (
@@ -52,8 +62,21 @@ func main() {
 		retries       = flag.Int("retries", 3, "attempts per sweep cell before reporting its error")
 		breakerThresh = flag.Int("breaker-threshold", 5, "consecutive failures that quarantine a cell (negative: disabled)")
 		breakerCool   = flag.Duration("breaker-cooldown", 30*time.Second, "quarantine time before a probe attempt")
+
+		memBudget     = flag.Int64("mem-budget", 0, "workload-cache byte budget driving brownout degradation (0: disabled)")
+		tenantQuantum = flag.Float64("tenant-quantum", 0, "DRR round size in cells per unit tenant weight (0: default 8)")
+		maxTenants    = flag.Int("max-tenants", 0, "distinct tenant ids tracked before new ones are rejected (0: default 256)")
+		smallGridMax  = flag.Int("small-grid-max", 0, "cells×max_events still admitted in the deepest brownout (0: default 4096)")
 	)
+	var tenantSpecs tenantFlags
+	flag.Var(&tenantSpecs, "tenant", "tenant config as name=weight[:cell_budget] (repeatable)")
 	flag.Parse()
+
+	tenants, err := tenantq.ParseTenants(tenantSpecs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "espd:", err)
+		os.Exit(2)
+	}
 
 	var handler slog.Handler
 	switch *logFmt {
@@ -85,6 +108,11 @@ func main() {
 		BreakerThreshold: *breakerThresh,
 		BreakerCooldown:  *breakerCool,
 		CheckpointDir:    *checkpointDir,
+		Tenants:          tenants,
+		TenantQuantum:    *tenantQuantum,
+		MaxTenants:       *maxTenants,
+		MemBudget:        *memBudget,
+		SmallGridMax:     *smallGridMax,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

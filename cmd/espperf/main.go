@@ -15,10 +15,12 @@
 // With -guard it additionally compares the fresh measurement against a
 // committed baseline report and exits nonzero when reuse throughput
 // regressed by more than -maxloss, fell short of -mingain times the
-// baseline, or when the recovery stack costs more than -maxoverhead of
-// reuse throughput with no faults injected — the CI bench-guard gate.
-// -maxallocs caps the reuse phase's steady-state heap allocations per
-// cell independently of any baseline.
+// baseline, when the recovery stack costs more than -maxoverhead of
+// reuse throughput with no faults injected, or when the tenant
+// fair-queue admission stack costs more than -maxoverload of it with a
+// single unthrottled tenant — the CI bench-guard gate. -maxallocs caps
+// the reuse phase's steady-state heap allocations per cell
+// independently of any baseline.
 //
 // -cpuprofile and -memprofile write pprof profiles of the measured
 // sweeps (see `make flame`).
@@ -27,7 +29,7 @@
 //
 //	espperf [-scale 1] [-out BENCH_PR8.json] [-guard BASELINE.json]
 //	        [-maxloss 0.20] [-mingain 0] [-maxallocs 0] [-maxoverhead 0.02]
-//	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-maxoverload 0.02] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -43,6 +45,7 @@ import (
 	"espsim"
 	"espsim/internal/fault"
 	"espsim/internal/sim"
+	"espsim/internal/tenantq"
 	"espsim/internal/workload"
 )
 
@@ -91,6 +94,14 @@ type report struct {
 	// still guard cleanly — the gate only fires when the baseline
 	// carries the phase too.
 	Sched *phase `json:"sched,omitempty"`
+	// Overload is the reuse sweep run behind the tenant fair-queue
+	// admission the daemon puts in front of every cell (one
+	// Acquire/release on the default tenant per cell) — the cost of
+	// overload protection when there is no overload. OverloadOverhead
+	// is the fractional reuse throughput it eats; the guard bounds it
+	// within-run. Pointer for the same baseline-compatibility reason.
+	Overload         *phase  `json:"overload,omitempty"`
+	OverloadOverhead float64 `json:"overload_overhead,omitempty"`
 }
 
 // fig9Configs is the Figure 9 grid: the baseline plus its six
@@ -154,6 +165,7 @@ func main() {
 		minGain     = flag.Float64("mingain", 0, "min required reuse cells/sec as a multiple of the -guard baseline (0: none)")
 		maxAllocs   = flag.Uint64("maxallocs", 0, "max tolerated steady-state heap allocations per reuse cell (0: no cap)")
 		maxOverhead = flag.Float64("maxoverhead", 0.02, "max tolerated fractional reuse throughput spent on the fault-free recovery stack")
+		maxOverload = flag.Float64("maxoverload", 0.02, "max tolerated fractional reuse throughput spent on fault-free tenant admission")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured sweeps to this path")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile (after the sweeps) to this path")
 	)
@@ -219,12 +231,38 @@ func main() {
 		return nil
 	}
 
-	// The two phases alternate round by round rather than running
+	// The same sweep again behind the tenant fair-queue admission espd
+	// now runs in front of every cell: one Acquire/release on the
+	// default tenant, DRR arbitration and quota checks included. This is
+	// what overload protection costs a single well-behaved tenant when
+	// nothing is overloaded.
+	tq := tenantq.New(tenantq.Options{Slots: 1})
+	runner3 := sim.NewRunner()
+	overloadSweep := func() error {
+		ctx := context.Background()
+		for _, prof := range profs {
+			for _, cfg := range cfgs {
+				release, err := tq.Acquire(ctx, tenantq.DefaultTenant, 1)
+				if err != nil {
+					return fmt.Errorf("%s/%s: admission: %w", prof.Name, cfg.Name, err)
+				}
+				_, err = runner3.RunCell(prof.Name+"/"+cfg.Name, prof, cfg, 0)
+				release()
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", prof.Name, cfg.Name, err)
+				}
+			}
+		}
+		return nil
+	}
+
+	// The ratio phases alternate round by round rather than running
 	// back-to-back: host speed drifts over the seconds the benchmark
 	// takes (frequency scaling, neighbours), and interleaving exposes
-	// both phases to the same conditions so their ratio — the recovery
-	// stack's overhead — is not an artifact of which ran first.
-	var reuse, resilient phase
+	// all of them to the same conditions so their ratios — the recovery
+	// stack's and the admission stack's overhead — are not artifacts of
+	// which ran first.
+	var reuse, resilient, overload phase
 	for i := 0; i < 3; i++ {
 		p, err := measure("reuse", cells, reuseSweep)
 		if err != nil {
@@ -236,6 +274,11 @@ func main() {
 			fail(err)
 		}
 		resilient = bestOf(resilient, q)
+		o, err := measure("overload", cells, overloadSweep)
+		if err != nil {
+			fail(err)
+		}
+		overload = bestOf(overload, o)
 	}
 	fmt.Fprintln(os.Stderr, "espperf: engine:", runner.Perf())
 
@@ -320,9 +363,11 @@ func main() {
 			BreakerSkips: breakers.Skips(),
 			BreakerOpen:  int64(breakers.OpenCount()),
 		},
-		Rebuild: rebuild,
-		Speedup: float64(rebuild.WallNs) / float64(reuse.WallNs),
-		Sched:   &sched,
+		Rebuild:          rebuild,
+		Speedup:          float64(rebuild.WallNs) / float64(reuse.WallNs),
+		Sched:            &sched,
+		Overload:         &overload,
+		OverloadOverhead: 1 - overload.CellsPerSec/reuse.CellsPerSec,
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -335,15 +380,15 @@ func main() {
 			fail(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "espperf: %d cells, reuse %.1f cells/s vs rebuild %.1f cells/s: %.2fx speedup; recovery-stack overhead %.2f%%\n",
-		cells, reuse.CellsPerSec, rebuild.CellsPerSec, rep.Speedup, rep.Overhead*100)
+	fmt.Fprintf(os.Stderr, "espperf: %d cells, reuse %.1f cells/s vs rebuild %.1f cells/s: %.2fx speedup; recovery-stack overhead %.2f%%; admission overhead %.2f%%\n",
+		cells, reuse.CellsPerSec, rebuild.CellsPerSec, rep.Speedup, rep.Overhead*100, rep.OverloadOverhead*100)
 
 	if *maxAllocs > 0 && reuse.AllocsCell > *maxAllocs {
 		fail(fmt.Errorf("reuse phase allocates %d/cell, budget %d/cell: the warm replay path is leaking allocations",
 			reuse.AllocsCell, *maxAllocs))
 	}
 	if *guard != "" {
-		if err := checkGuard(rep, *guard, *maxLoss, *minGain, *maxOverhead); err != nil {
+		if err := checkGuard(rep, *guard, *maxLoss, *minGain, *maxOverhead, *maxOverload); err != nil {
 			fail(err)
 		}
 	}
@@ -357,7 +402,7 @@ func main() {
 // throughput is the foil, not the product, and the grid shape must match
 // for the comparison to mean anything. The overhead gate is within-run,
 // so it holds across machines of different speeds.
-func checkGuard(rep report, path string, maxLoss, minGain, maxOverhead float64) error {
+func checkGuard(rep report, path string, maxLoss, minGain, maxOverhead, maxOverload float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("guard baseline: %w", err)
@@ -390,6 +435,12 @@ func checkGuard(rep report, path string, maxLoss, minGain, maxOverhead float64) 
 	}
 	if r := rep.Resilience; r.Retries != 0 || r.BreakerTrips != 0 || r.BreakerSkips != 0 || r.BreakerOpen != 0 {
 		return fmt.Errorf("recovery stack fired with no injector installed: %+v", r)
+	}
+	// The tenant-admission overhead gate is within-run like the recovery
+	// stack's, so it needs no baseline phase to fire.
+	if rep.Overload != nil && rep.OverloadOverhead > maxOverload {
+		return fmt.Errorf("fault-free tenant admission costs %.2f%% of reuse throughput (%.2f vs %.2f cells/s), budget %.2f%%",
+			rep.OverloadOverhead*100, rep.Overload.CellsPerSec, rep.Reuse.CellsPerSec, maxOverload*100)
 	}
 	// Scheduled-workload replay is guarded only against baselines that
 	// measured it; pre-scheduling reports simply skip the gate.

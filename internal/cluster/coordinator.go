@@ -14,6 +14,7 @@ import (
 	"espsim/internal/checkpoint"
 	"espsim/internal/fault"
 	"espsim/internal/serve"
+	"espsim/internal/tenantq"
 	"espsim/internal/workload"
 )
 
@@ -49,6 +50,24 @@ type Options struct {
 	// and its completed cells replay on whichever peer adopts the
 	// shard. Empty: peers recompute instead (same results, more work).
 	CheckpointDir string
+	// HedgeAfter re-dispatches a shard still in flight after this long
+	// to an idle worker: the two attempts race, the first result wins,
+	// and the loser's context is canceled. The hedge runs journal-less
+	// (two workers must not append one shard journal), so it recomputes
+	// rather than resumes; results are bit-identical either way.
+	// 0 disables hedging.
+	HedgeAfter time.Duration
+	// TenantDefault and Tenants mirror espd's fair-queue configuration
+	// at the coordination layer: a sweep is admitted against its
+	// tenant's weight and quotas (cost: the whole grid's cell count)
+	// before any shard is dispatched, so one greedy tenant queues
+	// behind its share of the fleet instead of flooding it.
+	// TenantSlots bounds concurrently admitted sweeps fleet-wide
+	// (default: 64 × workers); lower it to serialize admission and let
+	// DRR order fully decide who runs next.
+	TenantDefault tenantq.TenantConfig
+	Tenants       map[string]tenantq.TenantConfig
+	TenantSlots   int
 	// Logger receives scheduling decisions (default slog.Default).
 	Logger *slog.Logger
 }
@@ -69,6 +88,9 @@ func (o Options) withDefaults() Options {
 	if o.ProbeTimeout <= 0 {
 		o.ProbeTimeout = 2 * time.Second
 	}
+	if o.TenantSlots <= 0 {
+		o.TenantSlots = 64 * len(o.Workers)
+	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
@@ -88,6 +110,7 @@ type Coordinator struct {
 	names    []string // placement domain, stable order
 	workers  map[string]Worker
 	breakers *fault.BreakerSet
+	tq       *tenantq.Queue
 	met      counters
 }
 
@@ -102,6 +125,11 @@ func New(opt Options) (*Coordinator, error) {
 		log:      opt.Logger,
 		workers:  make(map[string]Worker, len(opt.Workers)),
 		breakers: fault.NewEscalatingBreakerSet(opt.BreakerThreshold, opt.BreakerCooldown, opt.BreakerMaxCooldown),
+		tq: tenantq.New(tenantq.Options{
+			Slots:   opt.TenantSlots,
+			Default: opt.TenantDefault,
+			Tenants: opt.Tenants,
+		}),
 	}
 	for _, w := range opt.Workers {
 		name := w.Name()
@@ -150,6 +178,30 @@ func (c *Coordinator) Run(ctx context.Context, req serve.SweepRequest) (serve.Sw
 		}
 	}
 
+	// Fair-queue admission: the whole grid is one acquisition at its
+	// cell-count cost, against the tenant's weight and quotas. A greedy
+	// tenant's sweeps queue here — behind its fair share — while other
+	// tenants' sweeps overtake; quota breaches fail fast with ErrQuota.
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = tenantq.DefaultTenant
+	}
+	releaseTenant, err := c.tq.Acquire(ctx, tenant, len(apps)*len(req.Configs))
+	if err != nil {
+		return serve.SweepResponse{}, fmt.Errorf("cluster: tenant %s: %w", tenant, err)
+	}
+	defer releaseTenant()
+
+	// The deadline is anchored here: every shard dispatch re-derives
+	// the worker-relative deadline_ms from what remains, so time spent
+	// queued or rescheduled at the coordinator eats the same budget the
+	// client is watching.
+	arrival := time.Now()
+	var deadline time.Time
+	if req.DeadlineMs != 0 {
+		deadline = arrival.Add(time.Duration(req.DeadlineMs) * time.Millisecond)
+	}
+
 	shards := make([]*shard, len(apps))
 	for i, app := range apps {
 		preferred := c.opt.Pin[app]
@@ -159,7 +211,7 @@ func (c *Coordinator) Run(ctx context.Context, req serve.SweepRequest) (serve.Sw
 		shards[i] = &shard{app: app, preferred: preferred}
 		c.log.Info("cluster placement", "app", app, "worker", preferred)
 	}
-	q := newShardQueue(shards)
+	q := newShardQueue(shards, c.opt.HedgeAfter)
 
 	// Cancellation, breaker-cooldown re-checks, and optional health
 	// probing all run beside the worker loops for the sweep's duration.
@@ -196,7 +248,7 @@ func (c *Coordinator) Run(ctx context.Context, req serve.SweepRequest) (serve.Sw
 		wg.Add(1)
 		go func(w Worker) {
 			defer wg.Done()
-			c.runWorker(runCtx, w, q, req, merged)
+			c.runWorker(runCtx, w, q, req, deadline, merged)
 		}(c.workers[name])
 	}
 	wg.Wait()
@@ -215,31 +267,46 @@ func (c *Coordinator) Run(ctx context.Context, req serve.SweepRequest) (serve.Sw
 }
 
 // runWorker is one fleet member's scheduling loop: take a shard
-// (affinity first, steal otherwise), run it, merge or reschedule.
-// The node breaker gates admission — a quarantined worker waits
-// instead of burning shard attempts.
-func (c *Coordinator) runWorker(ctx context.Context, w Worker, q *shardQueue, req serve.SweepRequest, merged *mergeSet) {
+// (affinity first, steal otherwise, hedge a straggler last), run it,
+// merge or reschedule. The node breaker gates admission — a
+// quarantined worker waits instead of burning shard attempts. With
+// hedging, two attempts may race: the first to return a result merges
+// it and cancels the other; the canceled loser is not a node failure.
+func (c *Coordinator) runWorker(ctx context.Context, w Worker, q *shardQueue, req serve.SweepRequest, deadline time.Time, merged *mergeSet) {
 	name := w.Name()
 	allowed := func() bool { return c.breakers.Allow(name) }
 	for {
-		sh := q.take(name, allowed)
+		sh, hedge := q.take(name, allowed)
 		if sh == nil {
 			return
 		}
-		if sh.preferred != name {
+		if hedge {
+			c.met.Hedges.Add(1)
+			c.log.Info("cluster hedge", "app", sh.app, "worker", name)
+		} else if sh.preferred != name {
 			c.met.Steals.Add(1)
 			c.log.Info("cluster steal", "app", sh.app, "worker", name, "preferred", sh.preferred)
 		}
-		sh.last = name
-		resp, err := w.Sweep(ctx, shardRequest(req, sh))
+		attemptCtx, cancel := context.WithCancel(ctx)
+		q.register(sh, cancel)
+		resp, err := w.Sweep(attemptCtx, shardRequest(req, sh, hedge, deadline))
+		cancel()
 		if err != nil {
+			finished, retry := q.abort(sh)
+			if finished {
+				// A racing attempt already won and canceled this one:
+				// the "failure" says nothing about the node.
+				continue
+			}
 			c.breakers.Record(name, false)
 			if errors.Is(err, fault.ErrNet) {
 				c.met.NetFaults.Add(1)
 			}
+			c.log.Warn("cluster shard attempt failed", "app", sh.app, "worker", name, "hedge", hedge, "err", err.Error())
+			if !retry {
+				continue // a sibling attempt is still racing; it owns the shard now
+			}
 			sh.attempts++
-			c.log.Warn("cluster shard attempt failed", "app", sh.app, "worker", name,
-				"attempt", sh.attempts, "err", err.Error())
 			if sh.attempts >= c.opt.MaxShardAttempts {
 				c.met.ShardsFailed.Add(1)
 				merged.fail(sh.app, req.Configs, err)
@@ -252,29 +319,49 @@ func (c *Coordinator) runWorker(ctx context.Context, w Worker, q *shardQueue, re
 			continue
 		}
 		c.breakers.Record(name, true)
+		if !q.complete(sh) {
+			continue // the race was already won; this result discards
+		}
+		if hedge {
+			c.met.HedgeWins.Add(1)
+		}
 		for _, cell := range resp.Cells {
-			if cell.Resumed {
+			switch {
+			case cell.Resumed:
 				c.met.ResumedCells.Add(1)
+			case cell.ErrorKind == string(fault.KindShed):
+				c.met.CellsShed.Add(1)
 			}
 		}
 		merged.put(sh.app, resp.Cells)
 		c.met.ShardsDone.Add(1)
-		q.done()
 	}
 }
 
 // shardRequest scopes the sweep request to one shard: a single app,
 // the shard label, and a shard-scoped sweep_id so each worker
 // journals its own slice of the grid (and a handed-off shard resumes
-// the dead worker's journal by name).
-func shardRequest(req serve.SweepRequest, sh *shard) serve.SweepRequest {
+// the dead worker's journal by name). A hedge attempt always runs
+// journal-less: its sibling may hold the journal claim, and two
+// writers must never interleave one file. The worker-relative
+// deadline_ms is re-derived from what remains of the coordinator's
+// anchored deadline — negative once the budget is spent, which the
+// worker answers with an immediate full-shed response.
+func shardRequest(req serve.SweepRequest, sh *shard, hedge bool, deadline time.Time) serve.SweepRequest {
 	sreq := req
 	sreq.Apps = []string{sh.app}
 	sreq.Shard = sh.app
-	if req.SweepID != "" && !sh.noJournal {
+	if req.SweepID != "" && !sh.noJournal && !hedge {
 		sreq.SweepID = req.SweepID + "." + sh.app
 	} else {
 		sreq.SweepID = ""
+	}
+	if !deadline.IsZero() {
+		rem := time.Until(deadline).Milliseconds()
+		if rem <= 0 {
+			rem = -1
+		}
+		sreq.DeadlineMs = rem
 	}
 	return sreq
 }

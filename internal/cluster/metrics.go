@@ -16,6 +16,9 @@ type counters struct {
 	JournalHandoffs  atomic.Int64 // dead worker's journal adopted by a peer
 	DigestMismatches atomic.Int64 // journal refused: digest described different work
 	ResumedCells     atomic.Int64 // cells replayed from an adopted journal
+	Hedges           atomic.Int64 // straggling shards re-dispatched to an idle worker
+	HedgeWins        atomic.Int64 // hedge attempts that returned the first (merged) result
+	CellsShed        atomic.Int64 // cells workers shed as unfinishable within the deadline
 }
 
 // WorkerState is one fleet member's row in the snapshot.
@@ -37,7 +40,15 @@ type Snapshot struct {
 		Failed      int64 `json:"failed"`
 		Steals      int64 `json:"steals"`
 		Reschedules int64 `json:"reschedules"`
+		Hedges      int64 `json:"hedges"`
+		HedgeWins   int64 `json:"hedge_wins"`
 	} `json:"shards"`
+
+	// Overload mirrors the fleet-facing degradation machinery: cells a
+	// worker answered with a deadline shed instead of a simulation.
+	Overload struct {
+		CellsShed int64 `json:"cells_shed"`
+	} `json:"overload"`
 
 	// Quarantine mirrors the node breakers: trips is cumulative (how
 	// many times any node was quarantined), open is the gauge.
@@ -70,6 +81,9 @@ func (c *counters) snapshot() Snapshot {
 	s.Shards.Failed = c.ShardsFailed.Load()
 	s.Shards.Steals = c.Steals.Load()
 	s.Shards.Reschedules = c.Reschedules.Load()
+	s.Shards.Hedges = c.Hedges.Load()
+	s.Shards.HedgeWins = c.HedgeWins.Load()
+	s.Overload.CellsShed = c.CellsShed.Load()
 	s.Health.Probes = c.Probes.Load()
 	s.Health.Failures = c.ProbeFailures.Load()
 	s.Handoff.Journals = c.JournalHandoffs.Load()

@@ -1,0 +1,264 @@
+package cluster
+
+// Overload-robustness chaos for the coordination plane: hedged
+// re-dispatch of a straggling shard (first result wins, the merged
+// grid stays bit-identical — a hedge must never double-count), and a
+// greedy tenant flooding a degraded fleet while a victim tenant's
+// sweep overtakes via fair queueing, deadline shedding answers in
+// bounded time, and quota breaches surface as 429 through the
+// espcoord HTTP facade.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"espsim/internal/fault"
+	"espsim/internal/serve"
+	"espsim/internal/sim"
+	"espsim/internal/tenantq"
+)
+
+// TestHedgedStragglerParity pins the hedging contract: one shard is
+// pinned to a worker whose cells each stall 750ms, the other to a
+// clean peer. The peer finishes its own shard, then re-dispatches the
+// straggler's in-flight shard; the hedge must win, the loser's late
+// result must discard, and the merged grid must match the golden
+// corpus cell for cell — the double-dispatch is invisible in the
+// output, and the counters are exact.
+func TestHedgedStragglerParity(t *testing.T) {
+	golden := readGoldenCorpus(t)
+	dir := t.TempDir()
+
+	slowHook := func(pt sim.FaultPoint) error {
+		if pt.Op == "run" {
+			time.Sleep(750 * time.Millisecond)
+		}
+		return nil
+	}
+	slow := newWorker("slow", serve.Options{Workers: 1, FaultHook: slowHook, CheckpointDir: dir})
+	fast := newWorker("fast", serve.Options{Workers: 2, CheckpointDir: dir})
+
+	c, err := New(Options{
+		Workers:          []Worker{slow, fast},
+		Pin:              map[string]string{"amazon": "slow", "bing": "fast"},
+		HedgeAfter:       20 * time.Millisecond,
+		BreakerThreshold: 1, // a canceled loser must not read as a node failure
+		BreakerCooldown:  time.Hour,
+		CheckpointDir:    dir,
+		Logger:           quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The sweep journals (SweepID set): the straggler's primary attempt
+	// holds the shard journal claim, so the hedge must run journal-less
+	// — if it tried to claim the same journal the sweep would fail.
+	apps := []string{"amazon", "bing"}
+	req := serve.SweepRequest{Apps: apps, Configs: gridConfigs, SweepID: "hedge", MaxEvents: goldenMaxEvents}
+	resp, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(apps) * len(gridConfigs); len(resp.Cells) != want {
+		t.Fatalf("merged sweep has %d cells, want %d — a hedge double-counted or dropped cells", len(resp.Cells), want)
+	}
+	for i, cell := range resp.Cells {
+		wantApp, wantCfg := apps[i/len(gridConfigs)], gridConfigs[i%len(gridConfigs)]
+		if cell.App != wantApp || cell.Config != wantCfg {
+			t.Fatalf("cell %d is %s/%s, want %s/%s", i, cell.App, cell.Config, wantApp, wantCfg)
+		}
+		key := cell.App + "/" + cell.Config
+		if cell.Result == nil {
+			t.Fatalf("cell %s has no result: error=%q kind=%q", key, cell.Error, cell.ErrorKind)
+		}
+		if !jsonEqual(*cell.Result, golden[key]) {
+			t.Errorf("cell %s deviates from the golden corpus", key)
+		}
+	}
+
+	snap := c.Metrics()
+	if snap.Shards.Hedges != 1 || snap.Shards.HedgeWins != 1 {
+		t.Errorf("hedges=%d wins=%d, want exactly 1/1 (the straggler's shard, won by the clean peer)",
+			snap.Shards.Hedges, snap.Shards.HedgeWins)
+	}
+	if snap.Shards.Done != int64(len(apps)) || snap.Shards.Failed != 0 {
+		t.Errorf("shards done=%d failed=%d, want %d/0", snap.Shards.Done, snap.Shards.Failed, len(apps))
+	}
+	// Losing a race is not a node failure: no breaker may have tripped.
+	if snap.Quarantine.Trips != 0 {
+		t.Errorf("quarantine trips %d, want 0 — a canceled hedge loser tripped a breaker", snap.Quarantine.Trips)
+	}
+}
+
+// TestGreedyTenantFloodDegradedFleet is the overload acceptance gate:
+// a greedy tenant floods a three-worker fleet whose third worker sits
+// behind a dead network link. The victim tenant's single sweep must
+// overtake the flood via DRR fair queueing (bounded latency while
+// most of the flood still waits), stay bit-identical to the golden
+// corpus, an already-expired deadline must shed the whole grid with
+// zero simulation and exact counters, and a quota breach must answer
+// 429 through the espcoord HTTP facade.
+func TestGreedyTenantFloodDegradedFleet(t *testing.T) {
+	golden := readGoldenCorpus(t)
+
+	w0 := newWorker("w0", serve.Options{Workers: 2})
+	w1 := newWorker("w1", serve.Options{Workers: 2})
+	w2 := newWorker("w2", serve.Options{Workers: 2})
+	plan := &fault.NetPlan{Seed: 17}
+	plan.Always("w2", fault.NetErr)
+
+	gridCells := len(gridApps) * len(gridConfigs)
+	c, err := New(Options{
+		Workers:          []Worker{w0, w1, WithNetPlan(w2, plan)},
+		Pin:              map[string]string{"amazon": "w0", "bing": "w1", "cnn": "w2", "facebook": "w0"},
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+		MaxShardAttempts: 4,
+		ProbeInterval:    10 * time.Millisecond,
+		// One sweep admitted at a time: DRR turn order fully decides who
+		// runs next, which is what the fairness assertions pin.
+		TenantSlots: 1,
+		Tenants: map[string]tenantq.TenantConfig{
+			"greedy": {Weight: 1},
+			"victim": {Weight: 1},
+			"capped": {CellBudget: int64(gridCells)},
+		},
+		Logger: quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The flood: eight whole-grid sweeps from the greedy tenant.
+	const floodSize = 8
+	var (
+		wg          sync.WaitGroup
+		floodErrs   = make(chan error, floodSize)
+		greedyDone  atomic.Int64
+		floodStart  = time.Now()
+		floodDurMu  sync.Mutex
+		floodFinish time.Time
+	)
+	for i := 0; i < floodSize; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := gridRequest("")
+			req.Tenant = "greedy"
+			if _, err := c.Run(context.Background(), req); err != nil {
+				floodErrs <- err
+			}
+			greedyDone.Add(1)
+			floodDurMu.Lock()
+			floodFinish = time.Now()
+			floodDurMu.Unlock()
+		}()
+	}
+
+	// Wait until the flood is genuinely queued behind admission (one
+	// sweep in flight, the rest waiting) before the victim arrives.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.tq.QueuedAcquisitions() < floodSize-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("flood never queued: %d acquisitions waiting", c.tq.QueuedAcquisitions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	victimReq := gridRequest("")
+	victimReq.Tenant = "victim"
+	victimStart := time.Now()
+	victimResp, err := c.Run(context.Background(), victimReq)
+	victimDur := time.Since(victimStart)
+	if err != nil {
+		t.Fatalf("victim sweep failed under flood: %v", err)
+	}
+	// Fairness: the victim overtakes the flood. At most the in-flight
+	// greedy sweep plus one more may finish first; the rest must still
+	// be waiting when the victim completes.
+	if done := greedyDone.Load(); done > 2 {
+		t.Errorf("victim finished after %d greedy sweeps; fair queueing should let at most 2 go first", done)
+	}
+	assertGridParity(t, golden, victimResp)
+
+	wg.Wait()
+	close(floodErrs)
+	for err := range floodErrs {
+		t.Errorf("greedy sweep failed: %v", err)
+	}
+	floodDur := floodFinish.Sub(floodStart)
+	// Latency bound: the victim's wait is its own sweep plus at most two
+	// greedy sweeps ahead — far below the serialized flood's total.
+	if victimDur*2 >= floodDur {
+		t.Errorf("victim latency %v is not well under the flood's %v — fair queueing bought nothing", victimDur, floodDur)
+	}
+
+	// Deadline shedding through the fleet: an already-expired deadline
+	// answers the full grid as shed cells with zero simulation, fast,
+	// even with a worker quarantined. Counters are exact.
+	preShed := c.Metrics().Overload.CellsShed
+	shedReq := gridRequest("")
+	shedReq.Tenant = "greedy"
+	shedReq.DeadlineMs = -1
+	shedStart := time.Now()
+	shedResp, err := c.Run(context.Background(), shedReq)
+	shedDur := time.Since(shedStart)
+	if err != nil {
+		t.Fatalf("expired-deadline sweep errored instead of shedding: %v", err)
+	}
+	if len(shedResp.Cells) != gridCells {
+		t.Fatalf("shed sweep answered %d cells, want the full grid of %d", len(shedResp.Cells), gridCells)
+	}
+	for _, cell := range shedResp.Cells {
+		if cell.ErrorKind != string(fault.KindShed) {
+			t.Fatalf("cell %s/%s kind %q, want %q", cell.App, cell.Config, cell.ErrorKind, fault.KindShed)
+		}
+		if cell.Result != nil {
+			t.Fatalf("cell %s/%s carries a result despite an expired deadline", cell.App, cell.Config)
+		}
+	}
+	if got := c.Metrics().Overload.CellsShed - preShed; got != int64(gridCells) {
+		t.Errorf("cells_shed grew by %d, want exactly %d", got, gridCells)
+	}
+	if shedDur > time.Second {
+		t.Errorf("full-grid shed took %v, want well under a second (no simulation may run)", shedDur)
+	}
+
+	// Quota enforcement end to end: the capped tenant's budget covers
+	// exactly one grid; the second sweep breaches and the HTTP facade
+	// answers 429 with the quota sentinel's message.
+	cappedReq := gridRequest("")
+	cappedReq.Tenant = "capped"
+	if _, err := c.Run(context.Background(), cappedReq); err != nil {
+		t.Fatalf("capped tenant's first sweep (within budget): %v", err)
+	}
+	if _, err := c.Run(context.Background(), cappedReq); !errors.Is(err, tenantq.ErrQuota) {
+		t.Fatalf("capped tenant's second sweep: got %v, want ErrQuota", err)
+	}
+	srv := NewServer(c)
+	rec := httptest.NewRecorder()
+	body := fmt.Sprintf(`{"apps":["amazon"],"configs":["base"],"max_events":%d,"tenant":"capped"}`, goldenMaxEvents)
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/sweep", strings.NewReader(body)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("facade answered %d for a quota breach, want 429: %s", rec.Code, rec.Body.String())
+	}
+
+	// Exactness: hedging was off, so the hedge counters must be zero,
+	// and the quarantined worker served nothing.
+	snap := c.Metrics()
+	if snap.Shards.Hedges != 0 || snap.Shards.HedgeWins != 0 {
+		t.Errorf("hedges=%d wins=%d with hedging disabled, want 0/0", snap.Shards.Hedges, snap.Shards.HedgeWins)
+	}
+	if got := workerMetrics(t, w2).Requests.Shard; got != 0 {
+		t.Errorf("quarantined worker served %d shards through a dead network", got)
+	}
+}

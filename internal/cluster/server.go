@@ -2,12 +2,14 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 
 	"espsim/internal/serve"
+	"espsim/internal/tenantq"
 )
 
 // Server is the espcoord HTTP facade: the same POST /sweep contract a
@@ -69,7 +71,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.c.Run(r.Context(), req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		status := http.StatusBadRequest
+		if errors.Is(err, tenantq.ErrQuota) {
+			status = http.StatusTooManyRequests
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

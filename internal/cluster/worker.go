@@ -265,8 +265,20 @@ func (e *workerHTTPError) Error() string {
 
 // decodeWorkerResponse maps one worker reply onto out: 200 decodes,
 // anything else becomes a workerHTTPError carrying the daemon's
-// {"error": ...} message.
+// {"error": ...} message. One exception: a 504 sweep body that parses
+// as a grid is a deadline shed — every cell is answered (some with
+// ErrorKind "deadline_shed"), which is a result to merge, not a node
+// failure to reschedule against a deadline that already passed.
 func decodeWorkerResponse(worker string, code int, raw []byte, out any) error {
+	if code == http.StatusGatewayTimeout {
+		if sresp, ok := out.(*serve.SweepResponse); ok {
+			var cand serve.SweepResponse
+			if err := json.Unmarshal(raw, &cand); err == nil && len(cand.Cells) > 0 {
+				*sresp = cand
+				return nil
+			}
+		}
+	}
 	if code != http.StatusOK {
 		var eresp struct {
 			Error string `json:"error"`

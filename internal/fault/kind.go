@@ -40,6 +40,18 @@ const (
 	// carried incoherent knobs; assigned at validation sites, never by
 	// Classify (validation errors carry no sentinel).
 	KindConfig ErrorKind = "config"
+	// KindQuota: a tenant exhausted one of its quotas — queue depth,
+	// in-flight cells, cumulative cell budget, or token-bucket rate
+	// (tenantq.ErrQuota; espd maps it to 429).
+	KindQuota ErrorKind = "quota"
+	// KindBrownout: the daemon is degrading under memory pressure and
+	// refused work its brownout level does not admit
+	// (tenantq.ErrBrownout; espd maps it to 503).
+	KindBrownout ErrorKind = "brownout"
+	// KindShed: the work was dropped because it provably could not
+	// finish before its deadline — shed at admission or per cell, never
+	// attempted (tenantq.ErrDeadlineShed; espd maps it to 504).
+	KindShed ErrorKind = "deadline_shed"
 	// KindError is the fallback for an unclassified failure.
 	KindError ErrorKind = "error"
 )
@@ -50,7 +62,8 @@ const (
 func Kinds() []ErrorKind {
 	return []ErrorKind{
 		KindTimeout, KindPanic, KindBuild, KindNet, KindInjected,
-		KindBreakerOpen, KindCanceled, KindConfig, KindError,
+		KindBreakerOpen, KindCanceled, KindConfig, KindQuota,
+		KindBrownout, KindShed, KindError,
 	}
 }
 

@@ -28,6 +28,13 @@ func TestEverySentinelMapsToExactlyOneKind(t *testing.T) {
 		{"fault.ErrBreakerOpen", ErrBreakerOpen, KindBreakerOpen},
 		{"context.Canceled", context.Canceled, KindCanceled},
 		{"context.DeadlineExceeded", context.DeadlineExceeded, KindCanceled},
+		// The overload sentinels live in tenantq (which imports this
+		// package), so the table exercises the kind-carrying constructor
+		// they are declared with; tenantq's own tests pin the exported
+		// variables.
+		{"Sentinel(KindQuota)", Sentinel("tenant quota exhausted", KindQuota), KindQuota},
+		{"Sentinel(KindBrownout)", Sentinel("brownout refused work", KindBrownout), KindBrownout},
+		{"Sentinel(KindShed)", Sentinel("deadline shed", KindShed), KindShed},
 	}
 	known := make(map[ErrorKind]bool)
 	for _, k := range Kinds() {

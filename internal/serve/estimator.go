@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// estimator predicts one cell's wall time from history, for
+// deadline-aware admission: an exponentially weighted moving average
+// per (app, config) cell, with an all-cells average as the fallback
+// for cells never seen. It deliberately under-promises — an unknown
+// cell estimates zero (never shed), so shedding only ever fires on
+// evidence.
+type estimator struct {
+	mu     sync.Mutex
+	perKey map[string]time.Duration
+	global time.Duration
+}
+
+// ewmaAlpha is the smoothing factor: high enough to track a workload
+// shift within a few cells, low enough that one slow outlier does not
+// triple the estimate.
+const ewmaAlpha = 0.3
+
+func newEstimator() *estimator {
+	return &estimator{perKey: make(map[string]time.Duration)}
+}
+
+// observe folds one completed cell's wall time into the averages.
+func (e *estimator) observe(app, config string, wall time.Duration) {
+	key := app + "/" + config
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev, ok := e.perKey[key]; ok {
+		e.perKey[key] = prev + time.Duration(ewmaAlpha*float64(wall-prev))
+	} else {
+		e.perKey[key] = wall
+	}
+	if e.global == 0 {
+		e.global = wall
+	} else {
+		e.global += time.Duration(ewmaAlpha * float64(wall-e.global))
+	}
+}
+
+// estimate predicts one cell's wall time; zero means no evidence (the
+// caller must not shed on it).
+func (e *estimator) estimate(app, config string) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if est, ok := e.perKey[app+"/"+config]; ok {
+		return est
+	}
+	return e.global
+}
+
+// cannotFinish is the shed predicate: true when the deadline has
+// already passed, or the evidence-backed estimate exceeds what is
+// left. A zero deadline never sheds; a zero estimate only sheds
+// already-expired work.
+func (e *estimator) cannotFinish(app, config string, deadline, now time.Time) bool {
+	if deadline.IsZero() {
+		return false
+	}
+	rem := deadline.Sub(now)
+	if rem <= 0 {
+		return true
+	}
+	est := e.estimate(app, config)
+	return est > 0 && est > rem
+}

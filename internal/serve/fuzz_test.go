@@ -36,6 +36,10 @@ func FuzzRunRequest(f *testing.F) {
 	f.Add([]byte(`{"app":"amazon","config":"base","sched":"bogus"}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`"just a string"`))
+	f.Add([]byte(`{"app":"amazon","config":"base","tenant":"team-a","deadline_ms":500}`))
+	f.Add([]byte(`{"app":"amazon","config":"base","tenant":"no/slashes"}`))
+	f.Add([]byte(`{"app":"amazon","config":"base","deadline_ms":-1}`))
+	f.Add([]byte(`{"configs":["base"],"tenant":"t.1","deadline_ms":9223372036854775807}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := ParseRunRequest(data)

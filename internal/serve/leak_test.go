@@ -23,9 +23,10 @@ import (
 )
 
 // assertDrained asserts the admission machinery is fully released: the
-// queue-depth gauge, the ticket channel, and the worker channel are all
-// empty. Handlers release in defers that complete before ServeHTTP
-// returns, so no polling is needed after a response is observed.
+// queue-depth gauge, the ticket channel, and the tenant fair queue's
+// gauges (queued acquisitions, in-flight cells) are all empty. Handlers
+// release in defers that complete before ServeHTTP returns, so no
+// polling is needed after a response is observed.
 func assertDrained(t *testing.T, s *Server) {
 	t.Helper()
 	if d := s.met.QueueDepth.Load(); d != 0 {
@@ -34,8 +35,11 @@ func assertDrained(t *testing.T, s *Server) {
 	if n := len(s.tickets); n != 0 {
 		t.Errorf("%d admission tickets still held, want 0", n)
 	}
-	if n := len(s.work); n != 0 {
-		t.Errorf("%d worker slots still held, want 0", n)
+	if n := s.tq.QueuedAcquisitions(); n != 0 {
+		t.Errorf("%d fair-queue waiters still queued, want 0", n)
+	}
+	if n := s.tq.InFlightCells(); n != 0 {
+		t.Errorf("%d tenant cells still in flight, want 0", n)
 	}
 }
 

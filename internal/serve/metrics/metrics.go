@@ -12,6 +12,8 @@ package metrics
 import (
 	"sync/atomic"
 	"time"
+
+	"espsim/internal/tenantq"
 )
 
 // latencyBoundsMs are the histogram bucket upper bounds in milliseconds;
@@ -82,6 +84,13 @@ type Metrics struct {
 	CellErrors    atomic.Int64
 	QueueDepth    atomic.Int64 // admitted requests not yet finished
 
+	// Overload layer: per-tenant quota refusals (429), cells shed
+	// because they provably could not meet their deadline (504), and
+	// work refused by the memory-pressure brownout (503).
+	QuotaRejected    atomic.Int64
+	DeadlineShed     atomic.Int64
+	BrownoutRejected atomic.Int64
+
 	// Resilience layer: cells replayed from a sweep's checkpoint journal
 	// instead of simulated, and journal appends that failed (the cell
 	// still succeeded; only its crash-safety record is missing).
@@ -106,10 +115,15 @@ type Engine struct {
 	WorkloadBuilds int64 `json:"workload_builds"`
 	WorkloadReuses int64 `json:"workload_cache_hits"`
 	WorkloadEvicts int64 `json:"workload_evictions"`
-	MachineBuilds  int64 `json:"machine_builds"`
-	MachineReuses  int64 `json:"machine_reuses"`
-	BuildWallMs    int64 `json:"build_wall_ms"`
-	SimWallMs      int64 `json:"sim_wall_ms"`
+	// WorkloadBypasses counts builds that skipped the cache under
+	// memory brownout; CacheBytes is the cache's accounted footprint
+	// (a gauge).
+	WorkloadBypasses int64 `json:"workload_bypasses"`
+	CacheBytes       int64 `json:"workload_cache_bytes"`
+	MachineBuilds    int64 `json:"machine_builds"`
+	MachineReuses    int64 `json:"machine_reuses"`
+	BuildWallMs      int64 `json:"build_wall_ms"`
+	SimWallMs        int64 `json:"sim_wall_ms"`
 
 	// Sched aggregates responsiveness across every cell that ran under
 	// a materialized dispatch schedule; omitted until one has.
@@ -183,6 +197,22 @@ type Snapshot struct {
 		SweepConflict int64 `json:"sweep_conflicts"`
 	} `json:"resilience"`
 
+	// Overload reports the tenant-scale robustness layer: quota and
+	// brownout refusals, deadline sheds, and the brownout controller's
+	// current level (filled by the server).
+	Overload struct {
+		QuotaRejected    int64 `json:"quota_rejected"`
+		DeadlineShed     int64 `json:"deadline_shed"`
+		BrownoutRejected int64 `json:"brownout_rejected"`
+
+		Brownout *tenantq.BrownoutSnapshot `json:"brownout,omitempty"`
+	} `json:"overload"`
+
+	// Tenants is the per-tenant breakdown: gauges (queue depth,
+	// in-flight cells) and cumulative admission/completion/refusal
+	// counters, sorted by tenant name. Filled by the server.
+	Tenants []tenantq.TenantSnapshot `json:"tenants,omitempty"`
+
 	Engine Engine `json:"engine"`
 
 	CellLatency HistogramSnapshot `json:"cell_latency"`
@@ -204,6 +234,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Cells.Errors = m.CellErrors.Load()
 	s.Cells.Timeouts = m.Timeouts.Load()
 	s.Queue.Depth = m.QueueDepth.Load()
+	s.Overload.QuotaRejected = m.QuotaRejected.Load()
+	s.Overload.DeadlineShed = m.DeadlineShed.Load()
+	s.Overload.BrownoutRejected = m.BrownoutRejected.Load()
 	s.Resilience.ResumedCells = m.ResumedCells.Load()
 	s.Resilience.JournalErrors = m.JournalErrors.Load()
 	s.Resilience.SweepConflict = m.SweepConflict.Load()

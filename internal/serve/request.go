@@ -15,6 +15,7 @@ import (
 	esp "espsim"
 	"espsim/internal/eventq"
 	"espsim/internal/sim"
+	"espsim/internal/tenantq"
 	"espsim/internal/trace"
 	"espsim/internal/workload"
 )
@@ -41,6 +42,16 @@ type RunRequest struct {
 	// "edf", "slack"; empty: FIFO). Equivalent to an "@policy" suffix
 	// on Config; setting both to different policies is an error.
 	Sched string `json:"sched,omitempty"`
+	// Tenant names the tenant this request is accounted and fair-queued
+	// under (also settable via the X-ESP-Tenant header; both set and
+	// disagreeing is a 400). Empty means the "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// DeadlineMs is a client deadline relative to arrival: the request
+	// is worthless after arrival+DeadlineMs, so work that provably
+	// cannot finish by then is shed with 504 instead of simulated.
+	// Zero means no deadline; negative means already expired (useful
+	// for coordinators propagating an exhausted budget).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // SweepRequest is the body of POST /sweep: a grid of cells. Apps empty
@@ -71,6 +82,10 @@ type SweepRequest struct {
 	// per-config "@policy" suffixes in Configs override it per cell
 	// only when they agree (disagreement is a 400).
 	Sched string `json:"sched,omitempty"`
+	// Tenant and DeadlineMs follow RunRequest semantics: fair-queueing
+	// identity and a relative deadline past which cells are shed.
+	Tenant     string `json:"tenant,omitempty"`
+	DeadlineMs int64  `json:"deadline_ms,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /run.
@@ -170,8 +185,28 @@ func (req *RunRequest) validate() error {
 	if req.TraceB64 != "" && req.Scale != 0 && req.Scale != 1 {
 		return fmt.Errorf("\"scale\" does not apply to an inline trace")
 	}
+	if err := validateID("tenant", req.Tenant); err != nil {
+		return err
+	}
+	if err := validateDeadline(req.DeadlineMs); err != nil {
+		return err
+	}
 	if _, err := cellConfig(req.Config, req.Sched, 0, 0); err != nil {
 		return err
+	}
+	return nil
+}
+
+// maxDeadlineMs bounds a relative deadline to 24 hours: anything larger
+// is a typo (and would overflow Duration math long before mattering).
+const maxDeadlineMs = 24 * 60 * 60 * 1000
+
+// validateDeadline bounds deadline_ms. Negative values are legal —
+// "already expired" — but bounded too, so arrival+deadline stays inside
+// Duration range.
+func validateDeadline(ms int64) error {
+	if ms > maxDeadlineMs || ms < -maxDeadlineMs {
+		return fmt.Errorf("\"deadline_ms\" must be within ±%d (24h), got %d", int64(maxDeadlineMs), ms)
 	}
 	return nil
 }
@@ -198,6 +233,12 @@ func ParseSweepRequest(data []byte) (SweepRequest, error) {
 		return SweepRequest{}, err
 	}
 	if err := validateID("shard", req.Shard); err != nil {
+		return SweepRequest{}, err
+	}
+	if err := validateID("tenant", req.Tenant); err != nil {
+		return SweepRequest{}, err
+	}
+	if err := validateDeadline(req.DeadlineMs); err != nil {
 		return SweepRequest{}, err
 	}
 	for _, app := range req.Apps {
@@ -340,4 +381,36 @@ func timeoutOf(ms int, def time.Duration) time.Duration {
 		return time.Duration(ms) * time.Millisecond
 	}
 	return def
+}
+
+// tenantHeader is the transport-level tenant identity, for clients that
+// cannot touch the body (proxies, coordinators re-dispatching opaque
+// requests).
+const tenantHeader = "X-ESP-Tenant"
+
+// resolveTenant joins the body field and the header into one tenant
+// name: either may set it, both only in agreement, and legacy clients
+// that set neither land on the "default" tenant.
+func resolveTenant(field, header string) (string, error) {
+	if err := validateID("tenant", header); err != nil {
+		return "", err
+	}
+	switch {
+	case field != "" && header != "" && field != header:
+		return "", fmt.Errorf("\"tenant\" %q and %s header %q disagree", field, tenantHeader, header)
+	case field != "":
+		return field, nil
+	case header != "":
+		return header, nil
+	}
+	return tenantq.DefaultTenant, nil
+}
+
+// deadlineOf anchors a relative deadline at the request's arrival.
+// Zero DeadlineMs means none (zero time); negative is already expired.
+func deadlineOf(ms int64, arrival time.Time) time.Time {
+	if ms == 0 {
+		return time.Time{}
+	}
+	return arrival.Add(time.Duration(ms) * time.Millisecond)
 }

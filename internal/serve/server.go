@@ -20,6 +20,7 @@ import (
 	"espsim/internal/fault"
 	"espsim/internal/serve/metrics"
 	"espsim/internal/sim"
+	"espsim/internal/tenantq"
 	"espsim/internal/trace"
 )
 
@@ -67,6 +68,33 @@ type Options struct {
 	// FaultHook installs a chaos injector on the runner (see
 	// sim.FaultHook). Testing only; nil in production.
 	FaultHook sim.FaultHook
+
+	// TenantDefault applies to tenants with no entry in Tenants (zero
+	// value: weight 1, no quotas); Tenants overrides per tenant name.
+	// TenantQuantum is the fair queue's DRR round in cells per unit
+	// weight (0: 8). MaxTenants bounds distinct tenant names tracked
+	// (0: 256).
+	TenantDefault tenantq.TenantConfig
+	Tenants       map[string]tenantq.TenantConfig
+	TenantQuantum float64
+	MaxTenants    int
+
+	// MemBudget bounds the workload cache in accounted bytes and arms
+	// the brownout controller: past its watermarks the daemon stops
+	// caching new workloads, halves concurrency, then admits only small
+	// bounded grids — degrading instead of dying. 0 disables both.
+	MemBudget int64
+	// Brownout tunes the controller's watermarks and hysteresis; its
+	// Budget field is overridden by MemBudget.
+	Brownout tenantq.BrownoutConfig
+	// BrownoutInterval is the background observation cadence — how
+	// quickly the controller notices recovery while the daemon idles
+	// (default 200ms; admissions also observe synchronously).
+	BrownoutInterval time.Duration
+	// SmallGridMax is the largest cells×max_events product the deepest
+	// brownout level still admits; requests without an explicit
+	// max_events bound are never "small" (default 4096).
+	SmallGridMax int
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +132,12 @@ func (o Options) withDefaults() Options {
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = 30 * time.Second
 	}
+	if o.BrownoutInterval <= 0 {
+		o.BrownoutInterval = 200 * time.Millisecond
+	}
+	if o.SmallGridMax <= 0 {
+		o.SmallGridMax = 4096
+	}
 	return o
 }
 
@@ -121,9 +155,18 @@ type Server struct {
 
 	// tickets is admission control: capacity Workers+QueueDepth. A
 	// request that cannot take a ticket without blocking is rejected
-	// with 429. work is the execution bound: capacity Workers.
+	// with 429. tq is the execution bound — Workers slots handed out by
+	// weighted fair queueing across tenants, with per-tenant quotas.
 	tickets chan struct{}
-	work    chan struct{}
+	tq      *tenantq.Queue
+
+	// est predicts cell wall times for deadline-aware admission; brown
+	// is the memory-pressure controller (nil when MemBudget is 0).
+	est   *estimator
+	brown *tenantq.Brownout
+
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	// exec wraps every sweep cell in the recovery stack: breaker
 	// admission, bounded retries with jittered backoff.
@@ -152,11 +195,19 @@ func New(opt Options) *Server {
 		runner:       sim.NewRunner(),
 		met:          metrics.New(),
 		tickets:      make(chan struct{}, opt.Workers+opt.QueueDepth),
-		work:         make(chan struct{}, opt.Workers),
+		est:          newEstimator(),
+		stop:         make(chan struct{}),
 		activeSweeps: make(map[string]struct{}),
 		openJournals: make(map[string]*sweepJournal),
 		mux:          http.NewServeMux(),
 	}
+	s.tq = tenantq.New(tenantq.Options{
+		Slots:      opt.Workers,
+		Quantum:    opt.TenantQuantum,
+		Default:    opt.TenantDefault,
+		Tenants:    opt.Tenants,
+		MaxTenants: opt.MaxTenants,
+	})
 	breakers := fault.NewBreakerSet(opt.BreakerThreshold, opt.BreakerCooldown)
 	s.exec = fault.NewExecutor(opt.Retry, breakers, fault.Retryable, 1)
 	if opt.WorkloadCap > 0 {
@@ -174,8 +225,16 @@ func New(opt Options) *Server {
 			s.met.CellErrors.Add(1)
 		} else {
 			s.met.CellsOK.Add(1)
+			s.est.observe(ev.App, ev.Config, ev.Wall)
 		}
 	})
+	if opt.MemBudget > 0 {
+		bcfg := opt.Brownout
+		bcfg.Budget = opt.MemBudget
+		s.brown = tenantq.NewBrownout(bcfg)
+		s.runner.SetWorkloadBudget(opt.MemBudget)
+		go s.brownoutLoop()
+	}
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/journalz", s.handleJournalz)
@@ -192,7 +251,9 @@ func New(opt Options) *Server {
 // sweep, so the journal on disk ends bit-complete with no torn tail
 // for the resuming daemon (or a coordinator handoff) to truncate.
 // Journal closes are idempotent, making the handler/Close race safe.
+// It also stops the brownout observation loop.
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.sweepMu.Lock()
 	open := make(map[string]*sweepJournal, len(s.openJournals))
 	for id, jr := range s.openJournals {
@@ -271,15 +332,57 @@ func (s *Server) admit() (release func(), ok bool) {
 	}
 }
 
-// acquireWorker blocks until a worker slot frees up or the client goes
-// away.
-func (s *Server) acquireWorker(ctx context.Context) (release func(), err error) {
-	select {
-	case s.work <- struct{}{}:
-		return func() { <-s.work }, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+// acquireWorker blocks until the fair queue grants the tenant a worker
+// slot for cost cells, the tenant's quota refuses it (fail-fast
+// tenantq.ErrQuota), or the client goes away.
+func (s *Server) acquireWorker(ctx context.Context, tenant string, cost int) (release func(), err error) {
+	return s.tq.Acquire(ctx, tenant, cost)
+}
+
+// observeBrownout feeds the controller the cache's accounted footprint
+// and applies whatever level it lands on. Called synchronously on every
+// admission (so pressure reacts within one request) and from the
+// background loop (so recovery happens while idle).
+func (s *Server) observeBrownout() tenantq.BrownoutLevel {
+	if s.brown == nil {
+		return tenantq.BrownNormal
 	}
+	level := s.brown.Observe(s.runner.CacheBytes())
+	s.applyBrownout(level)
+	return level
+}
+
+// applyBrownout translates a level into engine knobs. Every transition
+// is applied idempotently: the knobs are cheap sets, so re-applying the
+// current level on every observation costs nothing and needs no state.
+func (s *Server) applyBrownout(level tenantq.BrownoutLevel) {
+	s.runner.SetCacheAdmit(level < tenantq.BrownNoCache)
+	if level >= tenantq.BrownNoCache {
+		s.runner.TrimWorkloadCache(s.brown.TrimTarget())
+	}
+	s.tq.SetDegraded(level >= tenantq.BrownHalfConcurrency)
+}
+
+// brownoutLoop re-observes on a timer so the controller walks back down
+// through its hysteresis while no requests arrive. Stopped by Close.
+func (s *Server) brownoutLoop() {
+	tick := time.NewTicker(s.opt.BrownoutInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.observeBrownout()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// smallGrid reports whether a request is small enough for the deepest
+// brownout level: a bounded cells×max_events product under SmallGridMax.
+// Unbounded requests (max_events 0) are never small.
+func (s *Server) smallGrid(cells, maxEvents int) bool {
+	return maxEvents > 0 && cells*maxEvents <= s.opt.SmallGridMax
 }
 
 // enter gates every mutating endpoint: it registers the request with
@@ -329,6 +432,35 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	tenant, err := resolveTenant(req.Tenant, r.Header.Get(tenantHeader))
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	deadline := deadlineOf(req.DeadlineMs, time.Now())
+
+	// Overload admission ladder, cheapest refusal first: brownout (503),
+	// deadline shed (504, zero simulation), queue tickets (429), then
+	// the tenant fair queue (quota 429, or a granted slot).
+	if level := s.observeBrownout(); level >= tenantq.BrownSmallOnly && !s.smallGrid(1, req.MaxEvents) {
+		s.met.BrownoutRejected.Add(1)
+		s.tq.CountBrownout(tenant)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("%w (%s): only bounded runs with max_events <= %d are admitted", tenantq.ErrBrownout, level, s.opt.SmallGridMax))
+		return
+	}
+	estApp := req.App
+	if estApp == "" {
+		estApp = "trace"
+	}
+	if s.est.cannotFinish(estApp, req.Config, deadline, time.Now()) {
+		s.met.DeadlineShed.Add(1)
+		s.tq.CountShed(tenant, 1)
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("%w: %s/%s cannot finish within deadline_ms=%d", tenantq.ErrDeadlineShed, estApp, req.Config, req.DeadlineMs))
+		return
+	}
 
 	release, ok := s.admit()
 	if !ok {
@@ -337,8 +469,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	releaseWorker, err := s.acquireWorker(r.Context())
+	releaseWorker, err := s.acquireWorker(r.Context(), tenant, 1)
 	if err != nil {
+		if errors.Is(err, tenantq.ErrQuota) {
+			s.met.QuotaRejected.Add(1)
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeError(w, statusClientGone, fmt.Errorf("client went away: %w", err))
 		return
 	}
@@ -351,8 +488,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Queue wait may have consumed the deadline; re-check before
+	// simulating, and never simulate past what is left of it.
+	timeout := timeoutOf(req.TimeoutMs, s.opt.DefaultTimeout)
+	if !deadline.IsZero() {
+		rem := time.Until(deadline)
+		if rem <= 0 || s.est.cannotFinish(wl.App, cfg.Name, deadline, time.Now()) {
+			s.met.DeadlineShed.Add(1)
+			s.tq.CountShed(tenant, 1)
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("%w: deadline exhausted while queued", tenantq.ErrDeadlineShed))
+			return
+		}
+		if rem < timeout {
+			timeout = rem
+		}
+	}
 	label := "run/" + wl.App + "/" + cfg.Name
-	res, err := s.runner.RunWorkload(label, wl, cfg, timeoutOf(req.TimeoutMs, s.opt.DefaultTimeout))
+	res, err := s.runner.RunWorkload(label, wl, cfg, timeout)
 	wall := time.Since(start)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -398,6 +551,61 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Shard != "" {
 		s.met.ShardRequests.Add(1)
+	}
+	tenant, err := resolveTenant(req.Tenant, r.Header.Get(tenantHeader))
+	if err != nil {
+		s.met.BadRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	arrival := time.Now()
+	deadline := deadlineOf(req.DeadlineMs, arrival)
+	gridCells := len(apps) * len(req.Configs)
+
+	if level := s.observeBrownout(); level >= tenantq.BrownSmallOnly && !s.smallGrid(gridCells, req.MaxEvents) {
+		s.met.BrownoutRejected.Add(1)
+		s.tq.CountBrownout(tenant)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("%w (%s): only grids with cells*max_events <= %d are admitted", tenantq.ErrBrownout, level, s.opt.SmallGridMax))
+		return
+	}
+
+	// Deadline fast path: when every cell provably cannot finish, answer
+	// 504 with the full shed grid immediately — zero simulation, no
+	// journal claim, no queueing. A coordinator propagating an exhausted
+	// budget (negative deadline_ms) always lands here.
+	if !deadline.IsZero() {
+		now := time.Now()
+		allShed := true
+		for _, app := range apps {
+			for _, name := range req.Configs {
+				if !s.est.cannotFinish(app, name, deadline, now) {
+					allShed = false
+					break
+				}
+			}
+			if !allShed {
+				break
+			}
+		}
+		if allShed {
+			cells := make([]SweepCell, 0, gridCells)
+			for _, app := range apps {
+				for _, name := range req.Configs {
+					cells = append(cells, SweepCell{
+						App:       app,
+						Config:    name,
+						Error:     fmt.Sprintf("shed: cannot finish within deadline_ms=%d", req.DeadlineMs),
+						ErrorKind: string(fault.KindShed),
+					})
+				}
+			}
+			s.met.DeadlineShed.Add(int64(gridCells))
+			s.tq.CountShed(tenant, int64(gridCells))
+			s.log.Info("sweep shed", "tenant", tenant, "cells", gridCells, "deadline_ms", req.DeadlineMs)
+			writeJSON(w, http.StatusGatewayTimeout, SweepResponse{Cells: cells, WallMs: float64(time.Since(arrival).Microseconds()) / 1e3})
+			return
+		}
 	}
 
 	// Checkpoint/resume: a sweep_id on a journaling server replays
@@ -460,26 +668,41 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			if allDone(batch) {
 				return // fully resumed: no worker slot needed
 			}
-			releaseWorker, err := s.acquireWorker(r.Context())
+			outstanding := 0
+			for ci := range batch {
+				if batch[ci].Result == nil {
+					outstanding++
+				}
+			}
+			// The batch's fair-queue cost is its outstanding cell count,
+			// so a tenant sweeping the full grid weighs accordingly
+			// against a tenant running single cells.
+			releaseWorker, err := s.acquireWorker(r.Context(), tenant, outstanding)
 			if err != nil {
+				if errors.Is(err, tenantq.ErrQuota) {
+					s.met.QuotaRejected.Add(int64(outstanding))
+				}
 				for ci := range batch {
 					if batch[ci].Result == nil {
-						batch[ci].Error = fmt.Sprintf("batch canceled: %v", err)
-						batch[ci].ErrorKind = "canceled"
+						batch[ci].Error = fmt.Sprintf("batch not admitted: %v", err)
+						batch[ci].ErrorKind = errKind(err)
 					}
 				}
 				return
 			}
 			defer releaseWorker()
-			s.runBatch(r.Context(), app, req, batch, timeout, jr)
+			s.runBatch(r.Context(), tenant, app, req, batch, timeout, deadline, jr)
 		}(ai, app)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	failed, skipped, resumed := 0, 0, 0
+	failed, skipped, resumed, shed := 0, 0, 0, 0
 	for i := range cells {
 		switch {
+		case cells[i].ErrorKind == string(fault.KindShed):
+			shed++
+			failed++
 		case cells[i].Error != "":
 			failed++
 		case cells[i].Skipped != "":
@@ -488,9 +711,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			resumed++
 		}
 	}
-	s.log.Info("sweep", "apps", len(apps), "configs", len(req.Configs), "cells", len(cells),
-		"failed", failed, "skipped", skipped, "resumed", resumed, "shard", req.Shard, "wall_ms", wall.Milliseconds())
-	writeJSON(w, http.StatusOK, SweepResponse{Cells: cells, WallMs: float64(wall.Microseconds()) / 1e3})
+	status := http.StatusOK
+	if len(cells) > 0 && shed == len(cells) {
+		// Nothing at all could run in time: the partial-results contract
+		// still holds (every cell is present), but the status says so.
+		status = http.StatusGatewayTimeout
+	}
+	s.log.Info("sweep", "apps", len(apps), "configs", len(req.Configs), "cells", len(cells), "failed", failed,
+		"skipped", skipped, "resumed", resumed, "shed", shed, "tenant", tenant, "shard", req.Shard, "wall_ms", wall.Milliseconds())
+	writeJSON(w, status, SweepResponse{Cells: cells, WallMs: float64(wall.Microseconds()) / 1e3})
 }
 
 // claimSweep registers a sweep_id as in flight; false means another
@@ -546,8 +775,10 @@ func allDone(batch []SweepCell) bool {
 // admission (a quarantined cell is skipped, not attempted), bounded
 // retries with backoff for retryable failures, structured per-cell
 // errors, and a journal append for every success. The workload is
-// materialized (or LRU-hit) once for the whole batch.
-func (s *Server) runBatch(ctx context.Context, app string, req SweepRequest, batch []SweepCell, timeout time.Duration, jr *sweepJournal) {
+// materialized (or LRU-hit) once for the whole batch. A cell that
+// provably cannot finish by the request deadline is shed (never
+// simulated) so the rest of the grid comes back as partial results.
+func (s *Server) runBatch(ctx context.Context, tenant, app string, req SweepRequest, batch []SweepCell, timeout time.Duration, deadline time.Time, jr *sweepJournal) {
 	prof, err := scaledProfile(app, req.Scale)
 	if err != nil {
 		for ci := range batch {
@@ -576,13 +807,26 @@ func (s *Server) runBatch(ctx context.Context, app string, req SweepRequest, bat
 			cell.ErrorKind = "config"
 			continue
 		}
+		cellTimeout := timeout
+		if !deadline.IsZero() {
+			if s.est.cannotFinish(app, cfg.Name, deadline, time.Now()) {
+				cell.Error = fmt.Sprintf("shed: cannot finish within deadline_ms=%d", req.DeadlineMs)
+				cell.ErrorKind = string(fault.KindShed)
+				s.met.DeadlineShed.Add(1)
+				s.tq.CountShed(tenant, 1)
+				continue
+			}
+			if rem := time.Until(deadline); rem < cellTimeout {
+				cellTimeout = rem
+			}
+		}
 		key := app + "/" + cfg.Name
 		var res esp.Result
 		out := s.exec.Run(ctx, key, func(attempt int) error {
 			// Every cell goes through the runner's cache: the first call
 			// materializes, the rest of the batch hits the same arena.
 			var rerr error
-			res, rerr = s.runner.RunCell("sweep/"+key, prof, cfg, timeout)
+			res, rerr = s.runner.RunCell("sweep/"+key, prof, cfg, cellTimeout)
 			if rerr != nil {
 				if errors.Is(rerr, sim.ErrTimeout) {
 					s.met.Timeouts.Add(1)
@@ -671,14 +915,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Node = s.opt.Name
 	perf := s.runner.Perf()
 	snap.Engine = metrics.Engine{
-		Cells:          perf.Cells,
-		WorkloadBuilds: perf.WorkloadBuilds,
-		WorkloadReuses: perf.WorkloadReuses,
-		WorkloadEvicts: perf.WorkloadEvicts,
-		MachineBuilds:  perf.MachineBuilds,
-		MachineReuses:  perf.MachineReuses,
-		BuildWallMs:    perf.BuildWall.Milliseconds(),
-		SimWallMs:      perf.SimWall.Milliseconds(),
+		Cells:            perf.Cells,
+		WorkloadBuilds:   perf.WorkloadBuilds,
+		WorkloadReuses:   perf.WorkloadReuses,
+		WorkloadEvicts:   perf.WorkloadEvicts,
+		WorkloadBypasses: perf.WorkloadBypasses,
+		CacheBytes:       s.runner.CacheBytes(),
+		MachineBuilds:    perf.MachineBuilds,
+		MachineReuses:    perf.MachineReuses,
+		BuildWallMs:      perf.BuildWall.Milliseconds(),
+		SimWallMs:        perf.SimWall.Milliseconds(),
 	}
 	if perf.SchedCells > 0 {
 		se := &metrics.SchedEngine{
@@ -709,7 +955,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap.Engine.Sched = se
 	}
 	snap.Queue.Capacity = cap(s.tickets)
-	snap.Queue.Workers = cap(s.work)
+	snap.Queue.Workers = s.opt.Workers
+	snap.Tenants = s.tq.Snapshot()
+	if s.brown != nil {
+		bs := s.brown.Snapshot()
+		snap.Overload.Brownout = &bs
+	}
 	breakers := s.exec.Breakers()
 	snap.Resilience.Retries = s.exec.Retries()
 	snap.Resilience.BreakerTrips = breakers.Trips()

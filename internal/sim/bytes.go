@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"unsafe"
+
+	"espsim/internal/eventq"
+	"espsim/internal/trace"
+)
+
+// Bytes estimates the workload's resident heap footprint: the
+// instruction arena (by capacity — that is what the allocator holds),
+// the event list, the span tables, the pending table, and the baked
+// schedule. Session-built workloads alias pendTab to events; the alias
+// is detected and counted once. The estimate feeds the runner's cache
+// byte budget, so it only needs to track real usage proportionally —
+// map headers and allocator slack are ignored.
+func (w *Workload) Bytes() int64 {
+	const (
+		instSize  = int64(unsafe.Sizeof(trace.Inst{}))
+		eventSize = int64(unsafe.Sizeof(trace.Event{}))
+		spanSize  = int64(unsafe.Sizeof(span{}))
+	)
+	b := int64(unsafe.Sizeof(Workload{}))
+	b += int64(cap(w.arena)) * instSize
+	b += int64(len(w.events)) * eventSize
+	b += int64(len(w.normal)+len(w.spec)+len(w.pend)) * spanSize
+	pendTab, events := w.pendTab, w.events
+	if len(pendTab) > 0 && !(len(events) > 0 && &pendTab[0] == &events[0]) {
+		b += int64(len(pendTab)) * eventSize
+	}
+	if s := w.sched; s != nil {
+		b += int64(unsafe.Sizeof(eventq.Schedule{}))
+		b += int64(len(s.Order)) * int64(unsafe.Sizeof(int32(0)))
+		b += int64(len(s.Dispatch)+len(s.Complete)) * 8
+		b += int64(len(s.Stats.Classes)) * int64(unsafe.Sizeof(eventq.ClassLatency{}))
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+
+	"espsim/internal/workload"
+)
+
+// TestWorkloadBytes: the footprint estimate is positive, grows with the
+// executed prefix, and dominates the arena (the largest table).
+func TestWorkloadBytes(t *testing.T) {
+	prof := workload.Amazon()
+	prof.Events = 48
+	small, err := NewWorkload(prof, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewWorkload(prof, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Bytes() <= 0 {
+		t.Fatalf("Bytes() = %d, want positive", small.Bytes())
+	}
+	if large.Bytes() <= small.Bytes() {
+		t.Fatalf("48-event workload (%d B) not larger than 16-event (%d B)", large.Bytes(), small.Bytes())
+	}
+	if arena := int64(cap(large.arena)) * 24; large.Bytes() < arena {
+		t.Fatalf("Bytes() = %d underestimates the arena alone (%d insts)", large.Bytes(), cap(large.arena))
+	}
+}
+
+// TestRunnerByteBudget: with a budget that fits roughly one workload,
+// the cache evicts under pressure, the accounted footprint stays at or
+// below budget once builds settle, and every run still succeeds.
+func TestRunnerByteBudget(t *testing.T) {
+	r := NewRunner()
+	profs := smallSuite()
+	one, err := r.Workload(profs[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := one.Bytes() + one.Bytes()/2 // room for ~1.5 workloads
+	r.SetWorkloadBudget(budget)
+
+	for round := 0; round < 2; round++ {
+		for _, p := range profs {
+			if _, err := r.RunCell(p.Name, p, espConfig(), 0); err != nil {
+				t.Fatalf("run %s: %v", p.Name, err)
+			}
+			if got := r.CacheBytes(); got > budget {
+				t.Fatalf("cache footprint %d exceeds budget %d", got, budget)
+			}
+		}
+	}
+	perf := r.Perf()
+	if perf.WorkloadEvicts == 0 {
+		t.Fatal("three workloads under a 1.5-workload budget evicted nothing")
+	}
+	if perf.Cells != 6 {
+		t.Fatalf("completed %d cells, want 6", perf.Cells)
+	}
+}
+
+// TestRunnerCacheAdmit: with admission off, misses build uncached
+// (counted as bypasses, no reuse, footprint flat) while already-cached
+// entries keep serving; turning admission back on restores caching.
+func TestRunnerCacheAdmit(t *testing.T) {
+	r := NewRunner()
+	profs := smallSuite()
+	if _, err := r.Workload(profs[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	cached := r.CacheBytes()
+	if cached <= 0 {
+		t.Fatalf("cached build accounted %d bytes", cached)
+	}
+
+	r.SetCacheAdmit(false)
+	for i := 0; i < 2; i++ {
+		if _, err := r.Workload(profs[1], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.CacheBytes(); got != cached {
+		t.Fatalf("bypass builds grew the cache: %d -> %d", cached, got)
+	}
+	perf := r.Perf()
+	if perf.WorkloadBypasses != 2 {
+		t.Fatalf("counted %d bypasses, want 2", perf.WorkloadBypasses)
+	}
+	// The cached entry still serves while admission is off.
+	if _, err := r.Workload(profs[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Perf().WorkloadReuses; got != 1 {
+		t.Fatalf("cached entry reused %d times under brownout, want 1", got)
+	}
+
+	r.SetCacheAdmit(true)
+	if _, err := r.Workload(profs[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheBytes(); got <= cached {
+		t.Fatalf("cache did not grow after admission restored: %d", got)
+	}
+}
+
+// TestTrimWorkloadCache: trimming evicts LRU-first down to the target,
+// and a workload handed out before the trim stays usable (immutability
+// makes eviction safe mid-replay).
+func TestTrimWorkloadCache(t *testing.T) {
+	r := NewRunner()
+	profs := smallSuite()
+	for _, p := range profs {
+		if _, err := r.Workload(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := r.Workload(profs[2], 0) // most recently used
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := r.CacheBytes()
+	target := w.Bytes() // room for exactly the MRU entry
+	r.TrimWorkloadCache(target)
+	if got := r.CacheBytes(); got > target || got == full {
+		t.Fatalf("trim left %d of %d bytes, target %d", got, full, target)
+	}
+	if got := r.Perf().WorkloadEvicts; got == 0 {
+		t.Fatal("trim evicted nothing")
+	}
+	// The surviving entry should be the most recently used one.
+	if _, err := r.Workload(profs[2], 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Perf().WorkloadReuses; got < 2 {
+		t.Fatalf("MRU entry did not survive the trim (reuses %d)", got)
+	}
+	// Evicted-but-held workloads still replay.
+	if _, err := r.RunWorkload("held", w, espConfig(), 0); err != nil {
+		t.Fatalf("replay of held workload after trim: %v", err)
+	}
+
+	r.TrimWorkloadCache(0)
+	if got := r.CacheBytes(); got != 0 {
+		t.Fatalf("full trim left %d bytes", got)
+	}
+}

@@ -54,10 +54,13 @@ type Perf struct {
 	Cells int64
 	// WorkloadBuilds counts sessions materialized; WorkloadReuses counts
 	// cells that replayed an already-materialized workload (cache hits);
-	// WorkloadEvicts counts materializations dropped by the LRU cap.
-	WorkloadBuilds int64
-	WorkloadReuses int64
-	WorkloadEvicts int64
+	// WorkloadEvicts counts materializations dropped by the LRU cap or
+	// byte budget; WorkloadBypasses counts builds that skipped the cache
+	// because admission was off (memory brownout).
+	WorkloadBuilds   int64
+	WorkloadReuses   int64
+	WorkloadEvicts   int64
+	WorkloadBypasses int64
 	// MachineBuilds counts machines assembled; MachineReuses counts
 	// cells that reset and reused a pooled machine.
 	MachineBuilds int64
@@ -179,6 +182,10 @@ type workloadCell struct {
 	// elem is the cell's position in the Runner's LRU list (front =
 	// most recently used); nil once evicted.
 	elem *list.Element
+	// bytes is the workload's accounted footprint, folded into the
+	// Runner's cacheBytes once the build completes (zero while
+	// building or once evicted).
+	bytes int64
 }
 
 // Runner joins the planes for sweeps: it materializes each workload once
@@ -198,10 +205,18 @@ type Runner struct {
 	workloads   map[workloadKey]*workloadCell
 	lru         list.List // of workloadKey, front = most recent
 	workloadCap int
-	machines    map[Config][]*Machine
-	perf        Perf
-	observer    func(CellEvent)
-	fault       FaultHook
+	// workloadBudget bounds the cache in accounted bytes (<= 0:
+	// unbounded); cacheBytes is the current accounted total across
+	// completed cached builds.
+	workloadBudget int64
+	cacheBytes     int64
+	// noAdmit stops new builds from entering the cache (brownout's
+	// no-cache lever); already-cached workloads still serve.
+	noAdmit  bool
+	machines map[Config][]*Machine
+	perf     Perf
+	observer func(CellEvent)
+	fault    FaultHook
 }
 
 // NewRunner returns an empty Runner with an unbounded workload cache.
@@ -220,6 +235,50 @@ func (r *Runner) SetWorkloadCap(n int) {
 	defer r.mu.Unlock()
 	r.workloadCap = n
 	r.evictLocked()
+}
+
+// SetWorkloadBudget bounds the workload cache to n accounted bytes
+// (Workload.Bytes per entry), evicting least-recently-used entries
+// past it (n <= 0: unbounded). It composes with SetWorkloadCap —
+// whichever bound is tighter evicts first.
+func (r *Runner) SetWorkloadBudget(n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.workloadBudget = n
+	r.evictLocked()
+}
+
+// SetCacheAdmit toggles cache admission for new workload builds. While
+// off (memory brownout) a cache miss builds an uncached, unshared
+// workload — correct but without reuse — and cached entries keep
+// serving; the cache never grows.
+func (r *Runner) SetCacheAdmit(on bool) {
+	r.mu.Lock()
+	r.noAdmit = !on
+	r.mu.Unlock()
+}
+
+// CacheBytes reports the accounted footprint of the workload cache.
+func (r *Runner) CacheBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cacheBytes
+}
+
+// TrimWorkloadCache evicts least-recently-used workloads until the
+// accounted footprint is at or below target bytes — the brownout
+// actor's recovery lever (evicting everything is target 0). Workloads
+// mid-replay are unaffected: eviction only drops the cache's
+// reference, and workloads are immutable.
+func (r *Runner) TrimWorkloadCache(target int64) {
+	if target < 0 {
+		target = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.cacheBytes > target && r.lru.Len() > 0 {
+		r.evictOldestLocked()
+	}
 }
 
 // SetObserver installs fn to be called after every completed replay
@@ -249,20 +308,31 @@ func (r *Runner) Perf() Perf {
 }
 
 // evictLocked drops least-recently-used workload cells until the cache
-// respects the cap. Callers hold r.mu.
+// respects both the entry cap and the byte budget. Callers hold r.mu.
 func (r *Runner) evictLocked() {
-	if r.workloadCap < 1 {
-		return
-	}
-	for r.lru.Len() > r.workloadCap {
-		oldest := r.lru.Back()
-		key := oldest.Value.(workloadKey)
-		r.lru.Remove(oldest)
-		if cell, ok := r.workloads[key]; ok {
-			cell.elem = nil
-			delete(r.workloads, key)
-			r.perf.WorkloadEvicts++
+	for r.lru.Len() > 0 {
+		overCap := r.workloadCap >= 1 && r.lru.Len() > r.workloadCap
+		overBudget := r.workloadBudget > 0 && r.cacheBytes > r.workloadBudget
+		if !overCap && !overBudget {
+			return
 		}
+		r.evictOldestLocked()
+	}
+}
+
+// evictOldestLocked drops the least-recently-used cache entry and
+// returns its bytes to the accounted total. Callers hold r.mu and have
+// checked the LRU is non-empty.
+func (r *Runner) evictOldestLocked() {
+	oldest := r.lru.Back()
+	key := oldest.Value.(workloadKey)
+	r.lru.Remove(oldest)
+	if cell, ok := r.workloads[key]; ok {
+		cell.elem = nil
+		r.cacheBytes -= cell.bytes
+		cell.bytes = 0
+		delete(r.workloads, key)
+		r.perf.WorkloadEvicts++
 	}
 }
 
@@ -285,6 +355,15 @@ func (r *Runner) WorkloadSched(prof workload.Profile, maxEvents int, policy even
 	key := workloadKey{prof: prof, maxEvents: maxEvents, sched: policy}
 	r.mu.Lock()
 	cell, ok := r.workloads[key]
+	if !ok && r.noAdmit {
+		// Brownout: build without caching. Correct but unshared — two
+		// concurrent misses for the same key build twice rather than
+		// grow the cache.
+		hook := r.fault
+		r.perf.WorkloadBypasses++
+		r.mu.Unlock()
+		return r.buildWorkload(prof, maxEvents, policy, hook)
+	}
 	if !ok {
 		cell = &workloadCell{}
 		r.workloads[key] = cell
@@ -299,23 +378,20 @@ func (r *Runner) WorkloadSched(prof workload.Profile, maxEvents int, policy even
 	built := false
 	cell.once.Do(func() {
 		built = true
-		start := time.Now()
-		if hook != nil {
-			if herr := hook(FaultPoint{Op: "build", Label: prof.Name, App: prof.Name}); herr != nil {
-				cell.err = fmt.Errorf("esp: workload %s: %w: %w", prof.Name, ErrBuild, herr)
-			}
-		}
-		if cell.err == nil {
-			cell.w, cell.err = NewWorkloadSched(prof, maxEvents, policy)
-			if cell.err != nil {
-				cell.err = fmt.Errorf("esp: workload %s: %w: %w", prof.Name, ErrBuild, cell.err)
-			}
-		}
-		r.mu.Lock()
-		r.perf.BuildWall += time.Since(start)
-		r.perf.WorkloadBuilds++
-		r.mu.Unlock()
+		cell.w, cell.err = r.buildWorkload(prof, maxEvents, policy, hook)
 	})
+	if built && cell.err == nil {
+		// Fold the finished build into the byte budget — unless a
+		// concurrent eviction already dropped the entry.
+		b := cell.w.Bytes()
+		r.mu.Lock()
+		if r.workloads[key] == cell {
+			cell.bytes = b
+			r.cacheBytes += b
+			r.evictLocked()
+		}
+		r.mu.Unlock()
+	}
 	if !built && cell.err == nil {
 		r.mu.Lock()
 		r.perf.WorkloadReuses++
@@ -335,6 +411,33 @@ func (r *Runner) WorkloadSched(prof workload.Profile, maxEvents int, policy even
 		r.mu.Unlock()
 	}
 	return cell.w, cell.err
+}
+
+// buildWorkload materializes one workload with fault-hook and perf
+// accounting, shared by the cached and cache-bypass paths.
+func (r *Runner) buildWorkload(prof workload.Profile, maxEvents int, policy eventq.SchedPolicy, hook FaultHook) (*Workload, error) {
+	start := time.Now()
+	var w *Workload
+	var err error
+	if hook != nil {
+		if herr := hook(FaultPoint{Op: "build", Label: prof.Name, App: prof.Name}); herr != nil {
+			err = fmt.Errorf("esp: workload %s: %w: %w", prof.Name, ErrBuild, herr)
+		}
+	}
+	if err == nil {
+		w, err = NewWorkloadSched(prof, maxEvents, policy)
+		if err != nil {
+			err = fmt.Errorf("esp: workload %s: %w: %w", prof.Name, ErrBuild, err)
+		}
+	}
+	r.mu.Lock()
+	r.perf.BuildWall += time.Since(start)
+	r.perf.WorkloadBuilds++
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
 // acquireMachine pops a pooled machine for cfg or assembles one.

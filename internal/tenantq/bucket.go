@@ -1,0 +1,36 @@
+package tenantq
+
+import "time"
+
+// bucket is a token bucket in cell units: rate cells/second refill,
+// capped at burst. The zero value is an always-full bucket (rate 0
+// callers never consult it). Not safe for concurrent use — the Queue
+// mutex guards it.
+type bucket struct {
+	rate   float64 // cells per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) bucket {
+	return bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take consumes n tokens at time now; false leaves the bucket
+// untouched (refill still applied), so a rejected request does not
+// penalize the next one.
+func (b *bucket) take(n float64, now time.Time) bool {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
